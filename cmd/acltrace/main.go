@@ -1,0 +1,124 @@
+// Command acltrace runs the DPDK-style ACL firewall pipeline under the
+// hybrid tracer and reports per-packet rte_acl_classify estimates, the way
+// an operator would use the method against a live application. It can also
+// dump the raw hybrid trace to a file for offline analysis with tracedump.
+//
+// Usage:
+//
+//	acltrace -packets 5000 -reset 16000 -trace /tmp/acl.fltrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/acl"
+	"repro/internal/core"
+	"repro/internal/dpdkapp"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		packets  = flag.Int("packets", 5000, "number of test packets (types A/B/C round-robin)")
+		reset    = flag.Uint64("reset", 16000, "PEBS reset value R (0 disables sampling)")
+		baseline = flag.Bool("baseline", false, "also run the instrumented golden baseline")
+		traceOut = flag.String("trace", "", "write the raw hybrid trace to this file")
+		items    = flag.Int("items", 10, "per-packet rows to print")
+	)
+	flag.Parse()
+
+	cfg := dpdkapp.Config{Reset: *reset, Markers: true, BaselineProbe: *baseline}
+	res, err := dpdkapp.Run(cfg, dpdkapp.PaperPacketSequence(*packets))
+	if err != nil {
+		fatal(err)
+	}
+	a, err := core.Integrate(res.Set, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("acltrace: %d packets, R=%d, %d samples (%d MB of PEBS records)\n\n",
+		*packets, *reset, res.SampleCount, res.SampleBytes>>20)
+
+	t := report.Table{
+		Title:   "per-type rte_acl_classify estimates",
+		Headers: []string{"type", "mean us", "std us", "estimable", "tester latency us"},
+	}
+	var perType [acl.NumPacketTypes][]float64
+	var latType [acl.NumPacketTypes][]float64
+	for i := range a.Items {
+		it := &a.Items[i]
+		if fs := it.Func(dpdkapp.FnClassify); fs.Estimable() {
+			pt := dpdkapp.PacketTypeOf(it.ID)
+			perType[pt] = append(perType[pt], a.CyclesToMicros(fs.Cycles()))
+		}
+	}
+	for _, l := range res.Latencies {
+		pt := dpdkapp.PacketTypeOf(l.Payload.ID)
+		latType[pt] = append(latType[pt], res.CyclesToMicros(l.Cycles))
+	}
+	for pt := acl.TypeA; pt <= acl.TypeC; pt++ {
+		s := stats.Summarize(perType[pt])
+		t.AddRow(pt.String(), report.F(s.Mean, 2), report.F(s.Stddev, 2),
+			report.I(s.N), report.F(stats.Mean(latType[pt]), 2))
+	}
+	t.Render(os.Stdout)
+
+	if *baseline {
+		bt := report.Table{
+			Title:   "\ninstrumented baseline (golden)",
+			Headers: []string{"type", "mean us", "std us"},
+		}
+		var base [acl.NumPacketTypes][]float64
+		for _, b := range res.Baseline {
+			pt := dpdkapp.PacketTypeOf(b.ID)
+			base[pt] = append(base[pt], res.CyclesToMicros(b.Cycles))
+		}
+		for pt := acl.TypeA; pt <= acl.TypeC; pt++ {
+			s := stats.Summarize(base[pt])
+			bt.AddRow(pt.String(), report.F(s.Mean, 2), report.F(s.Stddev, 2))
+		}
+		bt.Render(os.Stdout)
+	}
+
+	if *items > 0 {
+		pt := report.Table{
+			Title:   fmt.Sprintf("\nfirst %d packets, individually (the per-data-item view)", *items),
+			Headers: []string{"packet", "type", "classify us", "total us", "samples"},
+		}
+		for i := range a.Items {
+			if i >= *items {
+				break
+			}
+			it := &a.Items[i]
+			pt.AddRow(report.U(it.ID), dpdkapp.PacketTypeOf(it.ID).String(),
+				report.F(a.CyclesToMicros(it.Func(dpdkapp.FnClassify).Cycles()), 2),
+				report.F(a.CyclesToMicros(it.ElapsedCycles()), 2),
+				report.I(it.SampleCount))
+		}
+		pt.Render(os.Stdout)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Set.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote raw trace to %s (%d markers, %d samples)\n",
+			*traceOut, len(res.Set.Markers), len(res.Set.Samples))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acltrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command fluct runs the paper's experiments and prints the corresponding
+// tables and figures.
+//
+// Usage:
+//
+//	fluct -exp fig9 -packets 10000
+//	fluct -exp all
+//
+// Experiments: fig1, fig2, fig4, fig8, fig9, fig10, datarate, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: fig1|fig2|fig4|fig8|fig9|fig10|datarate|all")
+		packets  = flag.Int("packets", 10000, "packets per ACL run (figs 9/10, data rate)")
+		requests = flag.Int("requests", 20000, "requests for the NGINX workload (fig 2)")
+		resets   = flag.String("resets", "", "comma-separated reset values overriding the paper's sweep")
+		out      = flag.String("out", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var resetList []uint64
+	if *resets != "" {
+		for _, s := range strings.Split(*resets, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad reset value %q: %w", s, err))
+			}
+			resetList = append(resetList, v)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig1") {
+		ran = true
+		r, err := experiments.Fig1()
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintln(w)
+	}
+	if want("fig2") {
+		ran = true
+		r, err := experiments.Fig2(*requests)
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintln(w)
+	}
+	if want("fig4") {
+		ran = true
+		r, err := experiments.Fig4(experiments.Fig4Config{Resets: resetList})
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintln(w)
+	}
+	if want("fig8") {
+		ran = true
+		r, err := experiments.Fig8()
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintln(w)
+	}
+	if want("fig9") || want("fig10") || want("datarate") {
+		ran = true
+		sweep, err := experiments.RunACLSweep(experiments.ACLSweepConfig{
+			Packets: *packets,
+			Resets:  resetList,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig9") {
+			sweep.Fig9().Render(w)
+			fmt.Fprintln(w)
+		}
+		if want("fig10") {
+			sweep.Fig10().Render(w)
+			fmt.Fprintln(w)
+		}
+		if want("datarate") {
+			sweep.DataRate().Render(w)
+			fmt.Fprintln(w)
+		}
+	}
+	if want("secvc") {
+		ran = true
+		r, err := experiments.SecVC("gcc", nil)
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|secvc|all)", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluct:", err)
+	os.Exit(1)
+}

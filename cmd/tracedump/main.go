@@ -1,0 +1,169 @@
+// Command tracedump inspects a serialized hybrid trace (written by
+// acltrace -trace or TraceSet.Encode): it prints the trace inventory,
+// reconstructs per-data-item function times, and optionally the averaged
+// profile — the offline half of the paper's workflow, where the prototype
+// dumps samples to SSD during the run and analyzes them later.
+//
+// Usage:
+//
+//	tracedump -items 20 /tmp/acl.fltrc
+//	tracedump -profile /tmp/acl.fltrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		items     = flag.Int("items", 10, "per-item rows to print (0 = none)")
+		profile   = flag.Bool("profile", false, "print the averaged whole-run profile")
+		functions = flag.Bool("functions", false, "print the per-function fluctuation report")
+		exclude   = flag.Bool("exclude-boundaries", false, "exclude samples exactly on marker timestamps")
+		csvOut    = flag.String("csv", "", "export markers+samples as CSV to <prefix>-markers.csv / <prefix>-samples.csv")
+		jsonlOut  = flag.String("jsonl", "", "export all events as JSON Lines to this file")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracedump [flags] <trace file> [more trace files...]")
+		os.Exit(2)
+	}
+	// Multiple files (e.g. per-core dumps) are merged before analysis.
+	sets := make([]*trace.Set, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		sets = append(sets, s)
+	}
+	set, err := trace.Merge(sets...)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace: %d markers, %d samples, %d symbols, TSC %d Hz\n\n",
+		len(set.Markers), len(set.Samples), symCount(set), set.FreqHz)
+
+	opts := core.Options{ExcludeBoundaries: *exclude}
+	a, err := core.Integrate(set, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("items: %d   unattributed samples: %d   unresolved: %d   marker anomalies: %d\n\n",
+		len(a.Items), a.Diag.UnattributedSamples, a.Diag.UnresolvedSamples,
+		a.Diag.OrphanEndMarkers+a.Diag.ReopenedItems+a.Diag.UnclosedItems)
+
+	if *items > 0 {
+		t := report.Table{
+			Title:   "per-data-item function estimates",
+			Headers: []string{"item", "core", "total us", "function", "est us", "samples"},
+		}
+		for i := range a.Items {
+			if i >= *items {
+				break
+			}
+			it := &a.Items[i]
+			if len(it.Funcs) == 0 {
+				t.AddRow(report.U(it.ID), report.I(int(it.Core)),
+					report.F(a.CyclesToMicros(it.ElapsedCycles()), 2), "-", "-", "0")
+				continue
+			}
+			for j, fs := range it.Funcs {
+				id, total := "", ""
+				if j == 0 {
+					id = report.U(it.ID)
+					total = report.F(a.CyclesToMicros(it.ElapsedCycles()), 2)
+				}
+				t.AddRow(id, report.I(int(it.Core)), total, fs.Fn.Name,
+					report.F(a.CyclesToMicros(fs.Cycles()), 2), report.I(fs.Samples))
+			}
+		}
+		t.Render(os.Stdout)
+	}
+
+	if *functions {
+		t := report.Table{
+			Title:   "\nper-function fluctuation report (max/mean over items; ~1 = steady)",
+			Headers: []string{"function", "mean us", "p50 us", "max us", "ratio", "estimable/total"},
+		}
+		for _, row := range core.FunctionReport(a) {
+			t.AddRow(row.Fn.Name,
+				report.F(row.PerItemUs.Mean, 2), report.F(row.PerItemUs.P50, 2),
+				report.F(row.PerItemUs.Max, 2), report.F(row.FluctuationRatio, 2),
+				fmt.Sprintf("%d/%d", row.EstimableItems, row.TotalItems))
+		}
+		t.Render(os.Stdout)
+	}
+
+	if *csvOut != "" {
+		for suffix, export := range map[string]func(*os.File) error{
+			"-markers.csv": func(f *os.File) error { return set.ExportMarkersCSV(f) },
+			"-samples.csv": func(f *os.File) error { return set.ExportSamplesCSV(f) },
+		} {
+			f, err := os.Create(*csvOut + suffix)
+			if err != nil {
+				fatal(err)
+			}
+			if err := export(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *csvOut+suffix)
+		}
+	}
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := set.ExportJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonlOut)
+	}
+
+	if *profile {
+		prof, err := core.Profile(set, opts)
+		if err != nil {
+			fatal(err)
+		}
+		t := report.Table{
+			Title:   "\naveraged profile (whole run)",
+			Headers: []string{"function", "samples", "share", "est us"},
+		}
+		for _, e := range prof.Entries {
+			t.AddRow(e.Fn.Name, report.I(e.Samples),
+				report.F(e.Share*100, 1)+"%", report.F(prof.CyclesToMicros(e.EstCycles), 1))
+		}
+		t.Render(os.Stdout)
+	}
+}
+
+func symCount(s *trace.Set) int {
+	if s.Syms == nil {
+		return 0
+	}
+	return s.Syms.Len()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+package repro_test
+
+import (
+	"fmt"
+
+	repro "repro"
+)
+
+// buildExampleTrace runs a tiny deterministic workload: two items through
+// one function, the first one slow.
+func buildExampleTrace() *repro.TraceSet {
+	m := repro.NewMachine(repro.MachineConfig{Cores: 1})
+	handle := m.Syms.MustRegister("handle", 4096)
+	pebs := repro.NewPEBS(repro.PEBSConfig{})
+	c := m.Core(0)
+	c.PMU.MustProgram(repro.UopsRetired, 1000, pebs)
+	markers := repro.NewMarkerLog(1, 0)
+	for _, it := range []struct {
+		id   uint64
+		work uint64
+	}{{1, 50_000}, {2, 10_000}, {3, 10_000}} {
+		markers.Mark(c, it.id, repro.ItemBegin)
+		c.Call(handle, func() { c.Exec(it.work) })
+		markers.Mark(c, it.id, repro.ItemEnd)
+	}
+	return repro.NewTraceSet(m, markers, pebs.Samples())
+}
+
+// The core workflow: integrate a hybrid trace into per-item, per-function
+// elapsed times (paper §III-D).
+func ExampleIntegrate() {
+	set := buildExampleTrace()
+	a, err := repro.Integrate(set, repro.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, item := range a.Items {
+		fmt.Printf("item %d: handle ran %.1f us\n",
+			item.ID, a.CyclesToMicros(item.Func("handle").Cycles()))
+	}
+	// Output:
+	// item 1: handle ran 36.8 us
+	// item 2: handle ran 6.8 us
+	// item 3: handle ran 6.8 us
+}
+
+// Fluctuation detection flags items that deviate within their group.
+func ExampleDetectFluctuations() {
+	set := buildExampleTrace()
+	a, _ := repro.Integrate(set, repro.Options{})
+	groups := repro.DetectFluctuations(a,
+		func(*repro.Item) string { return "requests" }, 0 /* default 3 sigma */, 0.5)
+	for _, g := range groups {
+		for _, outlier := range g.Outliers {
+			fmt.Printf("item %d fluctuates\n", outlier.ID)
+		}
+	}
+	// Output:
+	// item 1 fluctuates
+}
+
+// The classic averaged profile (Fig. 1, right side) from the same samples.
+func ExampleProfile() {
+	set := buildExampleTrace()
+	prof, _ := repro.Profile(set, repro.Options{})
+	for _, e := range prof.Entries {
+		fmt.Printf("%s: %.0f%% of samples\n", e.Fn.Name, e.Share*100)
+	}
+	// Output:
+	// handle: 100% of samples
+}
+
+// The §V-A timer-switching path: item IDs travel in register r13.
+func ExampleIntegrateByRegister() {
+	m := repro.NewMachine(repro.MachineConfig{Cores: 1})
+	f := m.Syms.MustRegister("f", 2048)
+	pebs := repro.NewPEBS(repro.PEBSConfig{})
+	c := m.Core(0)
+	c.PMU.MustProgram(repro.UopsRetired, 500, pebs)
+	for _, id := range []uint64{7, 8, 7} { // item 7 is preempted and resumed
+		c.SetReg(repro.R13, id)
+		c.Call(f, func() { c.Exec(5_000) })
+	}
+	set := repro.NewTraceSet(m, repro.NewMarkerLog(1, 0), pebs.Samples())
+	a, _ := repro.IntegrateByRegister(set, repro.R13, repro.Options{})
+	for _, item := range a.Items {
+		fmt.Printf("item %d: %d samples\n", item.ID, item.SampleCount)
+	}
+	// Output:
+	// item 7: 20 samples
+	// item 8: 10 samples
+}
+
+// The §V-C planner turns an overhead budget into a reset value.
+func ExampleNewResetPlanner() {
+	points := []repro.CalibrationPoint{
+		{Reset: 1000, IntervalCycles: 1500, OverheadFrac: 0.50},
+		{Reset: 2000, IntervalCycles: 2500, OverheadFrac: 0.25},
+		{Reset: 4000, IntervalCycles: 4500, OverheadFrac: 0.125},
+		{Reset: 8000, IntervalCycles: 8500, OverheadFrac: 0.0625},
+	}
+	p, err := repro.NewResetPlanner(points)
+	if err != nil {
+		panic(err)
+	}
+	r, _ := p.ForOverheadBudget(0.10)
+	fmt.Printf("interval linearity R2 = %.3f\n", p.Linearity())
+	fmt.Printf("for a 10%% overhead budget use R = %d\n", r)
+	// Output:
+	// interval linearity R2 = 1.000
+	// for a 10% overhead budget use R = 5000
+}

@@ -1,0 +1,227 @@
+// Package repro is fluct: a reproduction of "Diagnosing Performance
+// Fluctuations of High-throughput Software for Multi-core CPUs" (Akiyama,
+// Hirofuchi, Takano — AIST, 2018) as a production-quality Go library.
+//
+// The paper's contribution is a hybrid tracing method for high-throughput,
+// pinned-thread software: coarse instrumentation records (data-item ID,
+// timestamp) only at data-item switches, Intel PEBS samples (timestamp,
+// instruction pointer) at an adjustable rate, and an integration step
+// reconstructs the elapsed time of every function for every data-item —
+// cheap enough to run in production, where performance fluctuations
+// actually occur.
+//
+// Because PEBS is privileged Intel hardware, this reproduction runs
+// everything on a deterministic virtual-time multi-core simulator
+// (internal/sim) with a faithful PEBS cost model (internal/pmu); see
+// DESIGN.md for the substitution argument and EXPERIMENTS.md for the
+// paper-vs-measured record of every figure and table.
+//
+// This root package is the stable public surface: type aliases and
+// constructors over the internal implementation packages.
+//
+//	m := repro.NewMachine(repro.MachineConfig{Cores: 2})
+//	fn := m.Syms.MustRegister("handle_request", 4096)
+//	pebs := repro.NewPEBS(repro.PEBSConfig{})
+//	m.Core(1).PMU.MustProgram(repro.UopsRetired, 8000, pebs)
+//	log := repro.NewMarkerLog(2, 0)
+//	... run the workload, marking item switches with log.Mark ...
+//	set := repro.NewTraceSet(m, log, pebs.Samples())
+//	analysis, err := repro.Integrate(set, repro.Options{})
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/pmu"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// Simulated machine (the hardware substrate).
+type (
+	// Machine is a deterministic virtual-time multi-core CPU.
+	Machine = sim.Machine
+	// MachineConfig configures a Machine.
+	MachineConfig = sim.Config
+	// Core is one simulated CPU core, driven by one pinned goroutine.
+	Core = sim.Core
+	// Fn is a function symbol with its address range.
+	Fn = symtab.Fn
+	// SymbolTable resolves instruction pointers to functions.
+	SymbolTable = symtab.Table
+)
+
+// NewMachine builds a simulated machine (panics on invalid config; use
+// sim.New via the internal API for error returns in library code).
+func NewMachine(cfg MachineConfig) *Machine { return sim.MustNew(cfg) }
+
+// DefaultMachineConfig is the Table-II-like evaluation environment.
+func DefaultMachineConfig() MachineConfig { return sim.DefaultConfig() }
+
+// PMU and sampling (the PEBS substrate).
+type (
+	// Event is a hardware event selectable for counting/sampling.
+	Event = pmu.Event
+	// Sample is one hardware sample record.
+	Sample = pmu.Sample
+	// PEBS is the hardware sampling model (~250 ns/sample).
+	PEBS = pmu.PEBS
+	// PEBSConfig configures PEBS.
+	PEBSConfig = pmu.PEBSConfig
+	// SoftSampler is the perf-style software sampling model (~10 µs/sample).
+	SoftSampler = pmu.SoftSampler
+	// SoftSamplerConfig configures a SoftSampler.
+	SoftSamplerConfig = pmu.SoftSamplerConfig
+)
+
+// Hardware events (Intel SDM mnemonics in String()).
+const (
+	UopsRetired       = pmu.UopsRetired
+	LoadsRetired      = pmu.LoadsRetired
+	StoresRetired     = pmu.StoresRetired
+	BranchesRetired   = pmu.BranchesRetired
+	BranchMispredicts = pmu.BranchMispredicts
+	L1DMisses         = pmu.L1DMisses
+	L2Misses          = pmu.L2Misses
+	LLCMisses         = pmu.LLCMisses
+)
+
+// R13 is the register index the timer-switching extension reserves for
+// data-item IDs (§V-A).
+const R13 = pmu.R13
+
+// NewPEBS creates a PEBS unit (zero config fields take defaults).
+func NewPEBS(cfg PEBSConfig) *PEBS { return pmu.NewPEBS(cfg) }
+
+// NewSoftSampler creates a software sampler.
+func NewSoftSampler(cfg SoftSamplerConfig) *SoftSampler { return pmu.NewSoftSampler(cfg) }
+
+// Tracing (instrumentation + trace sets).
+type (
+	// Marker is one instrumentation record at a data-item switch.
+	Marker = trace.Marker
+	// MarkerLog collects markers with a per-call cost model.
+	MarkerLog = trace.MarkerLog
+	// TraceSet is a complete hybrid trace: markers + samples + symbols.
+	TraceSet = trace.Set
+	// MarkerKind distinguishes ItemBegin from ItemEnd.
+	MarkerKind = trace.Kind
+)
+
+// Marker kinds.
+const (
+	ItemBegin = trace.ItemBegin
+	ItemEnd   = trace.ItemEnd
+)
+
+// NewMarkerLog creates a marker log for a machine with the given core
+// count; costUops 0 selects the default marking cost.
+func NewMarkerLog(cores int, costUops uint64) *MarkerLog {
+	return trace.NewMarkerLog(cores, costUops)
+}
+
+// NewTraceSet assembles a trace set from a finished run.
+func NewTraceSet(m *Machine, log *MarkerLog, samples []Sample) *TraceSet {
+	return trace.NewSet(m, log, samples)
+}
+
+// DecodeTraceSet reads a serialized trace set (see TraceSet.Encode).
+var DecodeTraceSet = trace.Decode
+
+// Analysis (the paper's contribution).
+type (
+	// Options tunes an integration pass.
+	Options = core.Options
+	// Analysis is a reconstructed per-item, per-function view.
+	Analysis = core.Analysis
+	// Item is one reconstructed data-item.
+	Item = core.Item
+	// FuncSpan is one function's estimate within one item.
+	FuncSpan = core.FuncSpan
+	// ProfileReport is the classic averaged profile (for contrast).
+	ProfileReport = core.ProfileReport
+	// Group is a set of items expected to behave identically.
+	Group = core.Group
+	// OnlineMonitor triggers dumps when estimates diverge from their
+	// running mean (§IV-C3's online processing).
+	OnlineMonitor = core.OnlineMonitor
+	// Divergence is one online-detection event.
+	Divergence = core.Divergence
+	// StreamIntegrator is the online integration engine: it consumes
+	// markers and samples incrementally and emits items as they complete.
+	StreamIntegrator = core.StreamIntegrator
+	// RawRing retains recent raw samples for divergence-triggered dumps.
+	RawRing = core.RawRing
+	// FunctionRow is one function's cross-item fluctuation summary.
+	FunctionRow = core.FunctionRow
+	// EventCount is one per-{item, function} hardware-event magnitude.
+	EventCount = core.EventCount
+	// ResetPlanner picks reset values for overhead budgets or target
+	// intervals from a calibration sweep (§V-C).
+	ResetPlanner = core.ResetPlanner
+	// CalibrationPoint is one observation feeding a ResetPlanner.
+	CalibrationPoint = core.CalibrationPoint
+	// ItemTimeline is an item's ordered function-segment reconstruction.
+	ItemTimeline = core.ItemTimeline
+	// TimelineSegment is one run of same-function samples in a timeline.
+	TimelineSegment = core.Segment
+	// FuncDelta is one function's change between two analyses.
+	FuncDelta = core.FuncDelta
+)
+
+// Integrate runs the hybrid integration: markers × samples × symbols →
+// per-item, per-function elapsed times (§III-D).
+var Integrate = core.Integrate
+
+// IntegrateByRegister maps samples to items via a reserved register
+// instead of marker intervals — the §V-A timer-switching extension.
+var IntegrateByRegister = core.IntegrateByRegister
+
+// Profile computes the averaged whole-run profile (Fig. 1, right).
+var Profile = core.Profile
+
+// EventCounts reports per-{item, function} hardware-event magnitudes
+// (§V-D, e.g. cache misses).
+var EventCounts = core.EventCounts
+
+// GroupItems partitions items by key.
+var GroupItems = core.GroupItems
+
+// DetectFluctuations flags outlier items within same-key groups.
+var DetectFluctuations = core.DetectFluctuations
+
+// NewOnlineMonitor creates an online divergence monitor.
+var NewOnlineMonitor = core.NewOnlineMonitor
+
+// NewStreamIntegrator creates an online integrator.
+var NewStreamIntegrator = core.NewStreamIntegrator
+
+// NewRawRing creates a raw-sample retention ring.
+var NewRawRing = core.NewRawRing
+
+// FunctionReport summarizes per-function fluctuation across all items.
+var FunctionReport = core.FunctionReport
+
+// NewResetPlanner fits the §V-C planner from calibration points.
+var NewResetPlanner = core.NewResetPlanner
+
+// Timeline reconstructs one item's ordered function segments.
+var Timeline = core.Timeline
+
+// Compare diffs two analyses per function (regression hunting across runs).
+var Compare = core.Compare
+
+// DecodeTraceStream reads a trace file incrementally, for feeding a
+// StreamIntegrator without materializing the whole set.
+var DecodeTraceStream = trace.DecodeStream
+
+// Queues (the Fig. 5 architecture's software rings).
+type (
+	// QueueConfig configures an SPSC ring.
+	QueueConfig = queue.Config
+)
+
+// NewQueue creates a single-producer single-consumer ring carrying T
+// between two cores with causal virtual-time semantics.
+func NewQueue[T any](cfg QueueConfig) *queue.SPSC[T] { return queue.New[T](cfg) }

@@ -1,0 +1,99 @@
+package acl
+
+// This file reproduces the paper's concrete evaluation inputs: the Table III
+// rule set and the Table IV test packet types.
+
+// Paper rule-set shape constants (Table III). Note an arithmetic
+// inconsistency in the paper: it prints "666 × 750 + 500 = 50,000", but
+// 666×750+500 is 500,000. The totals 50,000 rules and 247 tries are stated
+// repeatedly and anchor the rest of the evaluation, so we take them as
+// authoritative and use 66 full source ports plus partial port 67
+// (66×750+500 = 50,000 exactly); the 666/667 in Table III is read as a
+// typesetting slip. DESIGN.md records this substitution.
+const (
+	PaperFullSrcPorts    = 66
+	PaperFullDstPorts    = 750
+	PaperPartialSrcPort  = 67
+	PaperPartialDstPorts = 500
+	// PaperRuleCount is 66*750 + 500 = 50000.
+	PaperRuleCount = PaperFullSrcPorts*PaperFullDstPorts + PaperPartialDstPorts
+	// PaperTrieCount is the trie count the paper reports after enlarging
+	// DPDK's limit: "The rules are stored in 247 trie structures."
+	PaperTrieCount = 247
+)
+
+// PaperRuleSet generates the Table III rules: src 192.168.10.0/24, dst
+// 192.168.11.0/24, exact source/destination port pairs, action Drop.
+func PaperRuleSet() []Rule {
+	src := MustAddr("192.168.10.0")
+	dst := MustAddr("192.168.11.0")
+	rules := make([]Rule, 0, PaperRuleCount)
+	add := func(sp, dp uint16) {
+		rules = append(rules, Rule{
+			SrcAddr: src, SrcMaskBits: 24,
+			DstAddr: dst, DstMaskBits: 24,
+			SrcPortLo: sp, SrcPortHi: sp,
+			DstPortLo: dp, DstPortHi: dp,
+			Action: Drop,
+		})
+	}
+	for sp := uint16(1); sp <= PaperFullSrcPorts; sp++ {
+		for dp := uint16(1); dp <= PaperFullDstPorts; dp++ {
+			add(sp, dp)
+		}
+	}
+	for dp := uint16(1); dp <= PaperPartialDstPorts; dp++ {
+		add(PaperPartialSrcPort, dp)
+	}
+	return rules
+}
+
+// PaperBuildConfig compiles the Table III rules into exactly 247 tries
+// (ceil(50000/203) = 247), modeling the paper's enlarged trie limit.
+func PaperBuildConfig() BuildConfig {
+	return BuildConfig{MaxTries: PaperTrieCount, MaxAtomsPerTrie: 203}
+}
+
+// PacketType labels the Table IV test packets.
+type PacketType int
+
+const (
+	// TypeA matches rules on both addresses: tries are traversed using all
+	// three key parts (src addr, dst addr, ports) — longest latency.
+	TypeA PacketType = iota
+	// TypeB matches on the source address only: tries are traversed using
+	// two key parts.
+	TypeB
+	// TypeC matches nothing: tries are traversed using only the first key
+	// part — shortest latency.
+	TypeC
+	// NumPacketTypes is the number of Table IV packet types.
+	NumPacketTypes
+)
+
+// String implements fmt.Stringer.
+func (t PacketType) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeB:
+		return "B"
+	case TypeC:
+		return "C"
+	}
+	return "?"
+}
+
+// PaperPacket returns the Table IV test packet of the given type. The ID is
+// caller-assigned (the tracer's data-item ID).
+func PaperPacket(t PacketType, id uint64) Packet {
+	switch t {
+	case TypeA:
+		return Packet{ID: id, SrcAddr: MustAddr("192.168.10.4"), DstAddr: MustAddr("192.168.11.5"), SrcPort: 10001, DstPort: 10002}
+	case TypeB:
+		return Packet{ID: id, SrcAddr: MustAddr("192.168.10.4"), DstAddr: MustAddr("192.168.22.2"), SrcPort: 10001, DstPort: 10002}
+	case TypeC:
+		return Packet{ID: id, SrcAddr: MustAddr("192.168.12.4"), DstAddr: MustAddr("192.168.22.2"), SrcPort: 10001, DstPort: 10002}
+	}
+	panic("acl: unknown packet type")
+}

@@ -1,0 +1,156 @@
+// Package acl reimplements the DPDK Access Control List functionality the
+// paper's realistic case study traces (§IV-C): rules over the 12-byte key
+// (source address, destination address, source+destination ports of the TCP
+// header), compiled into multiple trie-like structures, with classification
+// cost proportional to how many key bytes each trie must examine before it
+// can prove no rule matches — the exact mechanism behind the paper's packet
+// latency fluctuation.
+package acl
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Action is the verdict attached to a rule.
+type Action uint8
+
+const (
+	// Permit lets the packet through.
+	Permit Action = iota
+	// Drop discards the packet (every Table III rule is a Drop).
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	if a == Permit {
+		return "permit"
+	}
+	return "drop"
+}
+
+// KeyBytes is the classification key length: 4 (src addr) + 4 (dst addr) +
+// 2 (src port) + 2 (dst port), per §IV-C1 design (3).
+const KeyBytes = 12
+
+// Packet carries the header fields the ACL inspects plus the data-item ID
+// the tracer's markers record.
+type Packet struct {
+	ID      uint64
+	SrcAddr uint32
+	DstAddr uint32
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Key returns the packet's 12-byte classification key in trie byte order:
+// src addr (big endian), dst addr, src port, dst port.
+func (p Packet) Key() [KeyBytes]byte {
+	var k [KeyBytes]byte
+	be32(k[0:4], p.SrcAddr)
+	be32(k[4:8], p.DstAddr)
+	k[8], k[9] = byte(p.SrcPort>>8), byte(p.SrcPort)
+	k[10], k[11] = byte(p.DstPort>>8), byte(p.DstPort)
+	return k
+}
+
+func be32(dst []byte, v uint32) {
+	dst[0], dst[1], dst[2], dst[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+// Rule is one ACL entry: CIDR-masked addresses, inclusive port ranges, an
+// action and a priority (larger wins, as in DPDK).
+type Rule struct {
+	SrcAddr     uint32
+	SrcMaskBits int
+	DstAddr     uint32
+	DstMaskBits int
+	SrcPortLo   uint16
+	SrcPortHi   uint16
+	DstPortLo   uint16
+	DstPortHi   uint16
+	Action      Action
+	Priority    int32
+}
+
+// Validate reports whether the rule is well-formed.
+func (r Rule) Validate() error {
+	if r.SrcMaskBits < 0 || r.SrcMaskBits > 32 {
+		return fmt.Errorf("acl: src mask /%d out of range", r.SrcMaskBits)
+	}
+	if r.DstMaskBits < 0 || r.DstMaskBits > 32 {
+		return fmt.Errorf("acl: dst mask /%d out of range", r.DstMaskBits)
+	}
+	if r.SrcPortLo > r.SrcPortHi {
+		return fmt.Errorf("acl: src port range [%d,%d] inverted", r.SrcPortLo, r.SrcPortHi)
+	}
+	if r.DstPortLo > r.DstPortHi {
+		return fmt.Errorf("acl: dst port range [%d,%d] inverted", r.DstPortLo, r.DstPortHi)
+	}
+	return nil
+}
+
+// Matches reports whether the rule matches the packet. This is the linear
+// reference semantics the trie build is property-tested against.
+func (r Rule) Matches(p Packet) bool {
+	if !maskMatch(r.SrcAddr, p.SrcAddr, r.SrcMaskBits) {
+		return false
+	}
+	if !maskMatch(r.DstAddr, p.DstAddr, r.DstMaskBits) {
+		return false
+	}
+	if p.SrcPort < r.SrcPortLo || p.SrcPort > r.SrcPortHi {
+		return false
+	}
+	if p.DstPort < r.DstPortLo || p.DstPort > r.DstPortHi {
+		return false
+	}
+	return true
+}
+
+func maskMatch(ruleAddr, pktAddr uint32, bits int) bool {
+	if bits <= 0 {
+		return true
+	}
+	shift := uint(32 - bits)
+	return ruleAddr>>shift == pktAddr>>shift
+}
+
+// LinearClassify scans rules sequentially and returns the index of the
+// best (highest priority, then lowest index) matching rule. It is the
+// O(rules) oracle the trie classifier must agree with.
+func LinearClassify(rules []Rule, p Packet) (int, bool) {
+	best := -1
+	for i, r := range rules {
+		if !r.Matches(p) {
+			continue
+		}
+		if best == -1 || r.Priority > rules[best].Priority {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+// MustAddr parses a dotted-quad IPv4 address into a uint32 (panics on bad
+// input; used for literal rule tables).
+func MustAddr(s string) uint32 {
+	a, err := netip.ParseAddr(s)
+	if err != nil || !a.Is4() {
+		panic(fmt.Sprintf("acl: bad IPv4 address %q", s))
+	}
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s/%d -> %s/%d sport %d-%d dport %d-%d %s prio %d",
+		addrString(r.SrcAddr), r.SrcMaskBits, addrString(r.DstAddr), r.DstMaskBits,
+		r.SrcPortLo, r.SrcPortHi, r.DstPortLo, r.DstPortHi, r.Action, r.Priority)
+}
+
+func addrString(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}

@@ -1,0 +1,72 @@
+package acl
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// TimingConfig charges the simulated cost of one classification to a core.
+// The constants are calibrated (see TestTimingCalibration and EXPERIMENTS.md)
+// so that, with the Table III rule set in 247 tries on an IPC-3 core at
+// 2 GHz, type A packets take ≈ 12–14 µs in rte_acl_classify and type C
+// ≈ 6 µs — the fluctuation magnitudes of Fig. 9.
+type TimingConfig struct {
+	// PerTrieUops is the fixed per-trie setup work (loading the trie
+	// descriptor, initializing the walk).
+	PerTrieUops uint64
+	// PerByteUops is the per-key-byte transition work inside a trie.
+	PerByteUops uint64
+	// LoadsPerTrie is how many memory loads each trie walk issues against
+	// its node tables (cache behaviour emerges from the simulator).
+	LoadsPerTrie int
+	// TableBase is the synthetic address of the trie tables; tries are
+	// laid out at TableStride intervals from it.
+	TableBase   uint64
+	TableStride uint64
+}
+
+// DefaultTimingConfig returns the calibrated defaults.
+func DefaultTimingConfig() TimingConfig {
+	return TimingConfig{
+		PerTrieUops:  17,
+		PerByteUops:  28,
+		LoadsPerTrie: 1,
+		TableBase:    0x4000_0000,
+		TableStride:  256,
+	}
+}
+
+// ClassifyTimed classifies p on core, charging the walk's cost cycle by
+// cycle so PEBS samples taken meanwhile land inside the calling function
+// with accurate timestamps. The caller wraps it in core.Call(rteAclClassify,
+// ...) to attribute the work, exactly as the real rte_acl_classify is the
+// symbol the paper's case study estimates.
+func (c *Classifier) ClassifyTimed(core *sim.Core, p Packet, tc TimingConfig) (int, bool) {
+	key := p.Key()
+	best := -1
+	scratch := make(bitset, c.maxWords)
+	for ti, t := range c.tries {
+		core.Exec(tc.PerTrieUops)
+		for l := 0; l < tc.LoadsPerTrie; l++ {
+			core.Load(tc.TableBase + uint64(ti)*tc.TableStride + uint64(l)*64)
+		}
+		n, survivors := t.walk(&key, scratch)
+		core.Exec(uint64(n) * tc.PerByteUops)
+		if survivors == nil {
+			continue
+		}
+		for w, word := range survivors {
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				word &= word - 1
+				ri := t.atoms[w*64+bit].rule
+				if best == -1 || c.rules[ri].Priority > c.rules[best].Priority ||
+					(c.rules[ri].Priority == c.rules[best].Priority && ri < best) {
+					best = ri
+				}
+			}
+		}
+	}
+	return best, best >= 0
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FuncDelta is one function's change between two analyses — the "what got
+// slower since the last good run" view. A production trace compared against
+// a reference trace localizes a regression to a function without any
+// a-priori instrumentation choice, the same property the per-item tracer
+// has within a single run.
+type FuncDelta struct {
+	Name string
+	// BaseMeanUs / OtherMeanUs are the per-item mean elapsed times.
+	BaseMeanUs, OtherMeanUs float64
+	// DeltaUs is Other − Base.
+	DeltaUs float64
+	// Ratio is Other / Base (0 when Base is 0).
+	Ratio float64
+	// BaseItems / OtherItems are the item counts the means average over.
+	BaseItems, OtherItems int
+}
+
+// Compare matches the two analyses' functions by name and reports per-
+// function mean deltas, largest absolute change first. Functions appearing
+// in only one analysis are included with the missing side at zero.
+func Compare(base, other *Analysis) ([]FuncDelta, error) {
+	if base == nil || other == nil {
+		return nil, fmt.Errorf("core: nil analysis")
+	}
+	if base.FreqHz != other.FreqHz {
+		return nil, fmt.Errorf("core: clock mismatch %d vs %d Hz; traces from different machines", base.FreqHz, other.FreqHz)
+	}
+	type side struct {
+		mean  float64
+		items int
+	}
+	collect := func(a *Analysis) map[string]side {
+		out := map[string]side{}
+		for _, row := range FunctionReport(a) {
+			out[row.Fn.Name] = side{mean: row.PerItemUs.Mean, items: row.PerItemUs.N}
+		}
+		return out
+	}
+	b := collect(base)
+	o := collect(other)
+	names := map[string]bool{}
+	for n := range b {
+		names[n] = true
+	}
+	for n := range o {
+		names[n] = true
+	}
+	deltas := make([]FuncDelta, 0, len(names))
+	for n := range names {
+		d := FuncDelta{
+			Name:       n,
+			BaseMeanUs: b[n].mean, OtherMeanUs: o[n].mean,
+			BaseItems: b[n].items, OtherItems: o[n].items,
+		}
+		d.DeltaUs = d.OtherMeanUs - d.BaseMeanUs
+		if d.BaseMeanUs > 0 {
+			d.Ratio = d.OtherMeanUs / d.BaseMeanUs
+		}
+		deltas = append(deltas, d)
+	}
+	sort.SliceStable(deltas, func(i, j int) bool {
+		ai, aj := deltas[i].DeltaUs, deltas[j].DeltaUs
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	return deltas, nil
+}

@@ -1,0 +1,341 @@
+// Package core implements the paper's primary contribution: integrating the
+// two trace streams of the hybrid approach — coarse-grained instrumentation
+// markers and hardware (PEBS) samples — into per-data-item, per-function
+// elapsed-time estimates (§III-D), plus the analyses built on top of them:
+// averaged profiles (§V-B1), per-item hardware-event counts (§V-D),
+// fluctuation detection and online divergence-triggered dumping (§IV-C3),
+// and the register-tagged integration path for timer-switching
+// architectures (§V-A).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// FuncSpan is the estimate for one function within one data-item: the
+// samples whose IP resolved into the function while the item was on core.
+// Per §III-D step 3, the elapsed-time estimate is the difference between the
+// timestamps of the first and the last such sample.
+type FuncSpan struct {
+	// Fn is the resolved function.
+	Fn *symtab.Fn
+	// Samples is the number of PEBS samples mapped to {Fn, item}.
+	Samples int
+	// FirstTSC and LastTSC are the timestamps of the first and last mapped
+	// samples, in cycles.
+	FirstTSC, LastTSC uint64
+}
+
+// Cycles returns the first-to-last estimate in cycles. With fewer than two
+// samples it returns 0: "the number of samples that belong to such functions
+// is at most one and we cannot estimate the elapsed time" (§V-B1).
+func (f FuncSpan) Cycles() uint64 {
+	if f.Samples < 2 {
+		return 0
+	}
+	return f.LastTSC - f.FirstTSC
+}
+
+// Estimable reports whether the span carries enough samples to estimate.
+func (f FuncSpan) Estimable() bool { return f.Samples >= 2 }
+
+// CyclesByGap returns the alternative count×mean-gap estimator used by the
+// ablation benchmarks: Samples multiplied by the core's mean inter-sample
+// gap. Unlike Cycles it produces a value even for single-sample spans, at
+// the price of assuming a uniform event rate.
+func (f FuncSpan) CyclesByGap(meanGap float64) float64 {
+	return float64(f.Samples) * meanGap
+}
+
+// Item is one data-item's reconstruction: its on-core interval from the
+// markers and its per-function breakdown from the samples.
+type Item struct {
+	// ID is the data-item ID recorded by the marking function.
+	ID uint64
+	// Core is the core the item was processed on.
+	Core int32
+	// BeginTSC/EndTSC are the marker timestamps delimiting the item.
+	BeginTSC, EndTSC uint64
+	// Funcs holds per-function spans ordered by first appearance.
+	Funcs []FuncSpan
+	// SampleCount is the number of samples mapped to this item (including
+	// samples whose IP resolved to no known function).
+	SampleCount int
+	// UnresolvedSamples counts this item's samples that hit unsymbolized
+	// code.
+	UnresolvedSamples int
+}
+
+// ElapsedCycles returns the item's total on-core time per the markers.
+func (it *Item) ElapsedCycles() uint64 { return it.EndTSC - it.BeginTSC }
+
+// Func returns the span for the named function, or a zero FuncSpan when the
+// item has no samples in it.
+func (it *Item) Func(name string) FuncSpan {
+	for _, f := range it.Funcs {
+		if f.Fn.Name == name {
+			return f
+		}
+	}
+	return FuncSpan{}
+}
+
+// Diagnostics reports everything the integrator could not cleanly account
+// for. Real traces are imperfect — markers can be lost to crashed helpers
+// and samples can land between items — so the analyzer surfaces rather than
+// hides these conditions.
+type Diagnostics struct {
+	// UnattributedSamples fell outside every item interval on their core
+	// (taken during queue work, idle spin, or between items).
+	UnattributedSamples int
+	// UnresolvedSamples landed inside an item but their IP matched no
+	// symbol.
+	UnresolvedSamples int
+	// OrphanEndMarkers are ItemEnd markers with no matching open ItemBegin.
+	OrphanEndMarkers int
+	// ReopenedItems are ItemBegin markers that arrived while another item
+	// was still open on the core (the previous item is closed at the new
+	// begin and counted here).
+	ReopenedItems int
+	// UnclosedItems are ItemBegin markers never followed by an ItemEnd;
+	// such items are dropped because their interval is unbounded.
+	UnclosedItems int
+	// IgnoredEventSamples had a different hardware event than the one
+	// being integrated.
+	IgnoredEventSamples int
+}
+
+// Analysis is the result of one integration pass.
+type Analysis struct {
+	// FreqHz is the TSC frequency, for time conversion.
+	FreqHz uint64
+	// Items holds every reconstructed data-item, ordered by BeginTSC.
+	Items []Item
+	// Diag carries the integration diagnostics.
+	Diag Diagnostics
+	// MeanSampleGap maps core → mean inter-sample distance in cycles
+	// (input to the ablation estimator and to §V-C's interval/reset-value
+	// linearity analysis).
+	MeanSampleGap map[int32]float64
+}
+
+// CyclesToMicros converts cycles on the analyzed machine to microseconds.
+func (a *Analysis) CyclesToMicros(cy uint64) float64 {
+	return float64(cy) * 1e6 / float64(a.FreqHz)
+}
+
+// Item returns the reconstruction of the data-item with the given ID, or
+// nil when the trace contains none (IDs are expected unique; with duplicate
+// IDs the first occurrence wins).
+func (a *Analysis) Item(id uint64) *Item {
+	for i := range a.Items {
+		if a.Items[i].ID == id {
+			return &a.Items[i]
+		}
+	}
+	return nil
+}
+
+// Options tunes an integration pass.
+type Options struct {
+	// Event selects which hardware event's samples to integrate; samples
+	// of other events are ignored (the PMU may run several counters). The
+	// zero value is UopsRetired, the paper's workhorse event.
+	Event pmu.Event
+	// IncludeBoundaries controls whether samples with TSC exactly equal to
+	// a marker timestamp attribute to the item (default true; the paper's
+	// strict inequality t0 < ta < t1 loses nothing because ties are
+	// measure-zero on real hardware, but the discrete simulator can tie).
+	ExcludeBoundaries bool
+}
+
+type interval struct {
+	item       uint64
+	begin, end uint64
+}
+
+// Integrate performs the paper's integration step (§III-D step 2): each
+// sample's timestamp is located within the marker-delimited item intervals
+// of its core, its IP is resolved against the symbol table, and per-item
+// per-function spans are accumulated. It returns an error only for traces
+// that cannot be interpreted at all (nil set or missing symbol table);
+// recoverable imperfections go to Diagnostics.
+func Integrate(set *trace.Set, opts Options) (*Analysis, error) {
+	if set == nil {
+		return nil, fmt.Errorf("core: nil trace set")
+	}
+	if set.Syms == nil {
+		return nil, fmt.Errorf("core: trace set has no symbol table")
+	}
+	if set.FreqHz == 0 {
+		return nil, fmt.Errorf("core: trace set has zero TSC frequency")
+	}
+	a := &Analysis{FreqHz: set.FreqHz, MeanSampleGap: map[int32]float64{}}
+
+	// Pass 1: pair markers into per-core item intervals.
+	perCoreMarkers := map[int32][]trace.Marker{}
+	for _, m := range set.Markers {
+		perCoreMarkers[m.Core] = append(perCoreMarkers[m.Core], m)
+	}
+	perCoreIntervals := map[int32][]interval{}
+	type openItem struct {
+		id    uint64
+		begin uint64
+		open  bool
+	}
+	for core, ms := range perCoreMarkers {
+		sort.SliceStable(ms, func(i, j int) bool {
+			if ms[i].TSC != ms[j].TSC {
+				return ms[i].TSC < ms[j].TSC
+			}
+			// An End and a Begin at the same instant: close first.
+			return ms[i].Kind > ms[j].Kind
+		})
+		var cur openItem
+		for _, m := range ms {
+			switch m.Kind {
+			case trace.ItemBegin:
+				if cur.open {
+					// Forced reopen: close the dangling item here so its
+					// samples stay attributable up to the switch point.
+					perCoreIntervals[core] = append(perCoreIntervals[core],
+						interval{item: cur.id, begin: cur.begin, end: m.TSC})
+					a.Diag.ReopenedItems++
+				}
+				cur = openItem{id: m.Item, begin: m.TSC, open: true}
+			case trace.ItemEnd:
+				if !cur.open || cur.id != m.Item {
+					a.Diag.OrphanEndMarkers++
+					continue
+				}
+				perCoreIntervals[core] = append(perCoreIntervals[core],
+					interval{item: cur.id, begin: cur.begin, end: m.TSC})
+				cur.open = false
+			}
+		}
+		if cur.open {
+			a.Diag.UnclosedItems++
+		}
+	}
+
+	// Pass 2: walk samples per core against the interval list.
+	perCoreSamples := map[int32][]pmu.Sample{}
+	for _, s := range set.Samples {
+		if s.Event != opts.Event {
+			a.Diag.IgnoredEventSamples++
+			continue
+		}
+		perCoreSamples[s.Core] = append(perCoreSamples[s.Core], s)
+	}
+
+	type itemKey struct {
+		core int32
+		idx  int
+	}
+	builders := map[itemKey]*Item{}
+	var order []itemKey
+
+	for core, ss := range perCoreSamples {
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].TSC < ss[j].TSC })
+		if n := len(ss); n >= 2 {
+			a.MeanSampleGap[core] = float64(ss[n-1].TSC-ss[0].TSC) / float64(n-1)
+		}
+		ivs := perCoreIntervals[core]
+		// Intervals are already begin-sorted by construction (markers were
+		// time-sorted), but a forced reopen can emit a zero-length tail;
+		// sort defensively.
+		sort.SliceStable(ivs, func(i, j int) bool { return ivs[i].begin < ivs[j].begin })
+		k := 0
+		for _, s := range ss {
+			for k < len(ivs) && !inInterval(s.TSC, ivs[k], opts.ExcludeBoundaries) && afterInterval(s.TSC, ivs[k], opts.ExcludeBoundaries) {
+				k++
+			}
+			if k >= len(ivs) || !inInterval(s.TSC, ivs[k], opts.ExcludeBoundaries) {
+				a.Diag.UnattributedSamples++
+				continue
+			}
+			key := itemKey{core: core, idx: k}
+			b := builders[key]
+			if b == nil {
+				b = &Item{ID: ivs[k].item, Core: core, BeginTSC: ivs[k].begin, EndTSC: ivs[k].end}
+				builders[key] = b
+				order = append(order, key)
+			}
+			b.SampleCount++
+			fn := set.Syms.Resolve(s.IP)
+			if fn == nil {
+				b.UnresolvedSamples++
+				a.Diag.UnresolvedSamples++
+				continue
+			}
+			attachSample(b, fn, s.TSC)
+		}
+		// Items that received no samples at all still exist per the
+		// markers; materialize them so latency-only analyses see them.
+		for idx, iv := range ivs {
+			key := itemKey{core: core, idx: idx}
+			if builders[key] == nil {
+				builders[key] = &Item{ID: iv.item, Core: core, BeginTSC: iv.begin, EndTSC: iv.end}
+				order = append(order, key)
+			}
+		}
+	}
+	// Cores that had markers but no samples at all.
+	for core, ivs := range perCoreIntervals {
+		if _, had := perCoreSamples[core]; had {
+			continue
+		}
+		for idx, iv := range ivs {
+			key := itemKey{core: core, idx: idx}
+			builders[key] = &Item{ID: iv.item, Core: core, BeginTSC: iv.begin, EndTSC: iv.end}
+			order = append(order, key)
+		}
+	}
+
+	for _, key := range order {
+		a.Items = append(a.Items, *builders[key])
+	}
+	sort.SliceStable(a.Items, func(i, j int) bool {
+		if a.Items[i].BeginTSC != a.Items[j].BeginTSC {
+			return a.Items[i].BeginTSC < a.Items[j].BeginTSC
+		}
+		return a.Items[i].Core < a.Items[j].Core
+	})
+	return a, nil
+}
+
+func inInterval(tsc uint64, iv interval, excludeBounds bool) bool {
+	if excludeBounds {
+		return tsc > iv.begin && tsc < iv.end
+	}
+	return tsc >= iv.begin && tsc <= iv.end
+}
+
+func afterInterval(tsc uint64, iv interval, excludeBounds bool) bool {
+	if excludeBounds {
+		return tsc >= iv.end
+	}
+	return tsc > iv.end
+}
+
+func attachSample(b *Item, fn *symtab.Fn, tsc uint64) {
+	for i := range b.Funcs {
+		if b.Funcs[i].Fn == fn {
+			f := &b.Funcs[i]
+			f.Samples++
+			if tsc < f.FirstTSC {
+				f.FirstTSC = tsc
+			}
+			if tsc > f.LastTSC {
+				f.LastTSC = tsc
+			}
+			return
+		}
+	}
+	b.Funcs = append(b.Funcs, FuncSpan{Fn: fn, Samples: 1, FirstTSC: tsc, LastTSC: tsc})
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// buildPaperExample reconstructs the Fig. 6 situation by hand: markers at
+// t0/t1/t2 delimiting items #0 and #1, with PEBS samples in between.
+func buildPaperExample(t *testing.T) (*trace.Set, *sim.Machine) {
+	t.Helper()
+	m := sim.MustNew(sim.Config{Cores: 1})
+	f1 := m.Syms.MustRegister("f1", 256)
+	f2 := m.Syms.MustRegister("f2", 256)
+	set := &trace.Set{
+		FreqHz: m.FreqHz(),
+		Syms:   m.Syms,
+		Markers: []trace.Marker{
+			{Item: 0, TSC: 1000, Core: 0, Kind: trace.ItemBegin},
+			{Item: 0, TSC: 2000, Core: 0, Kind: trace.ItemEnd},
+			{Item: 1, TSC: 2100, Core: 0, Kind: trace.ItemBegin},
+			{Item: 1, TSC: 4000, Core: 0, Kind: trace.ItemEnd},
+		},
+		Samples: []pmu.Sample{
+			// Item 0: two samples in f1 spanning 400 cycles.
+			{TSC: 1200, IP: f1.Base + 4, Core: 0, Event: pmu.UopsRetired},
+			{TSC: 1600, IP: f1.Base + 8, Core: 0, Event: pmu.UopsRetired},
+			// Between items: unattributable.
+			{TSC: 2050, IP: f1.Base, Core: 0, Event: pmu.UopsRetired},
+			// Item 1: f1 then f2 then f1 again.
+			{TSC: 2200, IP: f1.Base, Core: 0, Event: pmu.UopsRetired},
+			{TSC: 2500, IP: f2.Base + 100, Core: 0, Event: pmu.UopsRetired},
+			{TSC: 2900, IP: f2.Base + 10, Core: 0, Event: pmu.UopsRetired},
+			{TSC: 3500, IP: f1.Base + 50, Core: 0, Event: pmu.UopsRetired},
+			// Unresolvable IP inside item 1.
+			{TSC: 3600, IP: 0x10, Core: 0, Event: pmu.UopsRetired},
+		},
+	}
+	return set, m
+}
+
+func TestIntegratePaperExample(t *testing.T) {
+	set, _ := buildPaperExample(t)
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(a.Items))
+	}
+
+	it0 := a.Item(0)
+	if it0 == nil {
+		t.Fatal("item 0 missing")
+	}
+	if it0.ElapsedCycles() != 1000 {
+		t.Errorf("item 0 elapsed = %d, want 1000", it0.ElapsedCycles())
+	}
+	f1span := it0.Func("f1")
+	if f1span.Samples != 2 || f1span.Cycles() != 400 {
+		t.Errorf("item0 f1 = %d samples %d cycles, want 2/400", f1span.Samples, f1span.Cycles())
+	}
+
+	it1 := a.Item(1)
+	if it1 == nil {
+		t.Fatal("item 1 missing")
+	}
+	// f1 appears at 2200 and again at 3500: the first-to-last estimator
+	// spans 1300 cycles (the §V-B2 "guessing" limitation is documented).
+	if got := it1.Func("f1").Cycles(); got != 1300 {
+		t.Errorf("item1 f1 = %d cycles, want 1300", got)
+	}
+	if got := it1.Func("f2").Cycles(); got != 400 {
+		t.Errorf("item1 f2 = %d cycles, want 400", got)
+	}
+	if it1.SampleCount != 5 {
+		t.Errorf("item1 samples = %d, want 5", it1.SampleCount)
+	}
+	if it1.UnresolvedSamples != 1 {
+		t.Errorf("item1 unresolved = %d, want 1", it1.UnresolvedSamples)
+	}
+
+	if a.Diag.UnattributedSamples != 1 {
+		t.Errorf("unattributed = %d, want 1 (the t=2050 sample)", a.Diag.UnattributedSamples)
+	}
+	if a.Diag.UnresolvedSamples != 1 {
+		t.Errorf("unresolved = %d, want 1", a.Diag.UnresolvedSamples)
+	}
+}
+
+func TestIntegrateSingleSampleFunctionNotEstimable(t *testing.T) {
+	set, _ := buildPaperExample(t)
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In item 1, f1's two samples straddle f2 — but craft a fresh check on
+	// a function with exactly one sample.
+	it := a.Item(1)
+	for _, f := range it.Funcs {
+		if f.Samples == 1 && f.Cycles() != 0 {
+			t.Errorf("single-sample span %s reported %d cycles, want 0 (§V-B1)", f.Fn.Name, f.Cycles())
+		}
+	}
+	one := FuncSpan{Samples: 1, FirstTSC: 100, LastTSC: 100}
+	if one.Estimable() || one.Cycles() != 0 {
+		t.Error("single-sample span must not be estimable")
+	}
+	if got := one.CyclesByGap(250); got != 250 {
+		t.Errorf("CyclesByGap = %v, want 250", got)
+	}
+}
+
+func TestIntegrateBoundarySamples(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	f := m.Syms.MustRegister("f", 64)
+	set := &trace.Set{
+		FreqHz: m.FreqHz(),
+		Syms:   m.Syms,
+		Markers: []trace.Marker{
+			{Item: 1, TSC: 100, Kind: trace.ItemBegin},
+			{Item: 1, TSC: 200, Kind: trace.ItemEnd},
+		},
+		Samples: []pmu.Sample{
+			{TSC: 100, IP: f.Base, Event: pmu.UopsRetired},
+			{TSC: 200, IP: f.Base, Event: pmu.UopsRetired},
+		},
+	}
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Item(1).SampleCount; got != 2 {
+		t.Errorf("inclusive mode attributed %d samples, want 2", got)
+	}
+	a, err = Integrate(set, Options{ExcludeBoundaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Item(1).SampleCount; got != 0 {
+		t.Errorf("exclusive mode attributed %d samples, want 0", got)
+	}
+	if a.Diag.UnattributedSamples != 2 {
+		t.Errorf("exclusive mode unattributed = %d, want 2", a.Diag.UnattributedSamples)
+	}
+}
+
+func TestIntegrateMarkerAnomalies(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	m.Syms.MustRegister("f", 64)
+	set := &trace.Set{
+		FreqHz: m.FreqHz(),
+		Syms:   m.Syms,
+		Markers: []trace.Marker{
+			{Item: 5, TSC: 50, Kind: trace.ItemEnd},    // orphan end
+			{Item: 1, TSC: 100, Kind: trace.ItemBegin}, // reopened below
+			{Item: 2, TSC: 200, Kind: trace.ItemBegin},
+			{Item: 2, TSC: 300, Kind: trace.ItemEnd},
+			{Item: 3, TSC: 400, Kind: trace.ItemBegin}, // never closed
+		},
+	}
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Diag.OrphanEndMarkers != 1 {
+		t.Errorf("orphan ends = %d, want 1", a.Diag.OrphanEndMarkers)
+	}
+	if a.Diag.ReopenedItems != 1 {
+		t.Errorf("reopened = %d, want 1", a.Diag.ReopenedItems)
+	}
+	if a.Diag.UnclosedItems != 1 {
+		t.Errorf("unclosed = %d, want 1", a.Diag.UnclosedItems)
+	}
+	// Item 1 was force-closed at item 2's begin; item 2 closed normally;
+	// item 3 dropped.
+	if len(a.Items) != 2 {
+		t.Fatalf("items = %d, want 2 (%+v)", len(a.Items), a.Items)
+	}
+	if it := a.Item(1); it == nil || it.EndTSC != 200 {
+		t.Errorf("reopened item not force-closed at 200: %+v", it)
+	}
+}
+
+func TestIntegrateMismatchedEndIsOrphan(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	set := &trace.Set{
+		FreqHz: m.FreqHz(),
+		Syms:   m.Syms,
+		Markers: []trace.Marker{
+			{Item: 1, TSC: 100, Kind: trace.ItemBegin},
+			{Item: 9, TSC: 150, Kind: trace.ItemEnd}, // wrong item
+			{Item: 1, TSC: 200, Kind: trace.ItemEnd},
+		},
+	}
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Diag.OrphanEndMarkers != 1 {
+		t.Errorf("orphan ends = %d, want 1", a.Diag.OrphanEndMarkers)
+	}
+	if it := a.Item(1); it == nil || it.EndTSC != 200 {
+		t.Errorf("item 1 not closed by its own end: %+v", it)
+	}
+}
+
+func TestIntegrateIgnoresOtherEvents(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	f := m.Syms.MustRegister("f", 64)
+	set := &trace.Set{
+		FreqHz: m.FreqHz(),
+		Syms:   m.Syms,
+		Markers: []trace.Marker{
+			{Item: 1, TSC: 0, Kind: trace.ItemBegin},
+			{Item: 1, TSC: 1000, Kind: trace.ItemEnd},
+		},
+		Samples: []pmu.Sample{
+			{TSC: 100, IP: f.Base, Event: pmu.UopsRetired},
+			{TSC: 200, IP: f.Base, Event: pmu.LLCMisses},
+		},
+	}
+	a, err := Integrate(set, Options{Event: pmu.UopsRetired})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Item(1).SampleCount != 1 || a.Diag.IgnoredEventSamples != 1 {
+		t.Errorf("event filter wrong: %+v diag %+v", a.Item(1), a.Diag)
+	}
+	b, err := Integrate(set, Options{Event: pmu.LLCMisses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Item(1).SampleCount != 1 {
+		t.Error("LLC integration missed its sample")
+	}
+}
+
+func TestIntegrateMultiCoreSeparation(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 2})
+	f := m.Syms.MustRegister("f", 64)
+	set := &trace.Set{
+		FreqHz: m.FreqHz(),
+		Syms:   m.Syms,
+		Markers: []trace.Marker{
+			{Item: 1, TSC: 100, Core: 0, Kind: trace.ItemBegin},
+			{Item: 1, TSC: 300, Core: 0, Kind: trace.ItemEnd},
+			{Item: 2, TSC: 100, Core: 1, Kind: trace.ItemBegin},
+			{Item: 2, TSC: 300, Core: 1, Kind: trace.ItemEnd},
+		},
+		Samples: []pmu.Sample{
+			// Same TSC window, different cores: must not cross-attribute.
+			{TSC: 150, IP: f.Base, Core: 0, Event: pmu.UopsRetired},
+			{TSC: 160, IP: f.Base, Core: 1, Event: pmu.UopsRetired},
+			{TSC: 170, IP: f.Base, Core: 1, Event: pmu.UopsRetired},
+		},
+	}
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Item(1).SampleCount != 1 {
+		t.Errorf("core-0 item got %d samples, want 1", a.Item(1).SampleCount)
+	}
+	if a.Item(2).SampleCount != 2 {
+		t.Errorf("core-1 item got %d samples, want 2", a.Item(2).SampleCount)
+	}
+}
+
+func TestIntegrateItemsWithoutSamplesStillAppear(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	set := &trace.Set{
+		FreqHz: m.FreqHz(),
+		Syms:   m.Syms,
+		Markers: []trace.Marker{
+			{Item: 1, TSC: 0, Kind: trace.ItemBegin},
+			{Item: 1, TSC: 10, Kind: trace.ItemEnd},
+		},
+	}
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Items) != 1 || a.Items[0].ElapsedCycles() != 10 {
+		t.Errorf("marker-only item missing: %+v", a.Items)
+	}
+}
+
+func TestIntegrateRejectsBadInput(t *testing.T) {
+	if _, err := Integrate(nil, Options{}); err == nil {
+		t.Error("accepted nil set")
+	}
+	if _, err := Integrate(&trace.Set{FreqHz: 1}, Options{}); err == nil {
+		t.Error("accepted missing symbol table")
+	}
+	m := sim.MustNew(sim.Config{Cores: 1})
+	if _, err := Integrate(&trace.Set{Syms: m.Syms}, Options{}); err == nil {
+		t.Error("accepted zero frequency")
+	}
+}
+
+func TestIntegrateOutOfOrderInput(t *testing.T) {
+	// Markers and samples delivered shuffled (e.g. merged from per-core
+	// files) must integrate identically.
+	set, _ := buildPaperExample(t)
+	shuffled := &trace.Set{FreqHz: set.FreqHz, Syms: set.Syms}
+	for i := len(set.Markers) - 1; i >= 0; i-- {
+		shuffled.Markers = append(shuffled.Markers, set.Markers[i])
+	}
+	for i := len(set.Samples) - 1; i >= 0; i-- {
+		shuffled.Samples = append(shuffled.Samples, set.Samples[i])
+	}
+	a1, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Integrate(shuffled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Items) != len(a2.Items) {
+		t.Fatalf("item counts differ: %d vs %d", len(a1.Items), len(a2.Items))
+	}
+	for i := range a1.Items {
+		x, y := a1.Items[i], a2.Items[i]
+		if x.ID != y.ID || x.SampleCount != y.SampleCount || len(x.Funcs) != len(y.Funcs) {
+			t.Errorf("item %d differs after shuffle: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestMeanSampleGap(t *testing.T) {
+	set, _ := buildPaperExample(t)
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 samples from 1200 to 3600 => gap = 2400/7.
+	got := a.MeanSampleGap[0]
+	want := 2400.0 / 7
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("mean gap = %v, want %v", got, want)
+	}
+}
+
+func TestCyclesToMicros(t *testing.T) {
+	a := &Analysis{FreqHz: 2_000_000_000}
+	if a.CyclesToMicros(2000) != 1 {
+		t.Error("conversion wrong")
+	}
+}
+
+func TestItemLookupMissing(t *testing.T) {
+	a := &Analysis{}
+	if a.Item(42) != nil {
+		t.Error("found item in empty analysis")
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+// groupedAnalysis builds an analysis with two groups: "n=3" items at ~100 µs
+// except one cold outlier at ~300 µs, and "n=5" items tightly at ~200 µs.
+func groupedAnalysis() *Analysis {
+	a := &Analysis{FreqHz: 2_000_000_000}
+	add := func(id uint64, us float64) {
+		cy := uint64(us * 2000)
+		begin := uint64(id) * 1_000_000
+		a.Items = append(a.Items, Item{ID: id, BeginTSC: begin, EndTSC: begin + cy})
+	}
+	add(1, 300) // cold n=3
+	add(2, 100)
+	add(3, 101)
+	add(4, 99)
+	add(5, 200) // n=5 group
+	add(6, 201)
+	add(7, 199)
+	return a
+}
+
+func keyByGroup(it *Item) string {
+	if it.ID <= 4 {
+		return "n=3"
+	}
+	return "n=5"
+}
+
+func TestGroupItems(t *testing.T) {
+	a := groupedAnalysis()
+	gs := GroupItems(a, keyByGroup)
+	if len(gs) != 2 {
+		t.Fatalf("groups = %d, want 2", len(gs))
+	}
+	if gs[0].Key != "n=3" || gs[1].Key != "n=5" {
+		t.Errorf("group keys not sorted: %v %v", gs[0].Key, gs[1].Key)
+	}
+	if gs[0].Summary.N != 4 || gs[1].Summary.N != 3 {
+		t.Errorf("group sizes wrong: %d %d", gs[0].Summary.N, gs[1].Summary.N)
+	}
+	if gs[1].Summary.Mean < 199 || gs[1].Summary.Mean > 201 {
+		t.Errorf("n=5 mean = %v", gs[1].Summary.Mean)
+	}
+}
+
+func TestGroupItemsSkipsEmptyKey(t *testing.T) {
+	a := groupedAnalysis()
+	gs := GroupItems(a, func(it *Item) string {
+		if it.ID == 1 {
+			return ""
+		}
+		return "rest"
+	})
+	if len(gs) != 1 || gs[0].Summary.N != 6 {
+		t.Errorf("empty-key items not skipped: %+v", gs)
+	}
+}
+
+func TestDetectFluctuations(t *testing.T) {
+	a := groupedAnalysis()
+	fl := DetectFluctuations(a, keyByGroup, 1.5, 0.2)
+	if len(fl) != 1 {
+		t.Fatalf("fluctuating groups = %d, want 1 (only n=3)", len(fl))
+	}
+	if fl[0].Key != "n=3" {
+		t.Errorf("wrong group flagged: %s", fl[0].Key)
+	}
+	if len(fl[0].Outliers) != 1 || fl[0].Outliers[0].ID != 1 {
+		t.Errorf("outliers = %+v, want item 1", fl[0].Outliers)
+	}
+}
+
+func TestDetectFluctuationsDefaultsSigma(t *testing.T) {
+	a := groupedAnalysis()
+	// sigma <= 0 selects the default of 3; the cold item deviates ~4 sigma
+	// within its group so it is still caught.
+	fl := DetectFluctuations(a, keyByGroup, 0, 0.2)
+	if len(fl) != 1 {
+		t.Errorf("default sigma missed the outlier: %+v", fl)
+	}
+}
+
+func TestDetectFluctuationsQuietGroups(t *testing.T) {
+	a := &Analysis{FreqHz: 2_000_000_000}
+	for i := uint64(1); i <= 5; i++ {
+		a.Items = append(a.Items, Item{ID: i, BeginTSC: i * 1000, EndTSC: i*1000 + 200_000})
+	}
+	fl := DetectFluctuations(a, func(*Item) string { return "all" }, 3, 0.2)
+	if len(fl) != 0 {
+		t.Errorf("identical items flagged as fluctuating: %+v", fl)
+	}
+}
+
+func TestOnlineMonitorTriggersOnDivergence(t *testing.T) {
+	mon := NewOnlineMonitor(0.5)
+	mkItem := func(id uint64, cy uint64) *Item {
+		return &Item{ID: id, Funcs: []FuncSpan{{
+			Fn: fnNamed("f3"), Samples: 5, FirstTSC: 0, LastTSC: cy,
+		}}}
+	}
+	// Warm up with steady observations.
+	for i := uint64(1); i <= 5; i++ {
+		if fired := mon.Observe(mkItem(i, 10000)); len(fired) != 0 {
+			t.Errorf("warmup observation %d fired: %+v", i, fired)
+		}
+	}
+	fired := mon.Observe(mkItem(6, 30000))
+	if len(fired) != 1 {
+		t.Fatalf("divergent item did not fire: %+v", mon.Dumps())
+	}
+	d := fired[0]
+	if d.Item != 6 || d.FnName != "f3" || d.Relative < 1.9 {
+		t.Errorf("bad divergence %+v", d)
+	}
+	if !strings.Contains(d.String(), "f3") {
+		t.Error("Divergence.String missing function name")
+	}
+	if len(mon.Dumps()) != 1 {
+		t.Errorf("dumps = %d", len(mon.Dumps()))
+	}
+	if mean, ok := mon.Mean("f3"); !ok || mean <= 0 {
+		t.Errorf("running mean missing: %v %v", mean, ok)
+	}
+	if _, ok := mon.Mean("nope"); ok {
+		t.Error("mean invented for unseen function")
+	}
+}
+
+func TestOnlineMonitorWarmupSuppression(t *testing.T) {
+	mon := NewOnlineMonitor(0.1)
+	it := &Item{ID: 1, Funcs: []FuncSpan{{Fn: fnNamed("f"), Samples: 2, FirstTSC: 0, LastTSC: 99999}}}
+	if fired := mon.Observe(it); len(fired) != 0 {
+		t.Error("first observation fired before warmup")
+	}
+}
+
+func TestOnlineMonitorIgnoresUnestimableSpans(t *testing.T) {
+	mon := NewOnlineMonitor(0.1)
+	it := &Item{ID: 1, Funcs: []FuncSpan{{Fn: fnNamed("f"), Samples: 1, FirstTSC: 5, LastTSC: 5}}}
+	for i := 0; i < 10; i++ {
+		mon.Observe(it)
+	}
+	if _, ok := mon.Mean("f"); ok {
+		t.Error("single-sample spans should not feed the running mean")
+	}
+}
+
+func TestOnlineMonitorDefaultThreshold(t *testing.T) {
+	mon := NewOnlineMonitor(-1)
+	if mon.Threshold != 0.5 {
+		t.Errorf("default threshold = %v, want 0.5", mon.Threshold)
+	}
+}
+
+func fnNamed(name string) *symtab.Fn {
+	return &symtab.Fn{Name: name, Base: 0x400000, Size: 64}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/symtab"
+)
+
+// FunctionRow summarizes one function's per-item estimates across an
+// analysis: the distribution a diagnostician scans to find which function
+// fluctuates (e.g. Fig. 8's observation that "f3 takes much longer time
+// than f1 when the cache does not hit").
+type FunctionRow struct {
+	Fn *symtab.Fn
+	// PerItemUs summarizes the function's per-item elapsed times in µs
+	// over every item in the analysis: first-to-last estimates where >= 2
+	// samples exist, count×mean-gap fallbacks for single-sample items,
+	// and zero for items the function never appeared in.
+	PerItemUs stats.Summary
+	// EstimableItems is how many items had >= 2 samples in the function.
+	EstimableItems int
+	// TotalItems is how many items had any sample in the function.
+	TotalItems int
+	// FluctuationRatio is max/mean of the per-item times (zeros included)
+	// — the headline "how badly does this function fluctuate" number: ~1
+	// for steady functions, large when one item's cost dwarfs the rest.
+	FluctuationRatio float64
+}
+
+// FunctionReport aggregates per-function distributions over all items,
+// sorted by fluctuation ratio (most suspicious first), tie-broken by mean.
+func FunctionReport(a *Analysis) []FunctionRow {
+	type agg struct {
+		fn        *symtab.Fn
+		us        []float64
+		total     int
+		estimable int
+	}
+	byFn := map[*symtab.Fn]*agg{}
+	var order []*symtab.Fn
+	for i := range a.Items {
+		it := &a.Items[i]
+		for _, fs := range it.Funcs {
+			g := byFn[fs.Fn]
+			if g == nil {
+				g = &agg{fn: fs.Fn}
+				byFn[fs.Fn] = g
+				order = append(order, fs.Fn)
+			}
+			g.total++
+			switch {
+			case fs.Estimable():
+				g.estimable++
+				g.us = append(g.us, a.CyclesToMicros(fs.Cycles()))
+			default:
+				// §V-B1: a single sample cannot give a first-to-last
+				// estimate, but ignoring it would hide exactly the
+				// collapses this report exists to show (a function that
+				// is huge for one item and vestigial for the rest).
+				// Fall back to the count×mean-gap estimate.
+				gap := a.MeanSampleGap[it.Core]
+				g.us = append(g.us, a.CyclesToMicros(uint64(fs.CyclesByGap(gap))))
+			}
+		}
+	}
+	rows := make([]FunctionRow, 0, len(order))
+	for _, fn := range order {
+		g := byFn[fn]
+		// Items in which the function produced no sample at all count as
+		// zero-time observations: "this function did (almost) nothing for
+		// that item" is precisely the signal when the same function
+		// dominates another item (Fig. 8's f3).
+		for len(g.us) < len(a.Items) {
+			g.us = append(g.us, 0)
+		}
+		row := FunctionRow{
+			Fn:             fn,
+			PerItemUs:      stats.Summarize(g.us),
+			EstimableItems: g.estimable,
+			TotalItems:     g.total,
+		}
+		if row.PerItemUs.Mean > 0 {
+			row.FluctuationRatio = row.PerItemUs.Max / row.PerItemUs.Mean
+		}
+		rows = append(rows, row)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		// Functions that never accumulated two samples in any item are
+		// stray-sample noise; rank them below every substantive row no
+		// matter how extreme their ratio looks.
+		si, sj := rows[i].EstimableItems > 0, rows[j].EstimableItems > 0
+		if si != sj {
+			return si
+		}
+		if rows[i].FluctuationRatio != rows[j].FluctuationRatio {
+			return rows[i].FluctuationRatio > rows[j].FluctuationRatio
+		}
+		return rows[i].PerItemUs.Mean > rows[j].PerItemUs.Mean
+	})
+	return rows
+}

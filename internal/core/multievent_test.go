@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestSimultaneousTimeAndMissTracing programs two PEBS counters at once —
+// UOPS_RETIRED for elapsed time and LLC misses for the §V-D metric — and
+// integrates each event stream from the same single run. The PMU has four
+// counters (§III-B notes the count is model-dependent; the paper uses one
+// pair, but nothing in the method forbids more), so one production run can
+// answer both "how long" and "why" questions.
+func TestSimultaneousTimeAndMissTracing(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	scan := m.Syms.MustRegister("scan", 8192)
+	compute := m.Syms.MustRegister("compute", 8192)
+
+	timePEBS := pmu.NewPEBS(pmu.PEBSConfig{})
+	missPEBS := pmu.NewPEBS(pmu.PEBSConfig{})
+	c := m.Core(0)
+	c.PMU.MustProgram(pmu.UopsRetired, 2000, timePEBS)
+	c.PMU.MustProgram(pmu.LLCMisses, 4, missPEBS)
+	log := trace.NewMarkerLog(1, 0)
+
+	// Item 1: memory-heavy scan. Item 2: pure compute of similar duration.
+	log.Mark(c, 1, trace.ItemBegin)
+	c.Call(scan, func() {
+		for i := 0; i < 1200; i++ {
+			c.Load(0x9000_0000 + uint64(i)*64)
+			c.Exec(30)
+		}
+	})
+	log.Mark(c, 1, trace.ItemEnd)
+	log.Mark(c, 2, trace.ItemBegin)
+	c.Call(compute, func() { c.Exec(120_000) })
+	log.Mark(c, 2, trace.ItemEnd)
+
+	// One trace set carries both sample streams.
+	samples := append(timePEBS.Samples(), missPEBS.Samples()...)
+	set := trace.NewSet(m, log, samples)
+
+	// Time view.
+	timeA, err := Integrate(set, Options{Event: pmu.UopsRetired})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !timeA.Item(1).Func("scan").Estimable() || !timeA.Item(2).Func("compute").Estimable() {
+		t.Fatal("time view lost a function")
+	}
+
+	// Miss view from the same run.
+	counts, err := EventCounts(set, pmu.LLCMisses, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missBy := map[uint64]uint64{}
+	for _, ec := range counts {
+		missBy[ec.Item] += ec.EstOccurrences
+	}
+	if missBy[1] < 800 {
+		t.Errorf("scan item shows %d misses, want ~1200", missBy[1])
+	}
+	if missBy[2] > missBy[1]/10 {
+		t.Errorf("compute item shows %d misses vs scan's %d; views not separated", missBy[2], missBy[1])
+	}
+
+	// Cross-contamination check: the time view must not have counted the
+	// miss samples, and vice versa.
+	if ig := timeA.Diag.IgnoredEventSamples; ig != len(missPEBS.Samples()) {
+		t.Errorf("time view ignored %d samples, want %d (all miss samples)", ig, len(missPEBS.Samples()))
+	}
+}

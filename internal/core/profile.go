@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// ProfileEntry is one function's row in an averaged profile.
+type ProfileEntry struct {
+	Fn *symtab.Fn
+	// Samples is the number of samples attributed to the function.
+	Samples int
+	// Share is Samples divided by all resolved samples.
+	Share float64
+	// EstCycles is the profile estimate T×n/N of §V-B1, where T is the
+	// whole sampled duration.
+	EstCycles float64
+}
+
+// ProfileReport is a classic whole-run profile (Fig. 1 right side): averaged
+// per-function totals with no per-data-item dimension. The paper builds it
+// from the same samples to contrast what a profile can and cannot show — it
+// "cannot find performance fluctuations".
+type ProfileReport struct {
+	FreqHz uint64
+	// TotalCycles is T: the span from first to last sample across cores,
+	// summed per core.
+	TotalCycles uint64
+	// TotalSamples is N over all cores (resolved + unresolved).
+	TotalSamples int
+	// Unresolved counts samples hitting no symbol.
+	Unresolved int
+	// Entries are per-function rows, largest share first.
+	Entries []ProfileEntry
+}
+
+// CyclesToMicros converts cycles to microseconds on the profiled machine.
+func (p *ProfileReport) CyclesToMicros(cy float64) float64 {
+	return cy * 1e6 / float64(p.FreqHz)
+}
+
+// Entry returns the row for the named function, or nil.
+func (p *ProfileReport) Entry(name string) *ProfileEntry {
+	for i := range p.Entries {
+		if p.Entries[i].Fn.Name == name {
+			return &p.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Profile computes the averaged per-function profile from the samples alone,
+// ignoring markers: elapsed time of a function is T×n/N (§V-B1). Unlike the
+// per-item estimator it produces a value even for functions shorter than the
+// sample interval, because averaging over the whole run recovers them.
+func Profile(set *trace.Set, opts Options) (*ProfileReport, error) {
+	if set == nil {
+		return nil, fmt.Errorf("core: nil trace set")
+	}
+	if set.Syms == nil {
+		return nil, fmt.Errorf("core: trace set has no symbol table")
+	}
+	if set.FreqHz == 0 {
+		return nil, fmt.Errorf("core: trace set has zero TSC frequency")
+	}
+	rep := &ProfileReport{FreqHz: set.FreqHz}
+
+	perCore := map[int32][2]uint64{} // min/max TSC
+	counts := map[*symtab.Fn]int{}
+	for _, s := range set.Samples {
+		if s.Event != opts.Event {
+			continue
+		}
+		rep.TotalSamples++
+		mm, ok := perCore[s.Core]
+		if !ok {
+			mm = [2]uint64{s.TSC, s.TSC}
+		} else {
+			if s.TSC < mm[0] {
+				mm[0] = s.TSC
+			}
+			if s.TSC > mm[1] {
+				mm[1] = s.TSC
+			}
+		}
+		perCore[s.Core] = mm
+		fn := set.Syms.Resolve(s.IP)
+		if fn == nil {
+			rep.Unresolved++
+			continue
+		}
+		counts[fn]++
+	}
+	for _, mm := range perCore {
+		rep.TotalCycles += mm[1] - mm[0]
+	}
+	if rep.TotalSamples == 0 {
+		return rep, nil
+	}
+	for fn, n := range counts {
+		rep.Entries = append(rep.Entries, ProfileEntry{
+			Fn:        fn,
+			Samples:   n,
+			Share:     float64(n) / float64(rep.TotalSamples),
+			EstCycles: float64(rep.TotalCycles) * float64(n) / float64(rep.TotalSamples),
+		})
+	}
+	sort.SliceStable(rep.Entries, func(i, j int) bool {
+		if rep.Entries[i].Samples != rep.Entries[j].Samples {
+			return rep.Entries[i].Samples > rep.Entries[j].Samples
+		}
+		return rep.Entries[i].Fn.Name < rep.Entries[j].Fn.Name
+	})
+	return rep, nil
+}
+
+// EventCount is one row of the §V-D extension: how many times a hardware
+// event (e.g. cache misses) fired in one function while one data-item was
+// being processed. The sample count approximates occurrences/R; multiplying
+// back by the reset value recovers the magnitude.
+type EventCount struct {
+	Item    uint64
+	Fn      *symtab.Fn
+	Samples int
+	// EstOccurrences is Samples × resetValue.
+	EstOccurrences uint64
+}
+
+// EventCounts runs the integration for an arbitrary hardware event and
+// reports per-{item, function} sample counts scaled by the reset value —
+// the paper's example: "if the number of PEBS samples that belong to
+// function f1 and data-item #1 is 10 and the number for f1 and data-item #2
+// is 2, it means that the number of cache misses incurred by f1 fluctuates"
+// (§V-D).
+func EventCounts(set *trace.Set, ev pmu.Event, resetValue uint64) ([]EventCount, error) {
+	if resetValue == 0 {
+		return nil, fmt.Errorf("core: reset value must be positive")
+	}
+	a, err := Integrate(set, Options{Event: ev})
+	if err != nil {
+		return nil, err
+	}
+	var out []EventCount
+	for i := range a.Items {
+		it := &a.Items[i]
+		for _, f := range it.Funcs {
+			out = append(out, EventCount{
+				Item:           it.ID,
+				Fn:             f.Fn,
+				Samples:        f.Samples,
+				EstOccurrences: uint64(f.Samples) * resetValue,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func profileSet(t *testing.T) *trace.Set {
+	t.Helper()
+	m := sim.MustNew(sim.Config{Cores: 1})
+	a := m.Syms.MustRegister("a", 64)
+	b := m.Syms.MustRegister("b", 64)
+	set := &trace.Set{FreqHz: m.FreqHz(), Syms: m.Syms}
+	// 10 samples over 9000 cycles: 6 in a, 3 in b, 1 unresolved.
+	for i := 0; i < 10; i++ {
+		ip := a.Base
+		if i >= 6 && i < 9 {
+			ip = b.Base
+		} else if i == 9 {
+			ip = 1 // unsymbolized
+		}
+		set.Samples = append(set.Samples, pmu.Sample{TSC: uint64(1000 + i*1000), IP: ip, Event: pmu.UopsRetired})
+	}
+	return set
+}
+
+func TestProfileShares(t *testing.T) {
+	rep, err := Profile(profileSet(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSamples != 10 || rep.Unresolved != 1 {
+		t.Fatalf("totals = %d/%d, want 10/1", rep.TotalSamples, rep.Unresolved)
+	}
+	if rep.TotalCycles != 9000 {
+		t.Errorf("T = %d, want 9000", rep.TotalCycles)
+	}
+	ea := rep.Entry("a")
+	if ea == nil || ea.Samples != 6 || ea.Share != 0.6 {
+		t.Errorf("entry a = %+v", ea)
+	}
+	// T*n/N = 9000*6/10 = 5400.
+	if ea.EstCycles != 5400 {
+		t.Errorf("a estimate = %v, want 5400", ea.EstCycles)
+	}
+	if eb := rep.Entry("b"); eb == nil || eb.Samples != 3 {
+		t.Errorf("entry b = %+v", eb)
+	}
+	if rep.Entry("zzz") != nil {
+		t.Error("found nonexistent entry")
+	}
+	// Sorted by samples descending.
+	if rep.Entries[0].Fn.Name != "a" {
+		t.Error("entries not sorted by sample count")
+	}
+}
+
+func TestProfileEventFilterAndEmpty(t *testing.T) {
+	set := profileSet(t)
+	rep, err := Profile(set, Options{Event: pmu.LLCMisses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSamples != 0 || len(rep.Entries) != 0 {
+		t.Errorf("LLC profile should be empty: %+v", rep)
+	}
+}
+
+func TestProfileRejectsBadInput(t *testing.T) {
+	if _, err := Profile(nil, Options{}); err == nil {
+		t.Error("accepted nil set")
+	}
+	if _, err := Profile(&trace.Set{FreqHz: 1}, Options{}); err == nil {
+		t.Error("accepted missing symtab")
+	}
+	m := sim.MustNew(sim.Config{Cores: 1})
+	if _, err := Profile(&trace.Set{Syms: m.Syms}, Options{}); err == nil {
+		t.Error("accepted zero freq")
+	}
+}
+
+func TestProfileCyclesToMicros(t *testing.T) {
+	rep := &ProfileReport{FreqHz: 2_000_000_000}
+	if rep.CyclesToMicros(2000) != 1 {
+		t.Error("conversion wrong")
+	}
+}
+
+// TestProfileRecoversShortFunctions: the §V-B1 contrast — a function far
+// shorter than the sample interval is invisible to the per-item estimator
+// but recovered by the averaged profile.
+func TestProfileRecoversShortFunctions(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	long := m.Syms.MustRegister("long", 4096)
+	short := m.Syms.MustRegister("short", 4096)
+	pb := pmu.NewPEBS(pmu.PEBSConfig{})
+	c := m.Core(0)
+	c.PMU.MustProgram(pmu.UopsRetired, 5000, pb)
+	log := trace.NewMarkerLog(1, 0)
+	// Per item: long 19000 uops, short 1000 uops (1/5 the sample interval).
+	for i := 1; i <= 400; i++ {
+		log.Mark(c, uint64(i), trace.ItemBegin)
+		c.Call(long, func() { c.Exec(19000) })
+		c.Call(short, func() { c.Exec(1000) })
+		log.Mark(c, uint64(i), trace.ItemEnd)
+	}
+	set := trace.NewSet(m, log, pb.Samples())
+
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimable := 0
+	for _, it := range a.Items {
+		if it.Func("short").Estimable() {
+			estimable++
+		}
+	}
+	if estimable > len(a.Items)/10 {
+		t.Errorf("short function estimable in %d/%d items; expected almost none (§V-B1)", estimable, len(a.Items))
+	}
+
+	rep, err := Profile(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := rep.Entry("short")
+	el := rep.Entry("long")
+	if es == nil || el == nil {
+		t.Fatal("profile lost a function")
+	}
+	ratio := float64(es.Samples) / float64(es.Samples+el.Samples)
+	if ratio < 0.03 || ratio > 0.08 {
+		t.Errorf("profile share of short = %.3f, want ~0.05 (1000/20000)", ratio)
+	}
+}
+
+func TestEventCounts(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	f := m.Syms.MustRegister("f", 4096)
+	pb := pmu.NewPEBS(pmu.PEBSConfig{})
+	c := m.Core(0)
+	const r = 8
+	c.PMU.MustProgram(pmu.LLCMisses, r, pb)
+	log := trace.NewMarkerLog(1, 0)
+
+	// Item 1 walks far more memory than item 2: more LLC misses.
+	log.Mark(c, 1, trace.ItemBegin)
+	c.Call(f, func() {
+		for i := 0; i < 4000; i++ {
+			c.Load(uint64(i) * 64)
+		}
+	})
+	log.Mark(c, 1, trace.ItemEnd)
+	log.Mark(c, 2, trace.ItemBegin)
+	c.Call(f, func() {
+		for i := 0; i < 400; i++ {
+			c.Load(uint64(i) * 64) // mostly re-touches cached lines
+		}
+	})
+	log.Mark(c, 2, trace.ItemEnd)
+
+	set := trace.NewSet(m, log, pb.Samples())
+	counts, err := EventCounts(set, pmu.LLCMisses, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byItem := map[uint64]uint64{}
+	for _, ec := range counts {
+		if ec.Fn.Name != "f" {
+			t.Errorf("unexpected function %s", ec.Fn.Name)
+		}
+		if ec.EstOccurrences != uint64(ec.Samples)*r {
+			t.Errorf("estimate %d != samples %d * R", ec.EstOccurrences, ec.Samples)
+		}
+		byItem[ec.Item] = ec.EstOccurrences
+	}
+	if byItem[1] <= byItem[2]*2 {
+		t.Errorf("item 1 misses (%d) should dwarf item 2 (%d) — that's the §V-D fluctuation", byItem[1], byItem[2])
+	}
+}
+
+func TestEventCountsRejectsZeroReset(t *testing.T) {
+	if _, err := EventCounts(&trace.Set{}, pmu.LLCMisses, 0); err == nil {
+		t.Error("accepted zero reset value")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// Segment is one maximal run of consecutive samples that resolved to the
+// same function within one data-item: the ordered, gantt-style view of
+// Fig. 6's sample-to-item mapping. Where FuncSpan aggregates ("f1 took
+// 1300 cycles total"), segments preserve sequence ("f1, then f2, then f1
+// again") — which is also where the §V-B2 caveat lives: a segment boundary
+// only *suggests* a call transition, since PEBS records no call graph.
+type Segment struct {
+	Fn *symtab.Fn
+	// FirstTSC/LastTSC are the timestamps of the run's first and last
+	// samples.
+	FirstTSC, LastTSC uint64
+	// Samples is the run length.
+	Samples int
+}
+
+// Cycles returns the segment's first-to-last span.
+func (s Segment) Cycles() uint64 { return s.LastTSC - s.FirstTSC }
+
+// ItemTimeline is one item's ordered segment reconstruction.
+type ItemTimeline struct {
+	Item     uint64
+	Core     int32
+	Segments []Segment
+	// Unresolved counts samples inside the item that matched no symbol
+	// (they break segments but appear in no segment).
+	Unresolved int
+}
+
+// Timeline reconstructs the ordered per-function segments of one data-item
+// from the raw trace. It re-walks the sample stream (the per-item Funcs
+// aggregation in Analysis discards ordering), so it is meant for drilling
+// into specific items flagged by the cheaper aggregate passes.
+func Timeline(set *trace.Set, itemID uint64, opts Options) (*ItemTimeline, error) {
+	if set == nil {
+		return nil, fmt.Errorf("core: nil trace set")
+	}
+	if set.Syms == nil {
+		return nil, fmt.Errorf("core: trace set has no symbol table")
+	}
+	// Locate the item's interval from the markers.
+	var begin, end uint64
+	var core int32
+	foundBegin, foundEnd := false, false
+	for _, m := range set.Markers {
+		if m.Item != itemID {
+			continue
+		}
+		switch m.Kind {
+		case trace.ItemBegin:
+			if !foundBegin || m.TSC < begin {
+				begin, core, foundBegin = m.TSC, m.Core, true
+			}
+		case trace.ItemEnd:
+			if !foundEnd || m.TSC > end {
+				end, foundEnd = m.TSC, true
+			}
+		}
+	}
+	if !foundBegin || !foundEnd {
+		return nil, fmt.Errorf("core: item %d has no complete marker pair", itemID)
+	}
+	if end < begin {
+		return nil, fmt.Errorf("core: item %d markers inverted (begin %d, end %d)", itemID, begin, end)
+	}
+
+	var inRange []int
+	for i := range set.Samples {
+		s := &set.Samples[i]
+		if s.Core != core || s.Event != opts.Event {
+			continue
+		}
+		if opts.ExcludeBoundaries {
+			if s.TSC <= begin || s.TSC >= end {
+				continue
+			}
+		} else if s.TSC < begin || s.TSC > end {
+			continue
+		}
+		inRange = append(inRange, i)
+	}
+	sort.SliceStable(inRange, func(a, b int) bool {
+		return set.Samples[inRange[a]].TSC < set.Samples[inRange[b]].TSC
+	})
+
+	tl := &ItemTimeline{Item: itemID, Core: core}
+	for _, i := range inRange {
+		s := &set.Samples[i]
+		fn := set.Syms.Resolve(s.IP)
+		if fn == nil {
+			tl.Unresolved++
+			continue
+		}
+		if n := len(tl.Segments); n > 0 && tl.Segments[n-1].Fn == fn {
+			seg := &tl.Segments[n-1]
+			seg.LastTSC = s.TSC
+			seg.Samples++
+			continue
+		}
+		tl.Segments = append(tl.Segments, Segment{Fn: fn, FirstTSC: s.TSC, LastTSC: s.TSC, Samples: 1})
+	}
+	return tl, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestTimelinePreservesCallOrder(t *testing.T) {
+	set, _ := buildPaperExample(t)
+	tl, err := Timeline(set, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 1's samples: f1 @2200, f2 @2500, f2 @2900, f1 @3500, junk @3600.
+	if len(tl.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3 (f1, f2, f1)", len(tl.Segments))
+	}
+	names := []string{tl.Segments[0].Fn.Name, tl.Segments[1].Fn.Name, tl.Segments[2].Fn.Name}
+	if names[0] != "f1" || names[1] != "f2" || names[2] != "f1" {
+		t.Errorf("segment order = %v, want [f1 f2 f1]", names)
+	}
+	if tl.Segments[1].Samples != 2 || tl.Segments[1].Cycles() != 400 {
+		t.Errorf("f2 run = %d samples %d cycles, want 2/400", tl.Segments[1].Samples, tl.Segments[1].Cycles())
+	}
+	if tl.Unresolved != 1 {
+		t.Errorf("unresolved = %d, want 1", tl.Unresolved)
+	}
+	// The aggregate view cannot distinguish this from one long f1 call —
+	// the §V-B2 "guess" the timeline exposes.
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := a.Item(1).Func("f1")
+	if agg.Cycles() != tl.Segments[0].Cycles()+tl.Segments[2].Cycles()+
+		(tl.Segments[2].FirstTSC-tl.Segments[0].LastTSC) {
+		t.Errorf("aggregate f1 span (%d) should cover both runs plus the gap", agg.Cycles())
+	}
+}
+
+func TestTimelineMissingItem(t *testing.T) {
+	set, _ := buildPaperExample(t)
+	if _, err := Timeline(set, 999, Options{}); err == nil {
+		t.Error("found timeline for nonexistent item")
+	}
+	if _, err := Timeline(nil, 1, Options{}); err == nil {
+		t.Error("accepted nil set")
+	}
+	if _, err := Timeline(&trace.Set{FreqHz: 1}, 1, Options{}); err == nil {
+		t.Error("accepted missing symtab")
+	}
+}
+
+func TestTimelineFiltersCoreAndEvent(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 2})
+	f := m.Syms.MustRegister("f", 64)
+	set := &trace.Set{
+		FreqHz: m.FreqHz(),
+		Syms:   m.Syms,
+		Markers: []trace.Marker{
+			{Item: 1, TSC: 100, Core: 0, Kind: trace.ItemBegin},
+			{Item: 1, TSC: 300, Core: 0, Kind: trace.ItemEnd},
+		},
+		Samples: []pmu.Sample{
+			{TSC: 150, IP: f.Base, Core: 0, Event: pmu.UopsRetired},
+			{TSC: 160, IP: f.Base, Core: 1, Event: pmu.UopsRetired}, // other core
+			{TSC: 170, IP: f.Base, Core: 0, Event: pmu.LLCMisses},   // other event
+		},
+	}
+	tl, err := Timeline(set, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Segments) != 1 || tl.Segments[0].Samples != 1 {
+		t.Errorf("filtering wrong: %+v", tl.Segments)
+	}
+}
+
+func TestTimelineEndToEnd(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	fa := m.Syms.MustRegister("alpha", 4096)
+	fb := m.Syms.MustRegister("beta", 4096)
+	pebs := pmu.NewPEBS(pmu.PEBSConfig{})
+	c := m.Core(0)
+	c.PMU.MustProgram(pmu.UopsRetired, 500, pebs)
+	log := trace.NewMarkerLog(1, 0)
+	log.Mark(c, 1, trace.ItemBegin)
+	c.Call(fa, func() { c.Exec(10_000) })
+	c.Call(fb, func() { c.Exec(10_000) })
+	c.Call(fa, func() { c.Exec(10_000) })
+	log.Mark(c, 1, trace.ItemEnd)
+	set := trace.NewSet(m, log, pebs.Samples())
+
+	tl, err := Timeline(set, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3 (alpha, beta, alpha)", len(tl.Segments))
+	}
+	if tl.Segments[0].Fn != fa || tl.Segments[1].Fn != fb || tl.Segments[2].Fn != fa {
+		t.Errorf("order wrong: %v %v %v", tl.Segments[0].Fn, tl.Segments[1].Fn, tl.Segments[2].Fn)
+	}
+	// Segments must be time-ordered and non-overlapping.
+	for i := 1; i < len(tl.Segments); i++ {
+		if tl.Segments[i].FirstTSC <= tl.Segments[i-1].LastTSC {
+			t.Errorf("segments overlap at %d", i)
+		}
+	}
+	// ~20 samples per 10k-uop call at R=500.
+	for i, seg := range tl.Segments {
+		if seg.Samples < 15 || seg.Samples > 25 {
+			t.Errorf("segment %d has %d samples, want ~20", i, seg.Samples)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// StreamIntegrator is the online counterpart of Integrate: it consumes
+// markers and samples incrementally, in timestamp order per core, and emits
+// each data-item's reconstruction the moment its ItemEnd marker arrives.
+//
+// This is the engine behind the paper's §IV-C3 proposal for taming the
+// PEBS data volume: "one can estimate the elapsed time of each function
+// online and dump raw samples only when the estimation diverges from the
+// average by a threshold in order to analyze the phenomenon later offline."
+// Pair it with an OnlineMonitor (via OnItem) and a RawRing to get exactly
+// that pipeline; see the onlinemonitor example.
+//
+// Memory: O(open items + one item's functions + raw-ring capacity) — it
+// never buffers the whole trace, which is the point.
+type StreamIntegrator struct {
+	// OnItem is invoked for every completed item, in completion order per
+	// core. It must be set before feeding events.
+	OnItem func(*Item)
+
+	syms *symtab.Table
+	opts Options
+
+	cores map[int32]*coreStream
+	diag  Diagnostics
+	items int
+}
+
+type coreStream struct {
+	open       bool
+	cur        Item
+	lastTSC    uint64
+	outOfOrder int
+}
+
+// NewStreamIntegrator creates an online integrator resolving IPs against
+// syms.
+func NewStreamIntegrator(syms *symtab.Table, opts Options, onItem func(*Item)) (*StreamIntegrator, error) {
+	if syms == nil {
+		return nil, fmt.Errorf("core: nil symbol table")
+	}
+	if onItem == nil {
+		return nil, fmt.Errorf("core: nil OnItem callback")
+	}
+	return &StreamIntegrator{
+		OnItem: onItem,
+		syms:   syms,
+		opts:   opts,
+		cores:  map[int32]*coreStream{},
+	}, nil
+}
+
+func (s *StreamIntegrator) coreOf(id int32) *coreStream {
+	cs := s.cores[id]
+	if cs == nil {
+		cs = &coreStream{}
+		s.cores[id] = cs
+	}
+	return cs
+}
+
+// Marker feeds one instrumentation record. Records must arrive in
+// non-decreasing timestamp order per core (the natural order a per-core
+// ring buffer drains in); violations are counted, not fatal.
+func (s *StreamIntegrator) Marker(m trace.Marker) {
+	cs := s.coreOf(m.Core)
+	if m.TSC < cs.lastTSC {
+		cs.outOfOrder++
+		return
+	}
+	cs.lastTSC = m.TSC
+	switch m.Kind {
+	case trace.ItemBegin:
+		if cs.open {
+			// Force-close the dangling item at the new begin, as the
+			// offline integrator does.
+			cs.cur.EndTSC = m.TSC
+			s.finish(cs)
+			s.diag.ReopenedItems++
+		}
+		cs.cur = Item{ID: m.Item, Core: m.Core, BeginTSC: m.TSC, EndTSC: m.TSC}
+		cs.open = true
+	case trace.ItemEnd:
+		if !cs.open || cs.cur.ID != m.Item {
+			s.diag.OrphanEndMarkers++
+			return
+		}
+		cs.cur.EndTSC = m.TSC
+		s.finish(cs)
+	}
+}
+
+func (s *StreamIntegrator) finish(cs *coreStream) {
+	cs.open = false
+	it := cs.cur
+	sort.SliceStable(it.Funcs, func(i, j int) bool { return it.Funcs[i].FirstTSC < it.Funcs[j].FirstTSC })
+	s.items++
+	s.OnItem(&it)
+	cs.cur = Item{}
+}
+
+// Sample feeds one hardware sample. Same per-core ordering contract as
+// Marker.
+func (s *StreamIntegrator) Sample(sm pmu.Sample) {
+	if sm.Event != s.opts.Event {
+		s.diag.IgnoredEventSamples++
+		return
+	}
+	cs := s.coreOf(sm.Core)
+	if sm.TSC < cs.lastTSC {
+		cs.outOfOrder++
+		return
+	}
+	cs.lastTSC = sm.TSC
+	if !cs.open {
+		s.diag.UnattributedSamples++
+		return
+	}
+	if s.opts.ExcludeBoundaries && sm.TSC == cs.cur.BeginTSC {
+		s.diag.UnattributedSamples++
+		return
+	}
+	cs.cur.SampleCount++
+	fn := s.syms.Resolve(sm.IP)
+	if fn == nil {
+		cs.cur.UnresolvedSamples++
+		s.diag.UnresolvedSamples++
+		return
+	}
+	attachSample(&cs.cur, fn, sm.TSC)
+}
+
+// Flush reports still-open items as unclosed (call at end of stream).
+func (s *StreamIntegrator) Flush() {
+	for _, cs := range s.cores {
+		if cs.open {
+			s.diag.UnclosedItems++
+			cs.open = false
+		}
+	}
+}
+
+// Diag returns the accumulated diagnostics, including per-core
+// out-of-order event counts folded into one number.
+func (s *StreamIntegrator) Diag() Diagnostics {
+	d := s.diag
+	return d
+}
+
+// OutOfOrder returns how many events violated the per-core ordering
+// contract and were dropped.
+func (s *StreamIntegrator) OutOfOrder() int {
+	n := 0
+	for _, cs := range s.cores {
+		n += cs.outOfOrder
+	}
+	return n
+}
+
+// Items returns how many items have been completed so far.
+func (s *StreamIntegrator) Items() int { return s.items }
+
+// RawRing retains the most recent raw samples per core so that, when the
+// online monitor flags a divergence, the surrounding raw evidence can be
+// dumped for offline analysis — without ever persisting the full stream.
+type RawRing struct {
+	cap   int
+	buf   []pmu.Sample
+	next  int
+	full  bool
+	dumps int
+}
+
+// NewRawRing creates a ring retaining the last capacity samples.
+func NewRawRing(capacity int) (*RawRing, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: raw ring capacity must be positive")
+	}
+	return &RawRing{cap: capacity, buf: make([]pmu.Sample, capacity)}, nil
+}
+
+// Push retains one sample, evicting the oldest when full.
+func (r *RawRing) Push(s pmu.Sample) {
+	r.buf[r.next] = s
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of retained samples.
+func (r *RawRing) Len() int {
+	if r.full {
+		return r.cap
+	}
+	return r.next
+}
+
+// Dump returns the retained samples, oldest first, and counts the dump.
+func (r *RawRing) Dump() []pmu.Sample {
+	r.dumps++
+	out := make([]pmu.Sample, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dumps returns how many times Dump was called.
+func (r *RawRing) Dumps() int { return r.dumps }

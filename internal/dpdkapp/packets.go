@@ -1,0 +1,19 @@
+package dpdkapp
+
+import "repro/internal/acl"
+
+// PaperPacketSequence builds n test packets cycling through the Table IV
+// types A, B, C with data-item IDs 1..n, the stream the tester injects in
+// §IV-C2. Type can be recovered from the ID via PacketTypeOf.
+func PaperPacketSequence(n int) []acl.Packet {
+	pkts := make([]acl.Packet, 0, n)
+	for i := 1; i <= n; i++ {
+		pkts = append(pkts, acl.PaperPacket(PacketTypeOf(uint64(i)), uint64(i)))
+	}
+	return pkts
+}
+
+// PacketTypeOf maps a PaperPacketSequence data-item ID back to its type.
+func PacketTypeOf(id uint64) acl.PacketType {
+	return acl.PacketType((id - 1) % uint64(acl.NumPacketTypes))
+}

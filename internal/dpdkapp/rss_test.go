@@ -1,0 +1,148 @@
+package dpdkapp
+
+import (
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestRunRSSValidation(t *testing.T) {
+	if _, err := RunRSS(smallConfig(), 0, PaperPacketSequence(3)); err == nil {
+		t.Error("accepted zero workers")
+	}
+	if _, err := RunRSS(smallConfig(), 2, nil); err == nil {
+		t.Error("accepted empty packets")
+	}
+	cfg := smallConfig()
+	cfg.BatchSize = 3
+	if _, err := RunRSS(cfg, 2, PaperPacketSequence(3)); err == nil {
+		t.Error("accepted batching with RSS")
+	}
+}
+
+func TestRunRSSDeliversEverything(t *testing.T) {
+	res, err := RunRSS(smallConfig(), 3, PaperPacketSequence(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latencies) != 90 {
+		t.Fatalf("delivered %d/90", len(res.Latencies))
+	}
+	seen := map[uint64]bool{}
+	for _, l := range res.Latencies {
+		if seen[l.Payload.ID] {
+			t.Fatalf("packet %d delivered twice", l.Payload.ID)
+		}
+		seen[l.Payload.ID] = true
+		if l.Cycles == 0 {
+			t.Errorf("packet %d has zero latency", l.Payload.ID)
+		}
+	}
+}
+
+func TestRunRSSFlowAffinity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Markers = true
+	res, err := RunRSS(cfg, 3, PaperPacketSequence(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Integrate(res.Set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Items) != 60 {
+		t.Fatalf("items = %d", len(a.Items))
+	}
+	// RSS keys on the flow tuple, so every packet of one type must land on
+	// one worker core (flow affinity), and item IDs recover the mapping.
+	coreOfType := map[acl.PacketType]int32{}
+	for i := range a.Items {
+		it := &a.Items[i]
+		pt := PacketTypeOf(it.ID)
+		if prev, ok := coreOfType[pt]; ok {
+			if prev != it.Core {
+				t.Fatalf("type %s split across cores %d and %d", pt, prev, it.Core)
+			}
+		} else {
+			coreOfType[pt] = it.Core
+		}
+	}
+	// The three flows must use more than one worker in aggregate.
+	distinct := map[int32]bool{}
+	for _, c := range coreOfType {
+		distinct[c] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all flows hashed to one worker: %v", coreOfType)
+	}
+}
+
+// TestRunRSSEstimatesMatchSingleWorker: scaling out must not change what
+// the tracer reports per packet.
+func TestRunRSSEstimatesMatchSingleWorker(t *testing.T) {
+	classifyMeans := func(workers int) map[acl.PacketType]float64 {
+		cfg := smallConfig()
+		cfg.Markers = true
+		cfg.Reset = 1500
+		var (
+			res *Result
+			err error
+		)
+		if workers == 0 {
+			res, err = Run(cfg, PaperPacketSequence(150))
+		} else {
+			res, err = RunRSS(cfg, workers, PaperPacketSequence(150))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Integrate(res.Set, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var byType [acl.NumPacketTypes][]float64
+		for i := range a.Items {
+			it := &a.Items[i]
+			if fs := it.Func(FnClassify); fs.Estimable() {
+				byType[PacketTypeOf(it.ID)] = append(byType[PacketTypeOf(it.ID)], a.CyclesToMicros(fs.Cycles()))
+			}
+		}
+		out := map[acl.PacketType]float64{}
+		for pt := acl.TypeA; pt <= acl.TypeC; pt++ {
+			out[pt] = stats.Mean(byType[pt])
+		}
+		return out
+	}
+	single := classifyMeans(0)
+	scaled := classifyMeans(3)
+	for pt := acl.TypeA; pt <= acl.TypeC; pt++ {
+		if scaled[pt] < single[pt]*0.85 || scaled[pt] > single[pt]*1.15 {
+			t.Errorf("type %s: scaled estimate %.2f vs single %.2f us", pt, scaled[pt], single[pt])
+		}
+	}
+}
+
+func TestRunRSSDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		cfg := smallConfig()
+		cfg.Markers = true
+		cfg.Reset = 2000
+		res, err := RunRSS(cfg, 2, PaperPacketSequence(60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lat uint64
+		for _, l := range res.Latencies {
+			lat += l.Cycles
+		}
+		return lat, res.SampleCount
+	}
+	l1, s1 := run()
+	l2, s2 := run()
+	if l1 != l2 || s1 != s2 {
+		t.Errorf("RSS run nondeterministic: (%d,%d) vs (%d,%d)", l1, s1, l2, s2)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/pmu"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Fig1Result illustrates the Fig. 1 concept: the same run rendered as a
+// trace (per-request, per-function, with timestamps — fluctuations visible)
+// and as a profile (whole-run averages — fluctuations invisible).
+type Fig1Result struct {
+	// TraceRows: request, function, elapsed µs.
+	TraceRows []Fig1TraceRow
+	// ProfileRows: function, total µs over the run.
+	ProfileRows []Fig1ProfileRow
+}
+
+// Fig1TraceRow is one line of the left (trace) table.
+type Fig1TraceRow struct {
+	Request   uint64
+	Fn        string
+	ElapsedUs float64
+}
+
+// Fig1ProfileRow is one line of the right (profile) table.
+type Fig1ProfileRow struct {
+	Fn      string
+	TotalUs float64
+}
+
+// Fig1 runs the illustrative three-function web server: function A takes
+// 90 µs for request #1 but only 10 µs for request #2 — visible in the
+// trace, averaged away in the profile.
+func Fig1() (*Fig1Result, error) {
+	m, err := sim.New(sim.Config{Cores: 1})
+	if err != nil {
+		return nil, err
+	}
+	fnA := m.Syms.MustRegister("A", 2048)
+	fnB := m.Syms.MustRegister("B", 2048)
+	fnC := m.Syms.MustRegister("C", 2048)
+	c := m.Core(0)
+	pebs := pmu.NewPEBS(pmu.PEBSConfig{})
+	c.PMU.MustProgram(pmu.UopsRetired, 2000, pebs)
+	log := trace.NewMarkerLog(1, 0)
+
+	// Request #1 hits A cold (~90 µs), #2 warm (~10 µs); B and C steady.
+	workA := []uint64{180_000, 20_000, 20_000, 20_000, 20_000}
+	for i, w := range workA {
+		id := uint64(i + 1)
+		log.Mark(c, id, trace.ItemBegin)
+		c.Call(fnA, func() { c.Exec(w) })
+		c.Call(fnB, func() { c.Exec(40_000) })
+		c.Call(fnC, func() { c.Exec(20_000) })
+		log.Mark(c, id, trace.ItemEnd)
+		c.Sleep(10_000)
+	}
+	set := trace.NewSet(m, log, pebs.Samples())
+	a, err := core.Integrate(set, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	prof, err := core.Profile(set, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1Result{}
+	for i := range a.Items {
+		it := &a.Items[i]
+		for _, fs := range it.Funcs {
+			out.TraceRows = append(out.TraceRows, Fig1TraceRow{
+				Request: it.ID, Fn: fs.Fn.Name, ElapsedUs: a.CyclesToMicros(fs.Cycles()),
+			})
+		}
+	}
+	for _, e := range prof.Entries {
+		out.ProfileRows = append(out.ProfileRows, Fig1ProfileRow{Fn: e.Fn.Name, TotalUs: prof.CyclesToMicros(e.EstCycles)})
+	}
+	return out, nil
+}
+
+// Render prints both views side by side conceptually (trace first).
+func (r *Fig1Result) Render(w io.Writer) {
+	tt := report.Table{
+		Title:   "Fig. 1 (left) — trace: per-request, per-function elapsed time",
+		Headers: []string{"request", "function", "elapsed us"},
+	}
+	for _, row := range r.TraceRows {
+		tt.AddRow(report.U(row.Request), row.Fn, report.F(row.ElapsedUs, 1))
+	}
+	tt.Render(w)
+	pt := report.Table{
+		Title:   "\nFig. 1 (right) — profile: whole-run totals (fluctuation invisible)",
+		Headers: []string{"function", "total us"},
+	}
+	for _, row := range r.ProfileRows {
+		pt.AddRow(row.Fn, report.F(row.TotalUs, 1))
+	}
+	pt.Render(w)
+	fmt.Fprintf(w, "\n  the trace shows A fluctuating across requests; the profile shows one averaged number\n")
+}

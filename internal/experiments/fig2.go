@@ -1,0 +1,89 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness runs the corresponding workload on the
+// simulator, feeds the hybrid tracer, and renders the same rows/series the
+// paper reports. cmd/fluct exposes them on the command line and
+// bench_test.go regenerates them under `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads/nginxsim"
+)
+
+// Fig2Row is one function's bar in Fig. 2.
+type Fig2Row struct {
+	Fn string
+	// TruthUs is the simulator's true mean per-request elapsed time.
+	TruthUs float64
+	// ProfileUs is the paper's estimate: total_request_time × c_f/c_a,
+	// where the cycle shares come from sampling (the paper used perf).
+	ProfileUs float64
+}
+
+// Fig2Result reproduces Fig. 2: per-request elapsed time of each function
+// of NGINX.
+type Fig2Result struct {
+	Rows          []Fig2Row
+	MeanRequestUs float64
+	Under4us      int
+	Requests      int
+}
+
+// Fig2 runs the NGINX-like workload and derives the per-function,
+// per-request elapsed times.
+func Fig2(requests int) (*Fig2Result, error) {
+	if requests <= 0 {
+		requests = 20_000
+	}
+	res, err := nginxsim.Run(nginxsim.Config{Requests: requests, Reset: 4000})
+	if err != nil {
+		return nil, err
+	}
+	prof, err := core.Profile(res.Set, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{Requests: requests, MeanRequestUs: res.MeanRequestMicros()}
+	for _, f := range res.Truth {
+		row := Fig2Row{Fn: f.Name, TruthUs: res.PerRequestMicros(f)}
+		if e := prof.Entry(f.Name); e != nil {
+			// Profile share is over busy cycles; per-request estimate
+			// follows the paper's c_f/c_a scaling.
+			row.ProfileUs = res.CyclesToMicros(uint64(e.Share*float64(res.BusyCycles))) / float64(requests)
+		}
+		if row.TruthUs < 4 {
+			out.Under4us++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	sort.SliceStable(out.Rows, func(i, j int) bool { return out.Rows[i].TruthUs > out.Rows[j].TruthUs })
+	return out, nil
+}
+
+// Render writes the figure as a bar chart plus the summary facts the paper
+// states in §II-C.
+func (r *Fig2Result) Render(w io.Writer) {
+	labels := make([]string, len(r.Rows))
+	values := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = row.Fn
+		values[i] = row.TruthUs
+	}
+	report.BarChart(w, "Fig. 2 — per-request elapsed time of each function of NGINX", labels, values, "us", 46)
+	fmt.Fprintf(w, "\n  requests=%d  mean per-request time=%.1f us (paper: 149 us)\n", r.Requests, r.MeanRequestUs)
+	fmt.Fprintf(w, "  functions under 4 us: %d of %d — instrumenting every function is too heavy\n", r.Under4us, len(r.Rows))
+
+	t := report.Table{
+		Title:   "\n  sampling-estimated vs true per-request time (validation)",
+		Headers: []string{"function", "true us", "sampled us"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Fn, report.F(row.TruthUs, 2), report.F(row.ProfileUs, 2))
+	}
+	t.Render(w)
+}

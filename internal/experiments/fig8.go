@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads/qapp"
+)
+
+// Fig8Query is one bar of Fig. 8: one query's per-function breakdown as
+// estimated by the hybrid tracer.
+type Fig8Query struct {
+	ID uint64
+	N  int
+	// F1Us/F2Us/F3Us are the estimated elapsed times of the three
+	// functions (first-to-last-sample estimator).
+	F1Us, F2Us, F3Us float64
+	// TotalUs is the marker-delimited query latency.
+	TotalUs float64
+	// TruthTotalUs is the simulator ground truth for validation.
+	TruthTotalUs float64
+}
+
+// Fig8Result reproduces Fig. 8: per-data-item elapsed time of each function
+// of the sample application.
+type Fig8Result struct {
+	Reset   uint64
+	Queries []Fig8Query
+	// Fluctuating lists the query IDs the detector flags as outliers
+	// within their same-n group (expected: 1 and 5).
+	Fluctuating []uint64
+}
+
+// Fig8 runs the Fig. 7 sample application over the paper's query sequence
+// with PEBS at reset value 8000 and integrates the trace.
+func Fig8() (*Fig8Result, error) {
+	const reset = 8000 // "the reset value is 8000" (§IV-B)
+	res, err := qapp.Run(qapp.Config{Reset: reset}, qapp.PaperQuerySequence())
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Integrate(res.Set, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{Reset: reset}
+	seq := qapp.PaperQuerySequence()
+	for _, q := range seq {
+		it := a.Item(q.ID)
+		if it == nil {
+			return nil, fmt.Errorf("experiments: query %d missing from trace", q.ID)
+		}
+		out.Queries = append(out.Queries, Fig8Query{
+			ID:           q.ID,
+			N:            q.N,
+			F1Us:         a.CyclesToMicros(it.Func(qapp.FnF1).Cycles()),
+			F2Us:         a.CyclesToMicros(it.Func(qapp.FnF2).Cycles()),
+			F3Us:         a.CyclesToMicros(it.Func(qapp.FnF3).Cycles()),
+			TotalUs:      a.CyclesToMicros(it.ElapsedCycles()),
+			TruthTotalUs: float64(res.Elapsed[q.ID]) * 1e6 / float64(res.FreqHz),
+		})
+	}
+	groups := core.DetectFluctuations(a, func(it *core.Item) string {
+		return fmt.Sprintf("n=%d", seq[it.ID-1].N)
+	}, 3, 0.5)
+	for _, g := range groups {
+		for _, it := range g.Outliers {
+			out.Fluctuating = append(out.Fluctuating, it.ID)
+		}
+	}
+	return out, nil
+}
+
+// Render draws the per-query stacked bars and the detector verdict.
+func (r *Fig8Result) Render(w io.Writer) {
+	bars := make([]report.StackedBar, 0, len(r.Queries))
+	for _, q := range r.Queries {
+		bars = append(bars, report.StackedBar{
+			Label: fmt.Sprintf("query %2d (n=%d)", q.ID, q.N),
+			Segments: []report.Segment{
+				{Name: "f1", Value: q.F1Us},
+				{Name: "f2", Value: q.F2Us},
+				{Name: "f3", Value: q.F3Us},
+			},
+		})
+	}
+	report.StackedBars(w, fmt.Sprintf("Fig. 8 — per-data-item elapsed time of each function (R=%d)", r.Reset), bars, "us", 56)
+
+	t := report.Table{
+		Title:   "\n  estimated vs true query latency",
+		Headers: []string{"query", "n", "est total us", "true total us"},
+	}
+	for _, q := range r.Queries {
+		t.AddRow(report.U(q.ID), report.I(q.N), report.F(q.TotalUs, 1), report.F(q.TruthTotalUs, 1))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\n  fluctuating queries (outliers within same-n groups): %v — the paper's 1st and 5th\n", r.Fluctuating)
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/pmu"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workloads/specsim"
+)
+
+// SecVCResult reproduces the §V-C analysis: the linearity between reset
+// values and sample intervals, the overhead-vs-reset relationship, and the
+// planner answers built on them ("for finding the best reset-value for a
+// given overhead requirement").
+type SecVCResult struct {
+	Bench  string
+	Points []core.CalibrationPoint
+	// LinearityR2 is the R² of interval vs reset ("strong linearity ...
+	// deviations are very small").
+	LinearityR2 float64
+	// Plans maps overhead budgets to the chosen reset values.
+	Plans []SecVCPlan
+}
+
+// SecVCPlan is one answered planning question.
+type SecVCPlan struct {
+	BudgetFrac  float64
+	Reset       uint64
+	PredictedUs float64 // predicted sample interval at that reset
+	Err         string  // non-empty when the budget is unattainable
+}
+
+// SecVC calibrates the planner on a SPEC stand-in and answers a spread of
+// overhead budgets.
+func SecVC(benchName string, budgets []float64) (*SecVCResult, error) {
+	if benchName == "" {
+		benchName = "gcc"
+	}
+	if len(budgets) == 0 {
+		budgets = []float64{0.01, 0.02, 0.05, 0.10, 0.25}
+	}
+	b, err := specsim.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	const uops = 3_000_000
+	run := func(reset uint64) (gap float64, clock uint64, freq uint64, err error) {
+		m, err := sim.New(sim.Config{Cores: 1})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		c := m.Core(0)
+		var pb *pmu.PEBS
+		if reset > 0 {
+			pb = pmu.NewPEBS(pmu.PEBSConfig{})
+			c.PMU.MustProgram(pmu.UopsRetired, reset, pb)
+		}
+		b.Run(c, uops)
+		if pb == nil {
+			return 0, c.Now(), m.FreqHz(), nil
+		}
+		s := pb.Samples()
+		if len(s) < 2 {
+			return 0, 0, 0, fmt.Errorf("experiments: %d samples at R=%d", len(s), reset)
+		}
+		return float64(s[len(s)-1].TSC-s[0].TSC) / float64(len(s)-1), c.Now(), m.FreqHz(), nil
+	}
+	_, base, freq, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	res := &SecVCResult{Bench: benchName}
+	for _, r := range []uint64{1000, 2000, 4000, 8000, 16000, 32000, 64000} {
+		gap, clock, _, err := run(r)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, core.CalibrationPoint{
+			Reset:          r,
+			IntervalCycles: gap,
+			OverheadFrac:   float64(clock)/float64(base) - 1,
+		})
+	}
+	p, err := core.NewResetPlanner(res.Points)
+	if err != nil {
+		return nil, err
+	}
+	res.LinearityR2 = p.Linearity()
+	for _, budget := range budgets {
+		plan := SecVCPlan{BudgetFrac: budget}
+		r, err := p.ForOverheadBudget(budget)
+		if err != nil {
+			plan.Err = err.Error()
+		} else {
+			plan.Reset = r
+			plan.PredictedUs = p.PredictIntervalCycles(r) * 1e6 / float64(freq)
+		}
+		res.Plans = append(res.Plans, plan)
+	}
+	return res, nil
+}
+
+// Render prints the calibration table and planner answers.
+func (r *SecVCResult) Render(w io.Writer) {
+	t := report.Table{
+		Title:   fmt.Sprintf("§V-C — reset-value calibration on %s (interval linearity R² = %.5f)", r.Bench, r.LinearityR2),
+		Headers: []string{"reset", "interval (cycles)", "overhead"},
+	}
+	for _, pt := range r.Points {
+		t.AddRow(report.U(pt.Reset), report.F(pt.IntervalCycles, 0),
+			report.F(pt.OverheadFrac*100, 2)+"%")
+	}
+	t.Render(w)
+	pt := report.Table{
+		Title:   "\n  planner: reset value for a given overhead budget",
+		Headers: []string{"budget", "chosen R", "predicted interval us"},
+	}
+	for _, plan := range r.Plans {
+		if plan.Err != "" {
+			pt.AddRow(report.F(plan.BudgetFrac*100, 1)+"%", "-", plan.Err)
+			continue
+		}
+		pt.AddRow(report.F(plan.BudgetFrac*100, 1)+"%", report.U(plan.Reset), report.F(plan.PredictedUs, 2))
+	}
+	pt.Render(w)
+}

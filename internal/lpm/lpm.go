@@ -1,0 +1,216 @@
+// Package lpm implements a DIR-24-8-style longest-prefix-match table, the
+// other classic DPDK data-plane structure beside the ACL: a direct-indexed
+// first-level table covering the top bits of the destination address, with
+// per-prefix second-level pages for routes longer than the first-level
+// width.
+//
+// Its fluctuation mechanism differs from the ACL's: every lookup costs one
+// memory probe, but destinations covered by a long prefix take a second
+// probe into an overflow page — so two packets to nearby addresses can
+// differ in latency purely by how deep their covering route is, and by
+// whether the relevant table lines are cache-warm. That makes it a natural
+// second case study for the tracer.
+package lpm
+
+import (
+	"fmt"
+)
+
+// FirstLevelBits is the direct-index width. Real DPDK uses 24 (a 16M-entry
+// table); 20 keeps the table at 1M entries — same two-probe behaviour, one
+// quarter the memory — and remains configurable in Config.
+const FirstLevelBits = 20
+
+// Overflow pages cover all remaining low bits of an extended slot, so
+// every prefix length up to /32 is represented exactly (DPDK's tbl8 does
+// the same for its 24-bit first level: 24 + 8 = 32).
+
+// NoRoute is returned when no prefix covers an address.
+const NoRoute = -1
+
+// Route is one forwarding entry.
+type Route struct {
+	// Prefix is the network address (host byte order).
+	Prefix uint32
+	// Len is the prefix length, 0..32.
+	Len int
+	// NextHop is the forwarding decision (an interface/neighbour index,
+	// must be >= 0).
+	NextHop int
+}
+
+// Validate reports whether the route is well-formed.
+func (r Route) Validate() error {
+	if r.Len < 0 || r.Len > 32 {
+		return fmt.Errorf("lpm: prefix length %d out of range", r.Len)
+	}
+	if r.NextHop < 0 {
+		return fmt.Errorf("lpm: negative next hop %d", r.NextHop)
+	}
+	if r.Len < 32 && r.Prefix<<uint(r.Len) != 0 {
+		return fmt.Errorf("lpm: prefix %08x has bits below /%d", r.Prefix, r.Len)
+	}
+	return nil
+}
+
+// entry is one first-level slot: either a terminal next hop (with the
+// depth of the route that set it) or a pointer to an overflow page.
+type entry struct {
+	nextHop  int32
+	depth    int8
+	extended bool
+	page     int32
+}
+
+// pageEntry is one second-level slot.
+type pageEntry struct {
+	nextHop int32
+	depth   int8
+}
+
+// Table is a built LPM table.
+type Table struct {
+	firstBits uint
+	tbl       []entry
+	pages     [][]pageEntry
+	routes    int
+}
+
+// Config parameterizes the build.
+type Config struct {
+	// FirstLevelBits is the direct-index width (default FirstLevelBits).
+	FirstLevelBits int
+}
+
+// Build compiles routes into a table. Longer prefixes win; equal-length
+// duplicates keep the last one (like route replacement).
+func Build(routes []Route, cfg Config) (*Table, error) {
+	bits := cfg.FirstLevelBits
+	if bits == 0 {
+		bits = FirstLevelBits
+	}
+	if bits < 8 || bits > 24 {
+		return nil, fmt.Errorf("lpm: first-level width %d out of range [8,24]", bits)
+	}
+	t := &Table{firstBits: uint(bits), tbl: make([]entry, 1<<bits)}
+	for i := range t.tbl {
+		t.tbl[i].nextHop = NoRoute
+		t.tbl[i].depth = -1
+	}
+	// Insert shortest-first so longer prefixes overwrite.
+	ordered := append([]Route(nil), routes...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].Len < ordered[j-1].Len; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	for _, r := range ordered {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		t.insert(r)
+		t.routes++
+	}
+	return t, nil
+}
+
+// MustBuild is Build but panics on error.
+func MustBuild(routes []Route, cfg Config) *Table {
+	t, err := Build(routes, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Table) insert(r Route) {
+	shift := 32 - t.firstBits
+	if uint(r.Len) <= t.firstBits {
+		// The route covers whole first-level slots.
+		lo := r.Prefix >> shift
+		count := uint32(1) << (t.firstBits - uint(r.Len))
+		for i := uint32(0); i < count; i++ {
+			slot := &t.tbl[lo+i]
+			if slot.extended {
+				// Fill the page's shallower entries.
+				page := t.pages[slot.page]
+				for k := range page {
+					if page[k].depth <= int8(r.Len) {
+						page[k] = pageEntry{nextHop: int32(r.NextHop), depth: int8(r.Len)}
+					}
+				}
+				continue
+			}
+			if slot.depth <= int8(r.Len) {
+				slot.nextHop = int32(r.NextHop)
+				slot.depth = int8(r.Len)
+			}
+		}
+		return
+	}
+	// The route lives below the first level: extend its slot with a page
+	// covering every remaining low bit.
+	pageLen := 1 << shift
+	slotIdx := r.Prefix >> shift
+	slot := &t.tbl[slotIdx]
+	if !slot.extended {
+		page := make([]pageEntry, pageLen)
+		for k := range page {
+			page[k] = pageEntry{nextHop: slot.nextHop, depth: slot.depth}
+		}
+		t.pages = append(t.pages, page)
+		slot.extended = true
+		slot.page = int32(len(t.pages) - 1)
+	}
+	page := t.pages[slot.page]
+	low := int(r.Prefix & (uint32(pageLen) - 1))
+	span := 1 << (32 - uint(r.Len))
+	for i := 0; i < span && low+i < pageLen; i++ {
+		pe := &page[low+i]
+		if pe.depth <= int8(r.Len) {
+			*pe = pageEntry{nextHop: int32(r.NextHop), depth: int8(r.Len)}
+		}
+	}
+}
+
+// Lookup returns the next hop for addr and whether the lookup needed the
+// second-level probe (the latency-relevant fact).
+func (t *Table) Lookup(addr uint32) (nextHop int, extended bool) {
+	shift := 32 - t.firstBits
+	slot := t.tbl[addr>>shift]
+	if !slot.extended {
+		return int(slot.nextHop), false
+	}
+	pe := t.pages[slot.page][addr&(1<<shift-1)]
+	return int(pe.nextHop), true
+}
+
+// LinearLookup is the O(routes) reference the table is property-tested
+// against: scan all routes, keep the longest match.
+func LinearLookup(routes []Route, addr uint32) int {
+	best := NoRoute
+	bestLen := -1
+	for _, r := range routes {
+		if r.Len > bestLen && matches(r, addr) {
+			best, bestLen = r.NextHop, r.Len
+		}
+	}
+	return best
+}
+
+func matches(r Route, addr uint32) bool {
+	if r.Len == 0 {
+		return true
+	}
+	shift := uint(32 - r.Len)
+	return r.Prefix>>shift == addr>>shift
+}
+
+// Routes returns the number of installed routes.
+func (t *Table) Routes() int { return t.routes }
+
+// Pages returns the number of overflow pages allocated.
+func (t *Table) Pages() int { return len(t.pages) }
+
+// FirstLevelEntries returns the first-level table size.
+func (t *Table) FirstLevelEntries() int { return len(t.tbl) }

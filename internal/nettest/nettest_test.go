@@ -1,0 +1,65 @@
+package nettest
+
+import (
+	"testing"
+
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+func TestGenerateDrainRoundTrip(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 2})
+	ring := queue.New[Stamped[int]](Wire(64, 140))
+	items := []int{10, 20, 30, 40}
+	const gap = 1000
+	m.MustSpawn(0, func(c *sim.Core) { Generate(c, ring, items, gap) })
+	var lats []Latency[int]
+	m.MustSpawn(1, func(c *sim.Core) { lats = Drain(c, ring) })
+	m.Wait()
+	if len(lats) != len(items) {
+		t.Fatalf("drained %d, want %d", len(lats), len(items))
+	}
+	for i, l := range lats {
+		if l.Payload != items[i] {
+			t.Errorf("item %d = %d, want %d (order)", i, l.Payload, items[i])
+		}
+		// With an idle sink, latency is the wire transfer alone plus the
+		// generator's (1-uop) push cost.
+		if l.Cycles > 200 {
+			t.Errorf("item %d latency %d cycles, want ~wire latency", i, l.Cycles)
+		}
+	}
+}
+
+func TestGeneratePacesItems(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 2})
+	ring := queue.New[Stamped[int]](Wire(64, 140))
+	const gap = 5000
+	var stamps []uint64
+	m.MustSpawn(0, func(c *sim.Core) { Generate(c, ring, []int{1, 2, 3}, gap) })
+	m.MustSpawn(1, func(c *sim.Core) {
+		for {
+			s, ok := ring.Pop(c)
+			if !ok {
+				return
+			}
+			stamps = append(stamps, s.IngressTSC)
+		}
+	})
+	m.Wait()
+	for i := 1; i < len(stamps); i++ {
+		if d := stamps[i] - stamps[i-1]; d < gap-100 || d > gap+100 {
+			t.Errorf("inter-packet gap %d, want ~%d (not bursty)", d, gap)
+		}
+	}
+}
+
+func TestWireConfigIsCheap(t *testing.T) {
+	cfg := Wire(16, 140)
+	if cfg.PushUops > 1 || cfg.PopUops > 1 {
+		t.Error("tester wire ops must not perturb the system under test")
+	}
+	if cfg.LatencyCycles != 140 || cfg.Capacity != 16 {
+		t.Errorf("wire config wrong: %+v", cfg)
+	}
+}

@@ -1,0 +1,232 @@
+package pmu
+
+// PEBSConfig parameterizes the hardware sampling model. The defaults encode
+// the costs measured by the paper and its companion study [6] on Skylake.
+type PEBSConfig struct {
+	// SampleCostCycles is the per-sample overhead the sampled core pays.
+	// The paper's previous work measured "approximately 250 ns per sample";
+	// at the 2.0 GHz simulated clock that is 500 cycles.
+	SampleCostCycles uint64
+	// BufferEntries is the capacity of the PEBS buffer. The CPU raises an
+	// interrupt only when (and only when) the buffer becomes full.
+	BufferEntries int
+	// InterruptCostCycles is the cost of the buffer-full interrupt plus the
+	// kernel-module handler that asks the helper program to copy the buffer
+	// out (§III-E). Charged to the sampled core.
+	InterruptCostCycles uint64
+	// RecordBytes is the size of one hardware PEBS record as written to the
+	// buffer; used for the §IV-C3 data-rate accounting. Skylake's PEBS
+	// record format occupies 192 bytes.
+	RecordBytes uint64
+	// DoubleBuffer enables the §III-E optimization the paper leaves as
+	// future work: "double buffering (so that the helper program can
+	// re-enable PEBS immediately)". With it, the buffer-full interrupt
+	// only swaps buffers and wakes the helper — the sampled core pays
+	// SwapCostCycles instead of the full drain handshake, and the drain
+	// happens off the hot path.
+	DoubleBuffer bool
+	// SwapCostCycles is the buffer-swap interrupt cost under
+	// DoubleBuffer (default 1000 cycles = 500 ns).
+	SwapCostCycles uint64
+	// SkidBytes models PEBS shadowing: the architectural skid between the
+	// counter overflow and the instruction whose state is captured. Real
+	// PEBS is "precise" to within one instruction; a non-zero skid shifts
+	// every recorded IP forward by this many bytes, which near a function's
+	// end can attribute the sample to the *next* function — a failure mode
+	// boundary-sensitive analyses should be tested against. Default 0.
+	SkidBytes uint64
+}
+
+// DefaultPEBSConfig returns the Skylake-calibrated defaults at 2.0 GHz.
+func DefaultPEBSConfig() PEBSConfig {
+	return PEBSConfig{
+		SampleCostCycles:    500, // 250 ns @ 2.0 GHz
+		BufferEntries:       4096,
+		InterruptCostCycles: 10000, // 5 µs interrupt + drain handshake
+		RecordBytes:         192,
+		SwapCostCycles:      1000, // 500 ns buffer swap when DoubleBuffer
+	}
+}
+
+// PEBS models the hardware sampling mechanism of one core: a memory buffer
+// the CPU appends fixed-format records to, with an interrupt raised on
+// buffer full so the kernel module can have a helper program copy the data
+// to userspace (the simple-pebs flow of §III-E).
+type PEBS struct {
+	cfg        PEBSConfig
+	buf        []Sample // the in-flight hardware buffer
+	store      []Sample // records already copied out by the helper
+	interrupts uint64
+	dropped    uint64
+	lossEvery  uint64 // failure injection: drop every Nth buffer flush
+	flushes    uint64
+}
+
+// NewPEBS creates a PEBS unit. A zero-value field in cfg falls back to the
+// corresponding default, so callers can override selectively.
+func NewPEBS(cfg PEBSConfig) *PEBS {
+	d := DefaultPEBSConfig()
+	if cfg.SampleCostCycles == 0 {
+		cfg.SampleCostCycles = d.SampleCostCycles
+	}
+	if cfg.BufferEntries == 0 {
+		cfg.BufferEntries = d.BufferEntries
+	}
+	if cfg.InterruptCostCycles == 0 {
+		cfg.InterruptCostCycles = d.InterruptCostCycles
+	}
+	if cfg.RecordBytes == 0 {
+		cfg.RecordBytes = d.RecordBytes
+	}
+	if cfg.SwapCostCycles == 0 {
+		cfg.SwapCostCycles = 1000
+	}
+	return &PEBS{cfg: cfg, buf: make([]Sample, 0, cfg.BufferEntries)}
+}
+
+// Overflow implements Recorder: the CPU appends a record and, if the buffer
+// is now full, raises the drain interrupt.
+func (p *PEBS) Overflow(ev Event, ctx Ctx) uint64 {
+	s := Sample{TSC: ctx.TSC, IP: ctx.IP + p.cfg.SkidBytes, Core: ctx.Core, Event: ev}
+	if ctx.Regs != nil {
+		s.Regs = *ctx.Regs
+	}
+	p.buf = append(p.buf, s)
+	oh := p.cfg.SampleCostCycles
+	if len(p.buf) >= p.cfg.BufferEntries {
+		if p.cfg.DoubleBuffer {
+			oh += p.cfg.SwapCostCycles
+		} else {
+			oh += p.cfg.InterruptCostCycles
+		}
+		p.interrupts++
+		p.flush()
+	}
+	return oh
+}
+
+// flush models the helper program copying the full buffer to userspace and
+// re-enabling PEBS. With loss injection enabled, every lossEvery-th flush is
+// discarded, standing in for a helper that could not keep up.
+func (p *PEBS) flush() {
+	p.flushes++
+	if p.lossEvery > 0 && p.flushes%p.lossEvery == 0 {
+		p.dropped += uint64(len(p.buf))
+	} else {
+		p.store = append(p.store, p.buf...)
+	}
+	p.buf = p.buf[:0]
+}
+
+// Samples drains the hardware buffer and returns every record copied out so
+// far. Call it once at the end of a run.
+func (p *PEBS) Samples() []Sample {
+	if len(p.buf) > 0 {
+		p.flush()
+	}
+	return p.store
+}
+
+// Count returns the number of samples taken (including dropped ones), which
+// drives the data-rate accounting of §IV-C3.
+func (p *PEBS) Count() uint64 {
+	return uint64(len(p.store)+len(p.buf)) + p.dropped
+}
+
+// BytesWritten returns the total volume of PEBS records generated.
+func (p *PEBS) BytesWritten() uint64 { return p.Count() * p.cfg.RecordBytes }
+
+// Interrupts returns how many buffer-full interrupts were raised.
+func (p *PEBS) Interrupts() uint64 { return p.interrupts }
+
+// Dropped returns how many samples were lost to injected flush failures.
+func (p *PEBS) Dropped() uint64 { return p.dropped }
+
+// InjectFlushLoss makes every n-th buffer flush lose its contents; n == 0
+// disables loss. Used by failure-injection tests to show the analyzer
+// degrades gracefully when the helper program cannot drain fast enough.
+func (p *PEBS) InjectFlushLoss(n uint64) { p.lossEvery = n }
+
+// Config returns the effective configuration.
+func (p *PEBS) Config() PEBSConfig { return p.cfg }
+
+// SoftSamplerConfig parameterizes the perf-style software sampling model:
+// the traditional performance counters raise an interrupt to the OS on every
+// overflow, and the kernel samples the program state in software.
+type SoftSamplerConfig struct {
+	// SampleCostCycles is the per-sample suspension of the target. Weaver
+	// [16] and the paper's Fig. 4 place the perf sampling path around 10 µs
+	// regardless of the configured rate; 19200 cycles is 9.6 µs @ 2.0 GHz.
+	SampleCostCycles uint64
+	// RecordBytes is the size of one perf sample record written to the ring
+	// buffer (a perf_event sample with IP, TID, TIME and regs).
+	RecordBytes uint64
+	// ThrottleIntervalCycles models perf's CPU-time throttle: overflows
+	// arriving within this many cycles of the previous accepted sample are
+	// dropped (counted in Throttled). The paper's Fig. 4 methodology notes
+	// "We disable the throttling mechanism of perf" — 0 (the default)
+	// reproduces that disabled state; a positive value shows what the
+	// throttle would have done to the achievable interval.
+	ThrottleIntervalCycles uint64
+}
+
+// DefaultSoftSamplerConfig returns defaults matching the Fig. 4 floor.
+func DefaultSoftSamplerConfig() SoftSamplerConfig {
+	return SoftSamplerConfig{SampleCostCycles: 19200, RecordBytes: 64}
+}
+
+// SoftSampler models software sampling on the traditional counters: the
+// counters themselves are hardware, but every overflow suspends the target
+// while the OS samples it, so the achievable sample interval cannot drop
+// below the sampling path's own latency (Fig. 4, §VI-B).
+type SoftSampler struct {
+	cfg       SoftSamplerConfig
+	store     []Sample
+	lastTSC   uint64
+	haveLast  bool
+	throttled uint64
+}
+
+// NewSoftSampler creates a software sampler; zero fields take defaults.
+func NewSoftSampler(cfg SoftSamplerConfig) *SoftSampler {
+	d := DefaultSoftSamplerConfig()
+	if cfg.SampleCostCycles == 0 {
+		cfg.SampleCostCycles = d.SampleCostCycles
+	}
+	if cfg.RecordBytes == 0 {
+		cfg.RecordBytes = d.RecordBytes
+	}
+	return &SoftSampler{cfg: cfg}
+}
+
+// Overflow implements Recorder.
+func (s *SoftSampler) Overflow(ev Event, ctx Ctx) uint64 {
+	if s.cfg.ThrottleIntervalCycles > 0 && s.haveLast &&
+		ctx.TSC-s.lastTSC < s.cfg.ThrottleIntervalCycles {
+		s.throttled++
+		return 0 // the kernel drops the sample without waking the sampler
+	}
+	smp := Sample{TSC: ctx.TSC, IP: ctx.IP, Core: ctx.Core, Event: ev}
+	if ctx.Regs != nil {
+		smp.Regs = *ctx.Regs
+	}
+	s.store = append(s.store, smp)
+	s.lastTSC = ctx.TSC
+	s.haveLast = true
+	return s.cfg.SampleCostCycles
+}
+
+// Throttled returns how many overflows the throttle suppressed.
+func (s *SoftSampler) Throttled() uint64 { return s.throttled }
+
+// Samples returns every record taken so far.
+func (s *SoftSampler) Samples() []Sample { return s.store }
+
+// Count returns the number of samples taken.
+func (s *SoftSampler) Count() uint64 { return uint64(len(s.store)) }
+
+// BytesWritten returns the total sample volume generated.
+func (s *SoftSampler) BytesWritten() uint64 { return s.Count() * s.cfg.RecordBytes }
+
+// Config returns the effective configuration.
+func (s *SoftSampler) Config() SoftSamplerConfig { return s.cfg }

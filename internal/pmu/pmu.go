@@ -1,0 +1,125 @@
+package pmu
+
+import (
+	"fmt"
+	"math"
+)
+
+// Counter is one programmed counter register: it counts occurrences of one
+// event downward from the reset value and fires its recorder at overflow,
+// exactly the -R countdown scheme of §III-B.
+type Counter struct {
+	// Event is the hardware event being counted.
+	Event Event
+	// Reset is the reset value R: a sample is taken every R occurrences.
+	Reset uint64
+
+	remaining uint64
+	recorder  Recorder
+	overflows uint64
+	total     uint64
+}
+
+// Overflows returns how many times the counter overflowed (== samples
+// requested from its recorder).
+func (c *Counter) Overflows() uint64 { return c.overflows }
+
+// Total returns the total number of event occurrences counted.
+func (c *Counter) Total() uint64 { return c.total }
+
+// PMU is the per-core performance monitoring unit. The number of counters
+// that can be programmed simultaneously depends on the CPU model; we allow
+// four, though the paper's method needs only one (§III-B: "we use only one
+// pair in our approach").
+type PMU struct {
+	counters []*Counter
+	enabled  bool
+}
+
+// MaxCounters is the number of simultaneously programmable counters.
+const MaxCounters = 4
+
+// New returns a PMU with no programmed counters, enabled.
+func New() *PMU { return &PMU{enabled: true} }
+
+// Program adds a counter for the given event/reset pair feeding rec.
+func (p *PMU) Program(ev Event, reset uint64, rec Recorder) (*Counter, error) {
+	if ev >= NumEvents {
+		return nil, fmt.Errorf("pmu: unknown event %d", ev)
+	}
+	if reset == 0 {
+		return nil, fmt.Errorf("pmu: reset value must be positive")
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("pmu: nil recorder")
+	}
+	if len(p.counters) >= MaxCounters {
+		return nil, fmt.Errorf("pmu: all %d counters in use", MaxCounters)
+	}
+	c := &Counter{Event: ev, Reset: reset, remaining: reset, recorder: rec}
+	p.counters = append(p.counters, c)
+	return c, nil
+}
+
+// MustProgram is Program but panics on error (experiment setup code).
+func (p *PMU) MustProgram(ev Event, reset uint64, rec Recorder) *Counter {
+	c, err := p.Program(ev, reset, rec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetEnabled turns counting on or off globally (the baseline, "no profiling
+// applied" runs of Fig. 10 run with the PMU disabled).
+func (p *PMU) SetEnabled(v bool) { p.enabled = v }
+
+// Enabled reports whether the PMU is counting.
+func (p *PMU) Enabled() bool { return p.enabled }
+
+// Counters returns the programmed counters.
+func (p *PMU) Counters() []*Counter { return p.counters }
+
+// Distance returns the smallest number of further occurrences of ev before
+// any counter overflows, or math.MaxUint64 when nothing counts ev. The core
+// uses it to split instruction blocks exactly at overflow boundaries so
+// every sample carries a cycle-accurate timestamp and IP.
+func (p *PMU) Distance(ev Event) uint64 {
+	if !p.enabled {
+		return math.MaxUint64
+	}
+	d := uint64(math.MaxUint64)
+	for _, c := range p.counters {
+		if c.Event == ev && c.remaining < d {
+			d = c.remaining
+		}
+	}
+	return d
+}
+
+// Add counts n occurrences of ev, firing recorders on overflow, and returns
+// the total sampling overhead (in cycles) the core must absorb. When n
+// crosses an overflow boundary mid-block, every sample in the block carries
+// the block-end context; cores that need exact per-sample context split
+// their blocks with Distance first.
+func (p *PMU) Add(ev Event, n uint64, ctx Ctx) uint64 {
+	if !p.enabled || n == 0 {
+		return 0
+	}
+	var oh uint64
+	for _, c := range p.counters {
+		if c.Event != ev {
+			continue
+		}
+		c.total += n
+		rem := n
+		for rem >= c.remaining {
+			rem -= c.remaining
+			c.remaining = c.Reset
+			c.overflows++
+			oh += c.recorder.Overflow(ev, ctx)
+		}
+		c.remaining -= rem
+	}
+	return oh
+}

@@ -1,0 +1,171 @@
+// Package report renders experiment results as text: aligned tables,
+// horizontal bar charts and stacked bars — the terminal equivalents of the
+// paper's figures, produced by cmd/fluct and recorded in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, 0, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts = append(parts, pad(c, widths[i]))
+			} else {
+				parts = append(parts, c)
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// U formats an unsigned integer.
+func U(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// I formats an integer.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// BarChart renders one horizontal bar per label, scaled to width chars.
+func BarChart(w io.Writer, title string, labels []string, values []float64, unit string, width int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(w, "  %s  %s %.2f %s\n", pad(labels[i], maxL), strings.Repeat("#", n), v, unit)
+	}
+}
+
+// Segment is one piece of a stacked bar.
+type Segment struct {
+	Name  string
+	Value float64
+}
+
+// StackedBar is one bar with labeled segments (Fig. 8's per-query stacks).
+type StackedBar struct {
+	Label    string
+	Segments []Segment
+}
+
+// StackedBars renders stacked horizontal bars: each segment drawn with its
+// own glyph, with a legend mapping glyphs to segment names.
+func StackedBars(w io.Writer, title string, bars []StackedBar, unit string, width int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	if width <= 0 {
+		width = 60
+	}
+	glyphs := []byte{'#', '=', '.', '+', '*', '~', 'o', 'x'}
+	names := []string{}
+	glyphOf := map[string]byte{}
+	maxTotal := 0.0
+	maxL := 0
+	for _, b := range bars {
+		total := 0.0
+		for _, s := range b.Segments {
+			total += s.Value
+			if _, ok := glyphOf[s.Name]; !ok {
+				glyphOf[s.Name] = glyphs[len(names)%len(glyphs)]
+				names = append(names, s.Name)
+			}
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if len(b.Label) > maxL {
+			maxL = len(b.Label)
+		}
+	}
+	legend := make([]string, 0, len(names))
+	for _, n := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphOf[n], n))
+	}
+	fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "  "))
+	for _, b := range bars {
+		var sb strings.Builder
+		total := 0.0
+		for _, s := range b.Segments {
+			total += s.Value
+			n := 0
+			if maxTotal > 0 {
+				n = int(s.Value / maxTotal * float64(width))
+			}
+			sb.Write(bytesRepeat(glyphOf[s.Name], n))
+		}
+		fmt.Fprintf(w, "  %s  %s %.2f %s\n", pad(b.Label, maxL), sb.String(), total, unit)
+	}
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

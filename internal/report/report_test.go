@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "22222")
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// All data lines must be equally wide up to trailing content.
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[2], "----") {
+		t.Errorf("header/rule malformed: %q %q", lines[1], lines[2])
+	}
+	// Column 2 must start at the same offset in both rows.
+	i1 := strings.Index(lines[3], "1")
+	i2 := strings.Index(lines[4], "22222")
+	if i1 != i2 {
+		t.Errorf("column misaligned: %d vs %d\n%s", i1, i2, out)
+	}
+}
+
+func TestTableMoreCellsThanHeaders(t *testing.T) {
+	tab := Table{Headers: []string{"a"}}
+	tab.AddRow("x", "extra")
+	var sb strings.Builder
+	tab.Render(&sb) // must not panic
+	if !strings.Contains(sb.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" || U(42) != "42" || I(-3) != "-3" {
+		t.Error("formatters wrong")
+	}
+}
+
+func TestBarChartScales(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "bars", []string{"a", "bb"}, []float64{10, 5}, "us", 20)
+	out := sb.String()
+	if !strings.Contains(out, "bars") {
+		t.Error("title missing")
+	}
+	aBar := strings.Count(strings.Split(out, "\n")[1], "#")
+	bBar := strings.Count(strings.Split(out, "\n")[2], "#")
+	if aBar != 20 || bBar != 10 {
+		t.Errorf("bar lengths = %d/%d, want 20/10", aBar, bBar)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "", []string{"a"}, []float64{0}, "us", 0) // must not divide by zero
+	if !strings.Contains(sb.String(), "0.00 us") {
+		t.Errorf("zero bar rendering: %q", sb.String())
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	var sb strings.Builder
+	StackedBars(&sb, "stacks", []StackedBar{
+		{Label: "q1", Segments: []Segment{{"f1", 2}, {"f2", 4}}},
+		{Label: "q2", Segments: []Segment{{"f1", 1}, {"f2", 1}}},
+	}, "us", 30)
+	out := sb.String()
+	if !strings.Contains(out, "legend: #=f1  ==f2") {
+		t.Errorf("legend wrong: %q", out)
+	}
+	if !strings.Contains(out, "6.00 us") || !strings.Contains(out, "2.00 us") {
+		t.Errorf("totals missing: %q", out)
+	}
+	// q1's stack must be ~3x q2's. Lines: title, legend, q1, q2.
+	lines := strings.Split(out, "\n")
+	q1 := strings.Count(lines[2], "#") + strings.Count(lines[2], "=")
+	q2 := strings.Count(lines[3], "#") + strings.Count(lines[3], "=")
+	if q1 < 2*q2 {
+		t.Errorf("stack scaling wrong: %d vs %d", q1, q2)
+	}
+}
+
+func TestStackedBarsManySegmentsReuseGlyphs(t *testing.T) {
+	segs := make([]Segment, 10)
+	for i := range segs {
+		segs[i] = Segment{Name: string(rune('a' + i)), Value: 1}
+	}
+	var sb strings.Builder
+	StackedBars(&sb, "", []StackedBar{{Label: "x", Segments: segs}}, "u", 40) // must not panic
+	if !strings.Contains(sb.String(), "legend") {
+		t.Error("legend missing")
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+// branchPredictor is a small gshare-style predictor: a global history
+// register XORed into the branch PC indexes a table of 2-bit saturating
+// counters. It exists so BR_MISP_RETIRED events (a §V-D metric) emerge from
+// actual branch behaviour — loops predict well after warmup, data-dependent
+// branches mispredict in proportion to their irregularity — instead of
+// being declared by the workload.
+type branchPredictor struct {
+	history uint64
+	table   []uint8 // 2-bit counters, 0..3; >=2 predicts taken
+	mask    uint64
+}
+
+const predictorBits = 12 // 4096-entry pattern table
+
+func newBranchPredictor() *branchPredictor {
+	size := 1 << predictorBits
+	t := make([]uint8, size)
+	for i := range t {
+		t[i] = 2 // weakly taken, the common static default
+	}
+	return &branchPredictor{table: t, mask: uint64(size - 1)}
+}
+
+// predict consumes one branch outcome and reports whether the prediction
+// was wrong, updating counter and history.
+func (p *branchPredictor) predict(pc uint64, taken bool) (mispredicted bool) {
+	idx := ((pc >> 2) ^ p.history) & p.mask
+	pred := p.table[idx] >= 2
+	mispredicted = pred != taken
+	if taken {
+		if p.table[idx] < 3 {
+			p.table[idx]++
+		}
+	} else if p.table[idx] > 0 {
+		p.table[idx]--
+	}
+	p.history = (p.history<<1 | b2u(taken)) & p.mask
+	return mispredicted
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+)
+
+func TestPredictorLearnsLoops(t *testing.T) {
+	m := MustNew(Config{Cores: 1})
+	c := m.Core(0)
+	fn := m.Syms.MustRegister("loop", 4096)
+	rec := pmu.NewPEBS(pmu.PEBSConfig{})
+	c.PMU.MustProgram(pmu.BranchMispredicts, 1, rec)
+
+	misses := 0
+	c.Call(fn, func() {
+		// A classic counted loop: taken 99 times, then one exit.
+		for rep := 0; rep < 20; rep++ {
+			for i := 0; i < 99; i++ {
+				if c.BranchTaken(true) {
+					misses++
+				}
+			}
+			if c.BranchTaken(false) { // loop exit
+				misses++
+			}
+		}
+	})
+	total := 20 * 100
+	rate := float64(misses) / float64(total)
+	if rate > 0.10 {
+		t.Errorf("loop mispredict rate = %.3f, want < 0.10 after warmup", rate)
+	}
+	if got := len(rec.Samples()); got != misses {
+		t.Errorf("mispredict events = %d, misses = %d", got, misses)
+	}
+}
+
+func TestPredictorStrugglesOnNoise(t *testing.T) {
+	m := MustNew(Config{Cores: 1})
+	c := m.Core(0)
+	fn := m.Syms.MustRegister("noisy", 4096)
+	seed := uint64(0x9e3779b97f4a7c15)
+	misses := 0
+	const n = 4000
+	c.Call(fn, func() {
+		for i := 0; i < n; i++ {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			if c.BranchTaken(seed&1 == 1) {
+				misses++
+			}
+		}
+	})
+	rate := float64(misses) / float64(n)
+	// Pseudorandom outcomes are unpredictable: expect ~50%.
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("random-branch mispredict rate = %.3f, want ~0.5", rate)
+	}
+}
+
+func TestPredictedBranchIsCheaperThanMispredicted(t *testing.T) {
+	m := MustNew(Config{Cores: 1})
+	c := m.Core(0)
+	fn := m.Syms.MustRegister("f", 4096)
+	c.Call(fn, func() {
+		for i := 0; i < 1000; i++ {
+			c.BranchTaken(true) // trains to always-taken
+		}
+	})
+	warm := c.Now()
+	c.Call(fn, func() {
+		for i := 0; i < 1000; i++ {
+			c.BranchTaken(true)
+		}
+	})
+	steady := c.Now() - warm
+	// Steady-state: ~1 cycle per branch, no flush penalties.
+	if steady > 1100 {
+		t.Errorf("steady predicted branches cost %d cycles per 1000, want ~1000", steady)
+	}
+}
+
+func TestBranchTakenDeterministic(t *testing.T) {
+	run := func() uint64 {
+		m := MustNew(Config{Cores: 1})
+		c := m.Core(0)
+		fn := m.Syms.MustRegister("f", 4096)
+		c.Call(fn, func() {
+			for i := 0; i < 500; i++ {
+				c.BranchTaken(i%3 == 0)
+			}
+		})
+		return c.Now()
+	}
+	if run() != run() {
+		t.Error("predictor nondeterministic")
+	}
+}

@@ -1,0 +1,126 @@
+// Package symtab models the symbol table of a traced binary.
+//
+// The hybrid tracer resolves sampled instruction-pointer values against the
+// symbol table of the target program (paper §III-D step 2: "the values of
+// the instruction pointer included in each PEBS sample are compared with the
+// symbol table of the target program"). In this reproduction the "binary" is
+// a simulated program, so functions register themselves here and receive a
+// synthetic, non-overlapping address range, exactly as the linker would lay
+// them out in an ELF text section.
+package symtab
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultBase is the virtual address at which the first registered function
+// is placed. It mirrors the traditional x86-64 text segment start so that
+// sampled IPs look like real user-space addresses in dumps.
+const DefaultBase uint64 = 0x400000
+
+// fnAlign is the alignment applied to every function start, matching the
+// 16-byte alignment used by common compilers.
+const fnAlign uint64 = 16
+
+// Fn describes one function of the target program: its name and the
+// half-open address range [Base, Base+Size) occupied by its code.
+type Fn struct {
+	// Name is the symbol name, e.g. "rte_acl_classify".
+	Name string
+	// Base is the address of the first instruction.
+	Base uint64
+	// Size is the length of the function body in bytes.
+	Size uint64
+	// ID is a small dense index assigned in registration order. Analyzers
+	// use it to index per-function arrays without hashing.
+	ID int
+}
+
+// Contains reports whether ip falls inside the function body.
+func (f *Fn) Contains(ip uint64) bool {
+	return ip >= f.Base && ip < f.Base+f.Size
+}
+
+// End returns the first address past the function body.
+func (f *Fn) End() uint64 { return f.Base + f.Size }
+
+// String implements fmt.Stringer.
+func (f *Fn) String() string {
+	return fmt.Sprintf("%s [%#x,%#x)", f.Name, f.Base, f.End())
+}
+
+// Table is the symbol table of one simulated binary. Functions are appended
+// at increasing addresses; lookups by IP use binary search. A Table is not
+// safe for concurrent mutation, but concurrent Resolve calls after all
+// registrations are safe (the simulator registers every function before the
+// workload starts, as a real program's text section is fixed at load time).
+type Table struct {
+	fns    []*Fn // sorted by Base
+	byName map[string]*Fn
+	next   uint64
+}
+
+// NewTable returns an empty symbol table starting at DefaultBase.
+func NewTable() *Table {
+	return &Table{byName: make(map[string]*Fn), next: DefaultBase}
+}
+
+// Register adds a function of the given code size and returns its symbol.
+// It returns an error if the name is already taken or the size is zero.
+func (t *Table) Register(name string, size uint64) (*Fn, error) {
+	if name == "" {
+		return nil, fmt.Errorf("symtab: empty function name")
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("symtab: function %q has zero size", name)
+	}
+	if _, dup := t.byName[name]; dup {
+		return nil, fmt.Errorf("symtab: duplicate function %q", name)
+	}
+	base := align(t.next, fnAlign)
+	f := &Fn{Name: name, Base: base, Size: size, ID: len(t.fns)}
+	t.fns = append(t.fns, f)
+	t.byName[name] = f
+	t.next = base + size
+	return f, nil
+}
+
+// MustRegister is Register but panics on error. The simulator's workloads
+// register a fixed set of functions at start-up, so failure is a programming
+// error, not a runtime condition.
+func (t *Table) MustRegister(name string, size uint64) *Fn {
+	f, err := t.Register(name, size)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Resolve maps an instruction pointer to the function containing it, or nil
+// if the IP falls outside every registered function (e.g. a sample taken in
+// unsymbolized library code).
+func (t *Table) Resolve(ip uint64) *Fn {
+	i := sort.Search(len(t.fns), func(i int) bool { return t.fns[i].Base > ip })
+	if i == 0 {
+		return nil
+	}
+	if f := t.fns[i-1]; f.Contains(ip) {
+		return f
+	}
+	return nil
+}
+
+// ByName returns the function with the given symbol name, or nil.
+func (t *Table) ByName(name string) *Fn { return t.byName[name] }
+
+// Fns returns all registered functions in address order. The returned slice
+// is owned by the table and must not be modified.
+func (t *Table) Fns() []*Fn { return t.fns }
+
+// Len returns the number of registered functions.
+func (t *Table) Len() int { return len(t.fns) }
+
+func align(v, a uint64) uint64 {
+	return (v + a - 1) / a * a
+}

@@ -1,0 +1,166 @@
+package symtab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterAssignsIncreasingAlignedBases(t *testing.T) {
+	tab := NewTable()
+	a := tab.MustRegister("a", 100)
+	b := tab.MustRegister("b", 7)
+	c := tab.MustRegister("c", 1)
+	if a.Base != DefaultBase {
+		t.Errorf("first function base = %#x, want %#x", a.Base, DefaultBase)
+	}
+	if b.Base < a.End() {
+		t.Errorf("b overlaps a: b.Base=%#x a.End=%#x", b.Base, a.End())
+	}
+	if c.Base < b.End() {
+		t.Errorf("c overlaps b: c.Base=%#x b.End=%#x", c.Base, b.End())
+	}
+	for _, f := range []*Fn{a, b, c} {
+		if f.Base%16 != 0 {
+			t.Errorf("%s base %#x not 16-aligned", f.Name, f.Base)
+		}
+	}
+	if a.ID != 0 || b.ID != 1 || c.ID != 2 {
+		t.Errorf("IDs not dense in registration order: %d %d %d", a.ID, b.ID, c.ID)
+	}
+}
+
+func TestRegisterRejectsBadInput(t *testing.T) {
+	tab := NewTable()
+	if _, err := tab.Register("", 10); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := tab.Register("f", 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	tab.MustRegister("f", 10)
+	if _, err := tab.Register("f", 10); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	tab := NewTable()
+	tab.MustRegister("f", 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister did not panic on duplicate")
+		}
+	}()
+	tab.MustRegister("f", 10)
+}
+
+func TestResolveBoundaries(t *testing.T) {
+	tab := NewTable()
+	f := tab.MustRegister("f", 64)
+	g := tab.MustRegister("g", 64)
+	cases := []struct {
+		ip   uint64
+		want *Fn
+	}{
+		{f.Base - 1, nil},
+		{f.Base, f},
+		{f.Base + 63, f},
+		{f.End(), g}, // f is 64 bytes and 16-aligned, so g starts at f.End()
+		{g.Base + 1, g},
+		{g.End(), nil},
+		{0, nil},
+	}
+	for _, c := range cases {
+		if got := tab.Resolve(c.ip); got != c.want {
+			t.Errorf("Resolve(%#x) = %v, want %v", c.ip, got, c.want)
+		}
+	}
+}
+
+func TestResolveGapBetweenFunctions(t *testing.T) {
+	tab := NewTable()
+	f := tab.MustRegister("f", 10) // padded to 16
+	g := tab.MustRegister("g", 10)
+	if got := tab.Resolve(f.Base + 12); got != nil {
+		t.Errorf("Resolve in alignment gap = %v, want nil", got)
+	}
+	if got := tab.Resolve(g.Base); got != g {
+		t.Errorf("Resolve(g.Base) = %v, want g", got)
+	}
+}
+
+func TestByNameAndFns(t *testing.T) {
+	tab := NewTable()
+	f := tab.MustRegister("rte_acl_classify", 4096)
+	if tab.ByName("rte_acl_classify") != f {
+		t.Error("ByName did not find registered function")
+	}
+	if tab.ByName("nope") != nil {
+		t.Error("ByName invented a function")
+	}
+	if tab.Len() != 1 || len(tab.Fns()) != 1 {
+		t.Errorf("Len/Fns = %d/%d, want 1/1", tab.Len(), len(tab.Fns()))
+	}
+}
+
+func TestContains(t *testing.T) {
+	f := &Fn{Name: "f", Base: 0x1000, Size: 0x100}
+	if !f.Contains(0x1000) || !f.Contains(0x10ff) {
+		t.Error("Contains rejects in-range IPs")
+	}
+	if f.Contains(0xfff) || f.Contains(0x1100) {
+		t.Error("Contains accepts out-of-range IPs")
+	}
+}
+
+func TestStringHasNameAndRange(t *testing.T) {
+	f := &Fn{Name: "f", Base: 0x10, Size: 0x10}
+	if got, want := f.String(), "f [0x10,0x20)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestQuickResolveMatchesLinearScan checks, for random layouts and random
+// probes, that binary-search Resolve agrees with a brute-force scan.
+func TestQuickResolveMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prop := func(sizes []uint16, probes []uint32) bool {
+		tab := NewTable()
+		var fns []*Fn
+		for i, s := range sizes {
+			if len(fns) >= 50 {
+				break
+			}
+			size := uint64(s%2000) + 1
+			fns = append(fns, tab.MustRegister(string(rune('a'+i%26))+string(rune('0'+i/26)), size))
+		}
+		linear := func(ip uint64) *Fn {
+			for _, f := range fns {
+				if f.Contains(ip) {
+					return f
+				}
+			}
+			return nil
+		}
+		for _, p := range probes {
+			ip := DefaultBase + uint64(p)%(1<<18)
+			if tab.Resolve(ip) != linear(ip) {
+				return false
+			}
+		}
+		// Also probe exact bases and ends, where off-by-ones live.
+		for _, f := range fns {
+			if tab.Resolve(f.Base) != f {
+				return false
+			}
+			if got := tab.Resolve(f.End()); got == f {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExportMarkersCSV(t *testing.T) {
+	set := buildSet(t)
+	var buf bytes.Buffer
+	if err := set.ExportMarkersCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(set.Markers) {
+		t.Fatalf("rows = %d, want %d", len(rows), 1+len(set.Markers))
+	}
+	if strings.Join(rows[0], ",") != "item,tsc,core,kind" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "10" || rows[1][3] != "begin" {
+		t.Errorf("first marker row = %v", rows[1])
+	}
+}
+
+func TestExportSamplesCSVResolvesFunctions(t *testing.T) {
+	set := buildSet(t)
+	var buf bytes.Buffer
+	if err := set.ExportSamplesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(set.Samples) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// buildSet's first sample IP 0x400010 lies in f1.
+	if rows[1][4] != "f1" {
+		t.Errorf("function column = %q, want f1", rows[1][4])
+	}
+	if !strings.HasPrefix(rows[1][1], "0x") {
+		t.Errorf("ip column = %q, want hex", rows[1][1])
+	}
+}
+
+func TestExportJSONL(t *testing.T) {
+	set := buildSet(t)
+	var buf bytes.Buffer
+	if err := set.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(set.Markers)+len(set.Samples) {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["type"] != "marker" || first["kind"] != "begin" {
+		t.Errorf("first line = %v", first)
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last["type"] != "sample" {
+		t.Errorf("last line = %v", last)
+	}
+	// buildSet's second sample carries r13 = 42.
+	if last["r13"] != float64(42) {
+		t.Errorf("r13 = %v, want 42", last["r13"])
+	}
+}
+
+func TestExportEmptySet(t *testing.T) {
+	set := &Set{FreqHz: 1}
+	var buf bytes.Buffer
+	if err := set.ExportMarkersCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.ExportSamplesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

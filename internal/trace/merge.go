@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/symtab"
+)
+
+// Merge combines several trace sets into one — the offline-analysis step
+// for deployments that dump each core's markers and PEBS buffers into
+// separate files (as the paper's prototype writes per-core data to SSD).
+//
+// All inputs must share the TSC frequency. Symbol tables must be
+// compatible: for any function name appearing in more than one input, the
+// address range must agree (same binary); the merged table is their union.
+// Inputs without a symbol table contribute only their event streams.
+func Merge(sets ...*Set) (*Set, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	out := &Set{}
+	var symSources []*symtab.Table
+	for i, s := range sets {
+		if s == nil {
+			return nil, fmt.Errorf("trace: set %d is nil", i)
+		}
+		if s.FreqHz == 0 {
+			return nil, fmt.Errorf("trace: set %d has zero TSC frequency", i)
+		}
+		if out.FreqHz == 0 {
+			out.FreqHz = s.FreqHz
+		} else if s.FreqHz != out.FreqHz {
+			return nil, fmt.Errorf("trace: set %d frequency %d differs from %d; traces are from different machines",
+				i, s.FreqHz, out.FreqHz)
+		}
+		out.Markers = append(out.Markers, s.Markers...)
+		out.Samples = append(out.Samples, s.Samples...)
+		if s.Syms != nil {
+			symSources = append(symSources, s.Syms)
+		}
+	}
+	if len(symSources) > 0 {
+		merged, err := mergeSymbols(symSources)
+		if err != nil {
+			return nil, err
+		}
+		out.Syms = merged
+	}
+	return out, nil
+}
+
+// mergeSymbols unions symbol tables, requiring agreement on shared names.
+// Because symtab assigns addresses deterministically in registration order,
+// two tables agree exactly when they registered the same prefix of
+// functions; the merged table re-registers the union in address order.
+func mergeSymbols(tables []*symtab.Table) (*symtab.Table, error) {
+	type fnInfo struct {
+		name string
+		base uint64
+		size uint64
+	}
+	byName := map[string]fnInfo{}
+	var order []fnInfo
+	for _, t := range tables {
+		for _, f := range t.Fns() {
+			prev, seen := byName[f.Name]
+			if !seen {
+				info := fnInfo{name: f.Name, base: f.Base, size: f.Size}
+				byName[f.Name] = info
+				order = append(order, info)
+				continue
+			}
+			if prev.base != f.Base || prev.size != f.Size {
+				return nil, fmt.Errorf("trace: symbol %q disagrees across traces: [%#x,+%d) vs [%#x,+%d)",
+					f.Name, prev.base, prev.size, f.Base, f.Size)
+			}
+		}
+	}
+	// Sort by base so registration order reproduces the address layout.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].base < order[j-1].base; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	merged := symtab.NewTable()
+	for _, info := range order {
+		f, err := merged.Register(info.name, info.size)
+		if err != nil {
+			return nil, err
+		}
+		if f.Base != info.base {
+			return nil, fmt.Errorf("trace: merged layout cannot reproduce %q at %#x (got %#x); traces come from different binaries",
+				info.name, info.base, f.Base)
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/sim"
+)
+
+// splitPerCore simulates per-core dump files: one Set per core with the
+// full symbol table, as the prototype's per-core SSD files would carry.
+func splitPerCore(set *Set) []*Set {
+	byCore := map[int32]*Set{}
+	var order []int32
+	get := func(core int32) *Set {
+		s := byCore[core]
+		if s == nil {
+			s = &Set{FreqHz: set.FreqHz, Syms: set.Syms}
+			byCore[core] = s
+			order = append(order, core)
+		}
+		return s
+	}
+	for _, m := range set.Markers {
+		s := get(m.Core)
+		s.Markers = append(s.Markers, m)
+	}
+	for _, sm := range set.Samples {
+		s := get(sm.Core)
+		s.Samples = append(s.Samples, sm)
+	}
+	out := make([]*Set, 0, len(order))
+	for _, c := range order {
+		out = append(out, byCore[c])
+	}
+	return out
+}
+
+func twoCoreSet(t *testing.T) *Set {
+	t.Helper()
+	m := sim.MustNew(sim.Config{Cores: 2})
+	f := m.Syms.MustRegister("f", 128)
+	set := &Set{FreqHz: m.FreqHz(), Syms: m.Syms}
+	for core := int32(0); core < 2; core++ {
+		set.Markers = append(set.Markers,
+			Marker{Item: uint64(core + 1), TSC: 10, Core: core, Kind: ItemBegin},
+			Marker{Item: uint64(core + 1), TSC: 90, Core: core, Kind: ItemEnd})
+		set.Samples = append(set.Samples,
+			pmu.Sample{TSC: 50, IP: f.Base, Core: core, Event: pmu.UopsRetired})
+	}
+	return set
+}
+
+func TestMergePerCoreDumps(t *testing.T) {
+	set := twoCoreSet(t)
+	parts := splitPerCore(set)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Markers) != len(set.Markers) || len(merged.Samples) != len(set.Samples) {
+		t.Errorf("merged %d/%d events, want %d/%d",
+			len(merged.Markers), len(merged.Samples), len(set.Markers), len(set.Samples))
+	}
+	if merged.FreqHz != set.FreqHz {
+		t.Error("frequency lost")
+	}
+	if merged.Syms.ByName("f") == nil {
+		t.Error("symbols lost")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Error("accepted empty merge")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("accepted nil set")
+	}
+	if _, err := Merge(&Set{}); err == nil {
+		t.Error("accepted zero frequency")
+	}
+	a := &Set{FreqHz: 1_000}
+	b := &Set{FreqHz: 2_000}
+	if _, err := Merge(a, b); err == nil {
+		t.Error("accepted mismatched frequencies")
+	}
+}
+
+func TestMergeSymbolConflict(t *testing.T) {
+	m1 := sim.MustNew(sim.Config{Cores: 1})
+	m1.Syms.MustRegister("f", 128)
+	m2 := sim.MustNew(sim.Config{Cores: 1})
+	m2.Syms.MustRegister("g", 64) // shifts f's base
+	m2.Syms.MustRegister("f", 128)
+	a := &Set{FreqHz: m1.FreqHz(), Syms: m1.Syms}
+	b := &Set{FreqHz: m2.FreqHz(), Syms: m2.Syms}
+	if _, err := Merge(a, b); err == nil {
+		t.Error("accepted conflicting symbol layouts")
+	}
+}
+
+func TestMergeDisjointSymbolsUnion(t *testing.T) {
+	// Two traces of the same binary where each table happens to hold the
+	// full registration prefix: union works when layouts agree.
+	m := sim.MustNew(sim.Config{Cores: 1})
+	m.Syms.MustRegister("f", 128)
+	m.Syms.MustRegister("g", 64)
+	a := &Set{FreqHz: m.FreqHz(), Syms: m.Syms}
+	b := &Set{FreqHz: m.FreqHz(), Syms: m.Syms}
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Syms.Len() != 2 {
+		t.Errorf("merged symbols = %d, want 2", merged.Syms.Len())
+	}
+}
+
+func TestMergeWithoutSymbols(t *testing.T) {
+	a := &Set{FreqHz: 2_000_000_000, Samples: []pmu.Sample{{TSC: 1}}}
+	b := &Set{FreqHz: 2_000_000_000, Samples: []pmu.Sample{{TSC: 2}}}
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Syms != nil {
+		t.Error("symbols invented")
+	}
+	if len(merged.Samples) != 2 {
+		t.Error("samples lost")
+	}
+}

@@ -1,0 +1,171 @@
+// Package trace holds the two raw data streams the hybrid approach
+// integrates (Fig. 3): marker records produced by the coarse-grained
+// instrumentation at data-item switches, and hardware samples produced by
+// PEBS. It also serializes complete trace sets so diagnosis can happen
+// offline, as the paper's prototype does by dumping both streams to SSD.
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/pmu"
+	"repro/internal/sim"
+	"repro/internal/symtab"
+)
+
+// Kind distinguishes the two marker flavours inserted at data-item switches.
+type Kind uint8
+
+const (
+	// ItemBegin marks the instant a data-item enters the core (the thread
+	// starts processing it).
+	ItemBegin Kind = iota
+	// ItemEnd marks the instant the data-item leaves the core.
+	ItemEnd
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == ItemBegin {
+		return "begin"
+	}
+	return "end"
+}
+
+// Marker is one record written by the instrumented marking function:
+// "the timestamp and the data-item ID are recorded by the instrumented
+// code" (§III-D step 1). Unlike a PEBS sample it carries the item ID —
+// that asymmetry (Table I) is what the integration step resolves.
+type Marker struct {
+	Item uint64
+	TSC  uint64
+	Core int32
+	Kind Kind
+}
+
+// DefaultMarkerUops is the default instruction cost of one marking-function
+// invocation: a timestamp read plus a buffered log append, ~150 instructions
+// (§III-E notes the prototype wrote straight to SSD but that an in-memory
+// buffer is the obvious optimization; that is what we model by default).
+const DefaultMarkerUops = 150
+
+// MarkerLog collects markers. Each core appends to a private slice from its
+// own pinned goroutine, so no locking is needed and output is deterministic.
+type MarkerLog struct {
+	costUops  uint64
+	perCore   [][]Marker
+	lossEvery uint64
+	// calls/lost are per-core, written only by each core's own pinned
+	// goroutine (like perCore), keeping Mark lock-free and deterministic.
+	calls []uint64
+	lost  []uint64
+}
+
+// NewMarkerLog creates a log for a machine with the given core count; each
+// Mark charges costUops to the calling core (0 means DefaultMarkerUops; use
+// SetFree for zero-cost marking in ground-truth harnesses).
+func NewMarkerLog(cores int, costUops uint64) *MarkerLog {
+	if costUops == 0 {
+		costUops = DefaultMarkerUops
+	}
+	return &MarkerLog{
+		costUops: costUops,
+		perCore:  make([][]Marker, cores),
+		calls:    make([]uint64, cores),
+		lost:     make([]uint64, cores),
+	}
+}
+
+// SetFree disables the marking cost (for oracle/ground-truth runs only).
+func (l *MarkerLog) SetFree() { l.costUops = ^uint64(0) }
+
+// InjectLoss drops every n-th Mark call's record (the marking code still
+// runs and still costs time, as a log write lost to a crashed collector
+// would). n == 0 disables loss. Failure-injection tests use this to show
+// the integrator degrades to diagnostics, not corruption.
+func (l *MarkerLog) InjectLoss(n uint64) { l.lossEvery = n }
+
+// Mark records a data-item switch on c's timeline. The timestamp is taken on
+// entry to the marking function and the function's own cost is paid
+// afterwards, as a real `log(d.id, timestamp)` statement would behave.
+func (l *MarkerLog) Mark(c *sim.Core, item uint64, k Kind) {
+	id := c.ID()
+	l.calls[id]++
+	if l.lossEvery > 0 && l.calls[id]%l.lossEvery == 0 {
+		l.lost[id]++
+	} else {
+		m := Marker{Item: item, TSC: c.Now(), Core: int32(id), Kind: k}
+		l.perCore[id] = append(l.perCore[id], m)
+	}
+	if l.costUops != ^uint64(0) {
+		c.Exec(l.costUops)
+	}
+}
+
+// Lost returns how many marker records were dropped by loss injection.
+func (l *MarkerLog) Lost() uint64 {
+	var n uint64
+	for _, v := range l.lost {
+		n += v
+	}
+	return n
+}
+
+// Count returns the total number of markers recorded.
+func (l *MarkerLog) Count() int {
+	n := 0
+	for _, s := range l.perCore {
+		n += len(s)
+	}
+	return n
+}
+
+// Markers merges the per-core logs into one slice sorted by (core, TSC,
+// kind). Call after the workload finishes.
+func (l *MarkerLog) Markers() []Marker {
+	var out []Marker
+	for _, s := range l.perCore {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Core != out[j].Core {
+			return out[i].Core < out[j].Core
+		}
+		if out[i].TSC != out[j].TSC {
+			return out[i].TSC < out[j].TSC
+		}
+		// End sorts before Begin at the same instant so back-to-back items
+		// (End of one, Begin of the next, zero cycles apart) stay pairable.
+		return out[i].Kind > out[j].Kind
+	})
+	return out
+}
+
+// Set is one complete trace: both raw streams plus everything needed to
+// interpret them (symbol table for IP resolution, clock frequency for time
+// conversion).
+type Set struct {
+	// FreqHz is the TSC frequency of the traced machine.
+	FreqHz uint64
+	// Markers are the instrumentation records, any order.
+	Markers []Marker
+	// Samples are the PEBS records, any order.
+	Samples []pmu.Sample
+	// Syms resolves sampled IPs to functions.
+	Syms *symtab.Table
+}
+
+// NewSet assembles a Set from a finished run.
+func NewSet(m *sim.Machine, log *MarkerLog, samples []pmu.Sample) *Set {
+	return &Set{
+		FreqHz:  m.FreqHz(),
+		Markers: log.Markers(),
+		Samples: samples,
+		Syms:    m.Syms,
+	}
+}
+
+// CyclesToMicros converts cycles on this trace's clock to microseconds.
+func (s *Set) CyclesToMicros(cy uint64) float64 {
+	return float64(cy) * 1e6 / float64(s.FreqHz)
+}

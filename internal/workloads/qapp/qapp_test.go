@@ -1,0 +1,248 @@
+package qapp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestPaperQuerySequenceShape(t *testing.T) {
+	qs := PaperQuerySequence()
+	if len(qs) != 10 {
+		t.Fatalf("queries = %d, want 10", len(qs))
+	}
+	// §IV-B: queries 1, 2, 4 and 8 share n=3; queries 5, 7 and 9 share n=5.
+	for _, i := range []int{1, 2, 4, 8} {
+		if qs[i-1].N != 3 {
+			t.Errorf("query %d n = %d, want 3", i, qs[i-1].N)
+		}
+	}
+	for _, i := range []int{5, 7, 9} {
+		if qs[i-1].N != 5 {
+			t.Errorf("query %d n = %d, want 5", i, qs[i-1].N)
+		}
+	}
+	for i, q := range qs {
+		if q.ID != uint64(i+1) {
+			t.Errorf("query %d has ID %d", i, q.ID)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Error("accepted empty query list")
+	}
+	if _, err := Run(Config{}, []Query{{ID: 1, N: 0}}); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := Run(Config{}, []Query{{ID: 0, N: 1}}); err == nil {
+		t.Error("accepted zero query ID")
+	}
+}
+
+func TestColdQueryIsSlower(t *testing.T) {
+	res, err := Run(Config{}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query 1 (n=3, cold) must dwarf queries 2, 4, 8 (n=3, warm).
+	cold := res.Elapsed[1]
+	for _, id := range []uint64{2, 4, 8} {
+		if warm := res.Elapsed[id]; cold < 3*warm {
+			t.Errorf("cold query 1 (%d cy) not >>3x warm query %d (%d cy)", cold, id, warm)
+		}
+	}
+	// Query 5 (n=5, 2000 new points) must exceed queries 7, 9 (warm n=5).
+	for _, id := range []uint64{7, 9} {
+		if res.Elapsed[5] < 2*res.Elapsed[id] {
+			t.Errorf("query 5 (%d cy) not >2x warm query %d (%d cy)", res.Elapsed[5], id, res.Elapsed[id])
+		}
+	}
+}
+
+func TestF3DominatesColdQueries(t *testing.T) {
+	res, err := Run(Config{}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1 := res.Truth[1]
+	if !(tr1.F3 > tr1.F2 && tr1.F3 > tr1.F1) {
+		t.Errorf("cold query: f3 (%d) must dominate f1 (%d) and f2 (%d) — \"f3 takes much longer time than f1 when the cache does not hit\"",
+			tr1.F3, tr1.F1, tr1.F2)
+	}
+	tr2 := res.Truth[2]
+	if tr2.F3 > tr2.F2 {
+		t.Errorf("warm query: f2 (%d) should dominate f3 (%d)", tr2.F2, tr2.F3)
+	}
+}
+
+func TestHybridTraceReproducesFig8(t *testing.T) {
+	res, err := Run(Config{Reset: 8000}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Integrate(res.Set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Items) != 10 {
+		t.Fatalf("items = %d, want 10", len(a.Items))
+	}
+	// The trace-estimated totals must show the same fluctuation: query 1
+	// estimated much larger than query 2.
+	est := func(id uint64) uint64 { return a.Item(id).ElapsedCycles() }
+	if est(1) < 3*est(2) {
+		t.Errorf("trace misses the fluctuation: est(1)=%d est(2)=%d", est(1), est(2))
+	}
+	// Per-function estimates of the cold query: f3 dominates.
+	it1 := a.Item(1)
+	if it1.Func(FnF3).Cycles() <= it1.Func(FnF1).Cycles() {
+		t.Errorf("estimated f3 (%d) should dominate f1 (%d) on the cold query",
+			it1.Func(FnF3).Cycles(), it1.Func(FnF1).Cycles())
+	}
+	// Estimates track ground truth within sampling error for the big
+	// functions (f3 cold runs ~100k+ cycles, interval is 4000 cycles).
+	tr := res.Truth[1]
+	estF3 := float64(it1.Func(FnF3).Cycles())
+	rel := (float64(tr.F3) - estF3) / float64(tr.F3)
+	if rel < -0.05 || rel > 0.25 {
+		t.Errorf("f3 estimate off by %.3f (truth %d, est %.0f)", rel, tr.F3, estF3)
+	}
+}
+
+func TestFluctuationDetectorFlagsColdQueries(t *testing.T) {
+	res, err := Run(Config{Reset: 8000}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Integrate(res.Set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byN := map[uint64]string{}
+	for _, q := range PaperQuerySequence() {
+		byN[q.ID] = "n=" + string(rune('0'+q.N))
+	}
+	groups := core.DetectFluctuations(a, func(it *core.Item) string { return byN[it.ID] }, 3, 0.5)
+	flagged := map[uint64]bool{}
+	for _, g := range groups {
+		for _, it := range g.Outliers {
+			flagged[it.ID] = true
+		}
+	}
+	if !flagged[1] {
+		t.Error("query 1 (cold n=3) not flagged")
+	}
+	if !flagged[5] {
+		t.Error("query 5 (cold n=5) not flagged")
+	}
+	if flagged[2] || flagged[4] || flagged[8] {
+		t.Errorf("warm queries falsely flagged: %v", flagged)
+	}
+}
+
+func TestGroupStatsMatchPaperStory(t *testing.T) {
+	res, err := Run(Config{Reset: 8000}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Integrate(res.Set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := PaperQuerySequence()
+	groups := core.GroupItems(a, func(it *core.Item) string {
+		return "n=" + string(rune('0'+seq[it.ID-1].N))
+	})
+	var g3, g5 *core.Group
+	for i := range groups {
+		switch groups[i].Key {
+		case "n=3":
+			g3 = &groups[i]
+		case "n=5":
+			g5 = &groups[i]
+		}
+	}
+	if g3 == nil || g5 == nil {
+		t.Fatalf("groups missing: %+v", groups)
+	}
+	if g3.Summary.N != 4 || g5.Summary.N != 3 {
+		t.Errorf("group sizes: n=3 has %d, n=5 has %d", g3.Summary.N, g5.Summary.N)
+	}
+	// Within-group max/min ratio shows the fluctuation.
+	if g3.Summary.Max < 3*g3.Summary.Min {
+		t.Errorf("n=3 group max/min = %.1f/%.1f, want >3x spread", g3.Summary.Max, g3.Summary.Min)
+	}
+}
+
+func TestSamplingOverheadVisibleButSmall(t *testing.T) {
+	noSampling, err := Run(Config{}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Run(Config{Reset: 8000}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tot0, tot1 uint64
+	for id := range noSampling.Elapsed {
+		tot0 += noSampling.Elapsed[id]
+		tot1 += sampled.Elapsed[id]
+	}
+	if tot1 <= tot0 {
+		t.Error("sampling had no cost at all")
+	}
+	// At R=8000 on an IPC-2 core the 250 ns per-sample cost is ~10% of
+	// pure-compute stretches; loads and stores dilute it below 8% overall.
+	if float64(tot1) > 1.08*float64(tot0) {
+		t.Errorf("sampling overhead %.2f%%, want under 8%%", 100*(float64(tot1)/float64(tot0)-1))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	r1, err := Run(Config{Reset: 8000}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Config{Reset: 8000}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range r1.Elapsed {
+		if r1.Elapsed[id] != r2.Elapsed[id] {
+			t.Errorf("query %d elapsed differs across runs", id)
+		}
+	}
+	if len(r1.Set.Samples) != len(r2.Set.Samples) {
+		t.Error("sample counts differ across runs")
+	}
+}
+
+func TestProfileHidesWhatTraceShows(t *testing.T) {
+	// The Fig. 1 argument: the averaged profile reports one number per
+	// function and cannot reveal that f3's time fluctuates per query.
+	res, err := Run(Config{Reset: 4000}, PaperQuerySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := core.Profile(res.Set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Entry(FnF3) == nil {
+		t.Fatal("profile lost f3")
+	}
+	a, err := core.Integrate(res.Set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f3s []float64
+	for i := range a.Items {
+		f3s = append(f3s, float64(a.Items[i].Func(FnF3).Cycles()))
+	}
+	if stats.Max(f3s) < 5*stats.Mean(f3s) {
+		t.Errorf("per-item f3 should fluctuate wildly (max %.0f vs mean %.0f)", stats.Max(f3s), stats.Mean(f3s))
+	}
+}

@@ -1,0 +1,113 @@
+package specsim
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/sim"
+)
+
+func TestBenchesDistinctRates(t *testing.T) {
+	bs := Benches()
+	if len(bs) != 3 {
+		t.Fatalf("benches = %d, want 3 (astar, bzip2, gcc)", len(bs))
+	}
+	rates := map[float64]string{}
+	for _, b := range bs {
+		r := float64(b.RateCycles) / float64(b.RateUops)
+		if prev, dup := rates[r]; dup {
+			t.Errorf("%s and %s share rate %.3f; Fig. 4 needs distinct IPCs", b.Name, prev, r)
+		}
+		rates[r] = b.Name
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("astar"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("perlbench"); err == nil {
+		t.Error("found nonexistent bench")
+	}
+}
+
+func TestRunExecutesRequestedWork(t *testing.T) {
+	for _, b := range Benches() {
+		m := sim.MustNew(sim.Config{Cores: 1})
+		c := m.Core(0)
+		b.Run(c, 100_000)
+		// Loads add one uop each, so retired >= requested.
+		if c.Retired() < 100_000 {
+			t.Errorf("%s retired %d < 100000", b.Name, c.Retired())
+		}
+		if c.Retired() > 110_000 {
+			t.Errorf("%s retired %d, load overhead too large", b.Name, c.Retired())
+		}
+	}
+}
+
+func TestEffectiveRatesOrdered(t *testing.T) {
+	// astar (low IPC + misses) must burn more cycles per uop than gcc,
+	// which must burn more than bzip2.
+	eff := map[string]float64{}
+	for _, b := range Benches() {
+		m := sim.MustNew(sim.Config{Cores: 1})
+		c := m.Core(0)
+		b.Run(c, 2_000_000)
+		eff[b.Name] = float64(c.Now()) / float64(c.Retired())
+	}
+	if !(eff["astar"] > eff["gcc"] && eff["gcc"] > eff["bzip2"]) {
+		t.Errorf("effective cycles/uop not ordered: %v", eff)
+	}
+	// astar's random walk must cost visibly more than its nominal 5/3
+	// rate due to cache misses, landing near IPC 0.5.
+	if eff["astar"] < 1.8 || eff["astar"] > 2.6 {
+		t.Errorf("astar effective rate %.2f, want ~2.0", eff["astar"])
+	}
+}
+
+func TestSamplesLandInBenchFunction(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	c := m.Core(0)
+	pb := pmu.NewPEBS(pmu.PEBSConfig{})
+	c.PMU.MustProgram(pmu.UopsRetired, 1000, pb)
+	b, _ := ByName("gcc")
+	b.Run(c, 50_000)
+	fn := m.Syms.ByName("spec_gcc")
+	if fn == nil {
+		t.Fatal("bench did not register its symbol")
+	}
+	samples := pb.Samples()
+	if len(samples) < 40 {
+		t.Fatalf("samples = %d, want ~50", len(samples))
+	}
+	for _, s := range samples {
+		if !fn.Contains(s.IP) {
+			t.Fatalf("sample IP %#x outside %v", s.IP, fn)
+		}
+	}
+}
+
+func TestRunReusesSymbol(t *testing.T) {
+	m := sim.MustNew(sim.Config{Cores: 1})
+	c := m.Core(0)
+	b, _ := ByName("astar")
+	b.Run(c, 1000)
+	b.Run(c, 1000) // must not re-register (which would panic)
+	if m.Syms.Len() != 1 {
+		t.Errorf("symbols = %d, want 1", m.Syms.Len())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() uint64 {
+		m := sim.MustNew(sim.Config{Cores: 1})
+		c := m.Core(0)
+		b, _ := ByName("astar")
+		b.Run(c, 500_000)
+		return c.Now()
+	}
+	if run() != run() {
+		t.Error("bench run nondeterministic")
+	}
+}

@@ -1,0 +1,136 @@
+// Package ultl is a user-level threading scheduler demonstrating the
+// timer-switching architecture of §III-C and the register-tagging extension
+// of §V-A: data-item switches are forced by a timer quantum, so one item's
+// processing is sliced and interleaved with other items on the same core.
+// Marker-interval integration cannot express that (intervals would overlap);
+// instead, the scheduler stores the current data-item ID in a reserved
+// general-purpose register (r13) at every switch — exactly what a ULT
+// library does with callee-saved registers — and every PEBS sample then
+// carries its item ID directly.
+package ultl
+
+import (
+	"fmt"
+
+	"repro/internal/pmu"
+	"repro/internal/sim"
+	"repro/internal/symtab"
+)
+
+// SchedFn is the symbol name of the scheduler itself; samples taken during
+// context switches attribute here, with no item tagged.
+const SchedFn = "ultl_schedule"
+
+// Task is one data-item processed by a user-level thread: the function it
+// runs in and the amount of work it needs.
+type Task struct {
+	// ID is the data-item ID (must be non-zero; 0 means "no item").
+	ID uint64
+	// FnName is the symbol the task's work runs in (registered on demand).
+	FnName string
+	// Uops is the task's total work.
+	Uops uint64
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// QuantumCycles is the timer threshold that forces a data-item switch
+	// ("to guarantee a latency threshold when a data-item is taking too
+	// much time").
+	QuantumCycles uint64
+	// SwitchUops is the context-switch cost (register file save/restore,
+	// run-queue manipulation).
+	SwitchUops uint64
+	// TagRegister is the reserved register carrying the item ID
+	// (pmu.R13 in the paper); pass -1 to run untagged, which demonstrates
+	// why interval-based integration fails on this architecture.
+	TagRegister int
+}
+
+// DefaultConfig returns a 5 µs quantum with a ~100 ns switch cost.
+func DefaultConfig() Config {
+	return Config{QuantumCycles: 10_000, SwitchUops: 200, TagRegister: pmu.R13}
+}
+
+// Result reports ground truth per task.
+type Result struct {
+	// TrueCycles maps task ID to cycles spent inside the task's function.
+	TrueCycles map[uint64]uint64
+	// Slices is the number of scheduling slices each task ran.
+	Slices map[uint64]int
+	// Switches is the total number of context switches performed.
+	Switches int
+}
+
+// Run executes tasks round-robin with quantum preemption on core c. The
+// caller owns sampling setup; Run only drives execution and register
+// tagging.
+func Run(c *sim.Core, cfg Config, tasks []Task) (*Result, error) {
+	if cfg.QuantumCycles == 0 {
+		return nil, fmt.Errorf("ultl: zero quantum")
+	}
+	if cfg.TagRegister >= pmu.NumRegs {
+		return nil, fmt.Errorf("ultl: tag register %d out of range", cfg.TagRegister)
+	}
+	syms := c.Machine().Syms
+	sched := syms.ByName(SchedFn)
+	if sched == nil {
+		sched = syms.MustRegister(SchedFn, 1024)
+	}
+	type live struct {
+		task   Task
+		fn     *symtab.Fn
+		remain uint64
+	}
+	var run []*live
+	for _, t := range tasks {
+		if t.ID == 0 {
+			return nil, fmt.Errorf("ultl: task IDs must be non-zero")
+		}
+		if t.Uops == 0 {
+			continue
+		}
+		fn := syms.ByName(t.FnName)
+		if fn == nil {
+			fn = syms.MustRegister(t.FnName, 4096)
+		}
+		run = append(run, &live{task: t, fn: fn, remain: t.Uops})
+	}
+	res := &Result{TrueCycles: map[uint64]uint64{}, Slices: map[uint64]int{}}
+
+	// uops per quantum at the core's current rate.
+	rc, ru := c.Rate()
+	sliceUops := cfg.QuantumCycles * ru / rc
+	if sliceUops == 0 {
+		sliceUops = 1
+	}
+
+	for len(run) > 0 {
+		next := run[0]
+		run = run[1:]
+		// Dispatch: the ULT library restores the task's registers — r13
+		// gets the task's item ID.
+		if cfg.TagRegister >= 0 {
+			c.SetReg(cfg.TagRegister, next.task.ID)
+		}
+		n := sliceUops
+		if next.remain < n {
+			n = next.remain
+		}
+		t0 := c.Now()
+		c.Call(next.fn, func() { c.Exec(n) })
+		res.TrueCycles[next.task.ID] += c.Now() - t0
+		res.Slices[next.task.ID]++
+		next.remain -= n
+		if next.remain > 0 {
+			run = append(run, next)
+		}
+		// Context switch back into the scheduler: no item on core.
+		if cfg.TagRegister >= 0 {
+			c.SetReg(cfg.TagRegister, 0)
+		}
+		c.Call(sched, func() { c.Exec(cfg.SwitchUops) })
+		res.Switches++
+	}
+	return res, nil
+}
