@@ -1,0 +1,20 @@
+# Test tiers.
+#
+# tier1 is the gate every change must pass: build + full test suite.
+# tier2 adds static analysis and the race detector — the parallel
+# integration fan-out (internal/core/shard.go) and the concurrent
+# symbol-cache (internal/symtab) are exercised under -race by their tests.
+# bench runs the hot-path micro/ablation benchmarks with allocation stats.
+
+GO ?= go
+
+.PHONY: tier1 tier2 bench
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+tier2:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .

@@ -231,6 +231,115 @@ func BenchmarkMicroIntegrate(b *testing.B) {
 	b.ReportMetric(float64(len(set.Samples)), "samples")
 }
 
+// BenchmarkParallelIntegrate measures the sharded integration pipeline on
+// an 8-core trace at 1/2/4/8 worker shards. Output is identical at every
+// level (see TestParallelIntegrateEquivalence); only wall-clock differs.
+// On a single-vCPU host the levels tie — the interesting axis there is the
+// ns/op and allocs/op drop vs the seed's map-based integrator.
+func BenchmarkParallelIntegrate(b *testing.B) {
+	const cores = 8
+	m := sim.MustNew(sim.Config{Cores: cores})
+	fns := []*symtab.Fn{
+		m.Syms.MustRegister("parse", 2048),
+		m.Syms.MustRegister("lookup", 4096),
+		m.Syms.MustRegister("emit", 1024),
+	}
+	pebs := pmu.NewPEBS(pmu.PEBSConfig{BufferEntries: 1 << 20})
+	log := trace.NewMarkerLog(cores, 0)
+	id := uint64(1)
+	for ci := 0; ci < cores; ci++ {
+		c := m.Core(ci)
+		c.PMU.MustProgram(pmu.UopsRetired, 500, pebs)
+		for n := 0; n < 400; n++ {
+			log.Mark(c, id, trace.ItemBegin)
+			for _, fn := range fns {
+				c.Call(fn, func() { c.Exec(1500) })
+			}
+			log.Mark(c, id, trace.ItemEnd)
+			c.Exec(200)
+			id++
+		}
+	}
+	set := trace.NewSet(m, log, pebs.Samples())
+	b.ReportMetric(float64(len(set.Samples)), "samples")
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := core.Integrate(set, core.Options{Parallelism: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(a.Diag.SymCacheHits)/
+						float64(a.Diag.SymCacheHits+a.Diag.SymCacheMisses)*100, "symcache-hit-pct")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSymtabResolveCached measures the Resolve cache across the three
+// IP patterns that matter: a hot loop inside one function (memo), a small
+// working set of hot functions (direct-mapped slots), and a uniform scan
+// over 500 functions (worst case — frequent fallbacks to binary search).
+func BenchmarkSymtabResolveCached(b *testing.B) {
+	tab := symtab.NewTable()
+	fns := make([]*symtab.Fn, 500)
+	for i := range fns {
+		fns[i] = tab.MustRegister(fmt.Sprintf("fn_%03d", i), 64+uint64(i%7)*16)
+	}
+	report := func(b *testing.B, before [2]uint64) {
+		h, m := tab.CacheStats()
+		dh, dm := h-before[0], m-before[1]
+		if dh+dm > 0 {
+			b.ReportMetric(float64(dh)/float64(dh+dm)*100, "hit-pct")
+		}
+	}
+	b.Run("hot-loop", func(b *testing.B) {
+		f := fns[250]
+		h, m := tab.CacheStats()
+		for i := 0; i < b.N; i++ {
+			if tab.Resolve(f.Base+uint64(i)%f.Size) == nil {
+				b.Fatal("resolve failed")
+			}
+		}
+		report(b, [2]uint64{h, m})
+	})
+	b.Run("hot-set-8", func(b *testing.B) {
+		h, m := tab.CacheStats()
+		for i := 0; i < b.N; i++ {
+			f := fns[(i%8)*61]
+			if tab.Resolve(f.Base+uint64(i)%f.Size) == nil {
+				b.Fatal("resolve failed")
+			}
+		}
+		report(b, [2]uint64{h, m})
+	})
+	b.Run("uniform-500", func(b *testing.B) {
+		h, m := tab.CacheStats()
+		for i := 0; i < b.N; i++ {
+			f := fns[i%len(fns)]
+			if tab.Resolve(f.Base+uint64(i)%f.Size) == nil {
+				b.Fatal("resolve failed")
+			}
+		}
+		report(b, [2]uint64{h, m})
+	})
+	b.Run("resolver-hot-set-8", func(b *testing.B) {
+		r := tab.NewResolver()
+		for i := 0; i < b.N; i++ {
+			f := fns[(i%8)*61]
+			if r.Resolve(f.Base+uint64(i)%f.Size) == nil {
+				b.Fatal("resolve failed")
+			}
+		}
+		h, m := r.Stats()
+		if h+m > 0 {
+			b.ReportMetric(float64(h)/float64(h+m)*100, "hit-pct")
+		}
+	})
+}
+
 func BenchmarkMicroSymtabResolve(b *testing.B) {
 	tab := symtab.NewTable()
 	var last *symtab.Fn

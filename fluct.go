@@ -48,8 +48,13 @@ type (
 	Core = sim.Core
 	// Fn is a function symbol with its address range.
 	Fn = symtab.Fn
-	// SymbolTable resolves instruction pointers to functions.
+	// SymbolTable resolves instruction pointers to functions, behind a
+	// last-hit memo and a direct-mapped IP cache (safe for concurrent
+	// Resolve).
 	SymbolTable = symtab.Table
+	// SymbolResolver is a single-goroutine cached view over a
+	// SymbolTable with deterministic hit/miss counters.
+	SymbolResolver = symtab.Resolver
 )
 
 // NewMachine builds a simulated machine (panics on invalid config; use
@@ -131,7 +136,9 @@ var DecodeTraceSet = trace.Decode
 
 // Analysis (the paper's contribution).
 type (
-	// Options tunes an integration pass.
+	// Options tunes an integration pass. Options.Parallelism fans
+	// per-core integration shards over worker goroutines (0 selects
+	// GOMAXPROCS; output is identical at every level).
 	Options = core.Options
 	// Analysis is a reconstructed per-item, per-function view.
 	Analysis = core.Analysis
@@ -171,7 +178,9 @@ type (
 )
 
 // Integrate runs the hybrid integration: markers × samples × symbols →
-// per-item, per-function elapsed times (§III-D).
+// per-item, per-function elapsed times (§III-D). Per-core shards are
+// integrated in parallel (Options.Parallelism workers) with a
+// deterministic merge, so results do not depend on the parallelism level.
 var Integrate = core.Integrate
 
 // IntegrateByRegister maps samples to items via a reserved register

@@ -9,8 +9,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/pmu"
 	"repro/internal/symtab"
@@ -69,14 +70,41 @@ type Item struct {
 	// UnresolvedSamples counts this item's samples that hit unsymbolized
 	// code.
 	UnresolvedSamples int
+
+	// funcIndex is a lazily built name→Funcs-index lookup, populated by
+	// Func once an item carries enough functions that repeated linear
+	// scans would dominate (report and compare paths query by name per
+	// function per item). Copies of an Item share the map; it is rebuilt
+	// if Funcs changed size since it was built.
+	funcIndex map[string]int32
 }
 
 // ElapsedCycles returns the item's total on-core time per the markers.
 func (it *Item) ElapsedCycles() uint64 { return it.EndTSC - it.BeginTSC }
 
+// funcIndexMin is the span count above which Func switches from a linear
+// scan to the lazily built name index. Below it, the scan wins on both
+// time and the avoided map allocation.
+const funcIndexMin = 8
+
 // Func returns the span for the named function, or a zero FuncSpan when the
-// item has no samples in it.
+// item has no samples in it. For items with many functions a name→index
+// lookup is built lazily on first use; function names are unique within an
+// item because spans are deduplicated by symbol.
 func (it *Item) Func(name string) FuncSpan {
+	if len(it.Funcs) >= funcIndexMin {
+		if len(it.funcIndex) != len(it.Funcs) {
+			idx := make(map[string]int32, len(it.Funcs))
+			for i := range it.Funcs {
+				idx[it.Funcs[i].Fn.Name] = int32(i)
+			}
+			it.funcIndex = idx
+		}
+		if i, ok := it.funcIndex[name]; ok {
+			return it.Funcs[i]
+		}
+		return FuncSpan{}
+	}
 	for _, f := range it.Funcs {
 		if f.Fn.Name == name {
 			return f
@@ -108,6 +136,24 @@ type Diagnostics struct {
 	// IgnoredEventSamples had a different hardware event than the one
 	// being integrated.
 	IgnoredEventSamples int
+	// SymCacheHits and SymCacheMisses count symbol-resolution cache hits
+	// and misses during this pass. Integration resolves through a private
+	// per-core-shard cache (see symtab.Resolver), so these counts are
+	// deterministic and identical between sequential and parallel runs.
+	SymCacheHits, SymCacheMisses int
+}
+
+// merge accumulates another pass's counters into d (used when folding
+// per-core partial diagnostics into the final Analysis).
+func (d *Diagnostics) merge(o Diagnostics) {
+	d.UnattributedSamples += o.UnattributedSamples
+	d.UnresolvedSamples += o.UnresolvedSamples
+	d.OrphanEndMarkers += o.OrphanEndMarkers
+	d.ReopenedItems += o.ReopenedItems
+	d.UnclosedItems += o.UnclosedItems
+	d.IgnoredEventSamples += o.IgnoredEventSamples
+	d.SymCacheHits += o.SymCacheHits
+	d.SymCacheMisses += o.SymCacheMisses
 }
 
 // Analysis is the result of one integration pass.
@@ -152,6 +198,12 @@ type Options struct {
 	// strict inequality t0 < ta < t1 loses nothing because ties are
 	// measure-zero on real hardware, but the discrete simulator can tie).
 	ExcludeBoundaries bool
+	// Parallelism caps the number of worker goroutines Integrate fans
+	// per-core shards over. 0 selects GOMAXPROCS; 1 forces the sequential
+	// path. The result is identical for every value — each core is
+	// integrated independently and the merge is deterministic — so the
+	// knob trades wall-clock for scheduler load only.
+	Parallelism int
 }
 
 type interval struct {
@@ -165,6 +217,13 @@ type interval struct {
 // per-function spans are accumulated. It returns an error only for traces
 // that cannot be interpreted at all (nil set or missing symbol table);
 // recoverable imperfections go to Diagnostics.
+//
+// Markers and samples are already partitioned by core — each core's pinned
+// thread produced its own streams — so integration shards per core:
+// marker pairing and sample binning for one core never look at another
+// core's data. Opts.Parallelism fans the shards over worker goroutines;
+// the merge is deterministic, so the output is identical for every
+// parallelism level (see shard.go).
 func Integrate(set *trace.Set, opts Options) (*Analysis, error) {
 	if set == nil {
 		return nil, fmt.Errorf("core: nil trace set")
@@ -177,134 +236,30 @@ func Integrate(set *trace.Set, opts Options) (*Analysis, error) {
 	}
 	a := &Analysis{FreqHz: set.FreqHz, MeanSampleGap: map[int32]float64{}}
 
-	// Pass 1: pair markers into per-core item intervals.
-	perCoreMarkers := map[int32][]trace.Marker{}
-	for _, m := range set.Markers {
-		perCoreMarkers[m.Core] = append(perCoreMarkers[m.Core], m)
-	}
-	perCoreIntervals := map[int32][]interval{}
-	type openItem struct {
-		id    uint64
-		begin uint64
-		open  bool
-	}
-	for core, ms := range perCoreMarkers {
-		sort.SliceStable(ms, func(i, j int) bool {
-			if ms[i].TSC != ms[j].TSC {
-				return ms[i].TSC < ms[j].TSC
-			}
-			// An End and a Begin at the same instant: close first.
-			return ms[i].Kind > ms[j].Kind
-		})
-		var cur openItem
-		for _, m := range ms {
-			switch m.Kind {
-			case trace.ItemBegin:
-				if cur.open {
-					// Forced reopen: close the dangling item here so its
-					// samples stay attributable up to the switch point.
-					perCoreIntervals[core] = append(perCoreIntervals[core],
-						interval{item: cur.id, begin: cur.begin, end: m.TSC})
-					a.Diag.ReopenedItems++
-				}
-				cur = openItem{id: m.Item, begin: m.TSC, open: true}
-			case trace.ItemEnd:
-				if !cur.open || cur.id != m.Item {
-					a.Diag.OrphanEndMarkers++
-					continue
-				}
-				perCoreIntervals[core] = append(perCoreIntervals[core],
-					interval{item: cur.id, begin: cur.begin, end: m.TSC})
-				cur.open = false
-			}
-		}
-		if cur.open {
-			a.Diag.UnclosedItems++
-		}
-	}
+	shards := shardByCore(set, opts, &a.Diag)
+	results := integrateShards(shards, set.Syms, opts)
 
-	// Pass 2: walk samples per core against the interval list.
-	perCoreSamples := map[int32][]pmu.Sample{}
-	for _, s := range set.Samples {
-		if s.Event != opts.Event {
-			a.Diag.IgnoredEventSamples++
-			continue
-		}
-		perCoreSamples[s.Core] = append(perCoreSamples[s.Core], s)
+	total := 0
+	for i := range results {
+		total += len(results[i].items)
 	}
-
-	type itemKey struct {
-		core int32
-		idx  int
-	}
-	builders := map[itemKey]*Item{}
-	var order []itemKey
-
-	for core, ss := range perCoreSamples {
-		sort.SliceStable(ss, func(i, j int) bool { return ss[i].TSC < ss[j].TSC })
-		if n := len(ss); n >= 2 {
-			a.MeanSampleGap[core] = float64(ss[n-1].TSC-ss[0].TSC) / float64(n-1)
-		}
-		ivs := perCoreIntervals[core]
-		// Intervals are already begin-sorted by construction (markers were
-		// time-sorted), but a forced reopen can emit a zero-length tail;
-		// sort defensively.
-		sort.SliceStable(ivs, func(i, j int) bool { return ivs[i].begin < ivs[j].begin })
-		k := 0
-		for _, s := range ss {
-			for k < len(ivs) && !inInterval(s.TSC, ivs[k], opts.ExcludeBoundaries) && afterInterval(s.TSC, ivs[k], opts.ExcludeBoundaries) {
-				k++
-			}
-			if k >= len(ivs) || !inInterval(s.TSC, ivs[k], opts.ExcludeBoundaries) {
-				a.Diag.UnattributedSamples++
-				continue
-			}
-			key := itemKey{core: core, idx: k}
-			b := builders[key]
-			if b == nil {
-				b = &Item{ID: ivs[k].item, Core: core, BeginTSC: ivs[k].begin, EndTSC: ivs[k].end}
-				builders[key] = b
-				order = append(order, key)
-			}
-			b.SampleCount++
-			fn := set.Syms.Resolve(s.IP)
-			if fn == nil {
-				b.UnresolvedSamples++
-				a.Diag.UnresolvedSamples++
-				continue
-			}
-			attachSample(b, fn, s.TSC)
-		}
-		// Items that received no samples at all still exist per the
-		// markers; materialize them so latency-only analyses see them.
-		for idx, iv := range ivs {
-			key := itemKey{core: core, idx: idx}
-			if builders[key] == nil {
-				builders[key] = &Item{ID: iv.item, Core: core, BeginTSC: iv.begin, EndTSC: iv.end}
-				order = append(order, key)
-			}
+	a.Items = make([]Item, 0, total)
+	for i := range results {
+		r := &results[i]
+		a.Items = append(a.Items, r.items...)
+		a.Diag.merge(r.diag)
+		if r.hasGap {
+			a.MeanSampleGap[r.core] = r.meanGap
 		}
 	}
-	// Cores that had markers but no samples at all.
-	for core, ivs := range perCoreIntervals {
-		if _, had := perCoreSamples[core]; had {
-			continue
+	// Shards are core-sorted and each shard's items are begin-sorted, so a
+	// final stable sort by (begin, core) yields one global deterministic
+	// order regardless of how many workers ran.
+	slices.SortStableFunc(a.Items, func(x, y Item) int {
+		if x.BeginTSC != y.BeginTSC {
+			return cmp.Compare(x.BeginTSC, y.BeginTSC)
 		}
-		for idx, iv := range ivs {
-			key := itemKey{core: core, idx: idx}
-			builders[key] = &Item{ID: iv.item, Core: core, BeginTSC: iv.begin, EndTSC: iv.end}
-			order = append(order, key)
-		}
-	}
-
-	for _, key := range order {
-		a.Items = append(a.Items, *builders[key])
-	}
-	sort.SliceStable(a.Items, func(i, j int) bool {
-		if a.Items[i].BeginTSC != a.Items[j].BeginTSC {
-			return a.Items[i].BeginTSC < a.Items[j].BeginTSC
-		}
-		return a.Items[i].Core < a.Items[j].Core
+		return cmp.Compare(x.Core, y.Core)
 	})
 	return a, nil
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+// TestItemFuncIndexedLookup: Func must answer identically through the
+// linear scan (few functions) and the lazily built name index (many), and
+// the index must rebuild if Funcs grew after it was first built.
+func TestItemFuncIndexedLookup(t *testing.T) {
+	tab := symtab.NewTable()
+	it := &Item{ID: 1}
+	mk := func(i int) *symtab.Fn {
+		return tab.MustRegister(fmt.Sprintf("fn%02d", i), 128)
+	}
+	for i := 0; i < funcIndexMin+4; i++ {
+		fn := mk(i)
+		it.Funcs = append(it.Funcs, FuncSpan{Fn: fn, Samples: i + 2, FirstTSC: uint64(100 * i), LastTSC: uint64(100*i + 50)})
+		// Query at every size so both the scan (< funcIndexMin) and the
+		// index (>=) paths are exercised, including right after growth.
+		for j := 0; j <= i; j++ {
+			name := fmt.Sprintf("fn%02d", j)
+			got := it.Func(name)
+			if got.Fn == nil || got.Fn.Name != name || got.Samples != j+2 {
+				t.Fatalf("size %d: Func(%q) = %+v", len(it.Funcs), name, got)
+			}
+		}
+		if miss := it.Func("no_such_fn"); miss.Fn != nil {
+			t.Fatalf("size %d: missing name resolved to %+v", len(it.Funcs), miss)
+		}
+	}
+	if it.funcIndex == nil {
+		t.Error("index never built despite many functions")
+	}
+}

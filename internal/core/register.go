@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/pmu"
 	"repro/internal/trace"
@@ -50,14 +51,15 @@ func IntegrateByRegister(set *trace.Set, reg int, opts Options) (*Analysis, erro
 	for i := range set.Samples {
 		idx = append(idx, i)
 	}
-	sort.SliceStable(idx, func(x, y int) bool {
-		sx, sy := &set.Samples[idx[x]], &set.Samples[idx[y]]
+	slices.SortStableFunc(idx, func(x, y int) int {
+		sx, sy := &set.Samples[x], &set.Samples[y]
 		if sx.Core != sy.Core {
-			return sx.Core < sy.Core
+			return cmp.Compare(sx.Core, sy.Core)
 		}
-		return sx.TSC < sy.TSC
+		return cmp.Compare(sx.TSC, sy.TSC)
 	})
 
+	res := set.Syms.NewResolver()
 	for _, i := range idx {
 		s := &set.Samples[i]
 		if s.Event != opts.Event {
@@ -97,7 +99,7 @@ func IntegrateByRegister(set *trace.Set, reg int, opts Options) (*Analysis, erro
 			b.EndTSC = s.TSC
 		}
 		b.SampleCount++
-		fn := set.Syms.Resolve(s.IP)
+		fn := res.Resolve(s.IP)
 		if fn == nil {
 			b.UnresolvedSamples++
 			a.Diag.UnresolvedSamples++
@@ -105,6 +107,9 @@ func IntegrateByRegister(set *trace.Set, reg int, opts Options) (*Analysis, erro
 		}
 		attachSample(b, fn, s.TSC)
 	}
+	hits, misses := res.Stats()
+	a.Diag.SymCacheHits = int(hits)
+	a.Diag.SymCacheMisses = int(misses)
 
 	for core, mm := range perCoreMinMax {
 		if n := perCoreN[core]; n >= 2 {
@@ -114,11 +119,11 @@ func IntegrateByRegister(set *trace.Set, reg int, opts Options) (*Analysis, erro
 	for _, k := range order {
 		a.Items = append(a.Items, *builders[k])
 	}
-	sort.SliceStable(a.Items, func(i, j int) bool {
-		if a.Items[i].BeginTSC != a.Items[j].BeginTSC {
-			return a.Items[i].BeginTSC < a.Items[j].BeginTSC
+	slices.SortStableFunc(a.Items, func(x, y Item) int {
+		if x.BeginTSC != y.BeginTSC {
+			return cmp.Compare(x.BeginTSC, y.BeginTSC)
 		}
-		return a.Items[i].Core < a.Items[j].Core
+		return cmp.Compare(x.Core, y.Core)
 	})
 	return a, nil
 }

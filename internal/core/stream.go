@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/pmu"
 	"repro/internal/symtab"
@@ -22,22 +23,32 @@ import (
 //
 // Memory: O(open items + one item's functions + raw-ring capacity) — it
 // never buffers the whole trace, which is the point.
+//
+// Allocation: emitted items come from a free list. A callback that is done
+// with an item may hand it back via Recycle, after which the integrator
+// reuses the Item and its FuncSpan backing array; a production monitor that
+// recycles every item makes the hot path steady-state allocation-free
+// (verified by an AllocsPerRun regression test). Callbacks that retain
+// items simply never recycle them — the integrator then allocates per item,
+// exactly as before.
 type StreamIntegrator struct {
 	// OnItem is invoked for every completed item, in completion order per
-	// core. It must be set before feeding events.
+	// core. It must be set before feeding events. The *Item remains valid
+	// after the callback returns unless the callback passes it to Recycle.
 	OnItem func(*Item)
 
 	syms *symtab.Table
+	res  *symtab.Resolver
 	opts Options
 
 	cores map[int32]*coreStream
 	diag  Diagnostics
 	items int
+	free  []*Item
 }
 
 type coreStream struct {
-	open       bool
-	cur        Item
+	cur        *Item // open item, nil when none
 	lastTSC    uint64
 	outOfOrder int
 }
@@ -54,9 +65,35 @@ func NewStreamIntegrator(syms *symtab.Table, opts Options, onItem func(*Item)) (
 	return &StreamIntegrator{
 		OnItem: onItem,
 		syms:   syms,
+		res:    syms.NewResolver(),
 		opts:   opts,
 		cores:  map[int32]*coreStream{},
 	}, nil
+}
+
+// takeItem pops a recycled Item or allocates a fresh one. Returned items
+// have zeroed fields and an empty (but possibly pre-grown) Funcs slice.
+func (s *StreamIntegrator) takeItem() *Item {
+	if n := len(s.free); n > 0 {
+		it := s.free[n-1]
+		s.free = s.free[:n-1]
+		return it
+	}
+	return &Item{}
+}
+
+// Recycle hands an emitted Item back to the integrator's free list. Call it
+// from (or after) the OnItem callback once the item's data is no longer
+// needed; the Item and its FuncSpan array will back a future item, so the
+// caller must not touch it again. Recycling is optional — unrecycled items
+// are simply garbage-collected.
+func (s *StreamIntegrator) Recycle(it *Item) {
+	if it == nil {
+		return
+	}
+	funcs := it.Funcs[:0]
+	*it = Item{Funcs: funcs}
+	s.free = append(s.free, it)
 }
 
 func (s *StreamIntegrator) coreOf(id int32) *coreStream {
@@ -80,17 +117,18 @@ func (s *StreamIntegrator) Marker(m trace.Marker) {
 	cs.lastTSC = m.TSC
 	switch m.Kind {
 	case trace.ItemBegin:
-		if cs.open {
+		if cs.cur != nil {
 			// Force-close the dangling item at the new begin, as the
 			// offline integrator does.
 			cs.cur.EndTSC = m.TSC
 			s.finish(cs)
 			s.diag.ReopenedItems++
 		}
-		cs.cur = Item{ID: m.Item, Core: m.Core, BeginTSC: m.TSC, EndTSC: m.TSC}
-		cs.open = true
+		it := s.takeItem()
+		it.ID, it.Core, it.BeginTSC, it.EndTSC = m.Item, m.Core, m.TSC, m.TSC
+		cs.cur = it
 	case trace.ItemEnd:
-		if !cs.open || cs.cur.ID != m.Item {
+		if cs.cur == nil || cs.cur.ID != m.Item {
 			s.diag.OrphanEndMarkers++
 			return
 		}
@@ -100,12 +138,11 @@ func (s *StreamIntegrator) Marker(m trace.Marker) {
 }
 
 func (s *StreamIntegrator) finish(cs *coreStream) {
-	cs.open = false
 	it := cs.cur
-	sort.SliceStable(it.Funcs, func(i, j int) bool { return it.Funcs[i].FirstTSC < it.Funcs[j].FirstTSC })
+	cs.cur = nil
+	slices.SortStableFunc(it.Funcs, func(a, b FuncSpan) int { return cmp.Compare(a.FirstTSC, b.FirstTSC) })
 	s.items++
-	s.OnItem(&it)
-	cs.cur = Item{}
+	s.OnItem(it)
 }
 
 // Sample feeds one hardware sample. Same per-core ordering contract as
@@ -121,7 +158,7 @@ func (s *StreamIntegrator) Sample(sm pmu.Sample) {
 		return
 	}
 	cs.lastTSC = sm.TSC
-	if !cs.open {
+	if cs.cur == nil {
 		s.diag.UnattributedSamples++
 		return
 	}
@@ -130,29 +167,36 @@ func (s *StreamIntegrator) Sample(sm pmu.Sample) {
 		return
 	}
 	cs.cur.SampleCount++
-	fn := s.syms.Resolve(sm.IP)
+	fn := s.res.Resolve(sm.IP)
 	if fn == nil {
 		cs.cur.UnresolvedSamples++
 		s.diag.UnresolvedSamples++
 		return
 	}
-	attachSample(&cs.cur, fn, sm.TSC)
+	attachSample(cs.cur, fn, sm.TSC)
 }
 
 // Flush reports still-open items as unclosed (call at end of stream).
+// Unclosed items are never emitted — their interval is unbounded — so
+// their storage goes straight back to the free list.
 func (s *StreamIntegrator) Flush() {
 	for _, cs := range s.cores {
-		if cs.open {
+		if cs.cur != nil {
 			s.diag.UnclosedItems++
-			cs.open = false
+			s.Recycle(cs.cur)
+			cs.cur = nil
 		}
 	}
 }
 
 // Diag returns the accumulated diagnostics, including per-core
-// out-of-order event counts folded into one number.
+// out-of-order event counts folded into one number and the symbol-cache
+// hit/miss counts of the integrator's private resolver.
 func (s *StreamIntegrator) Diag() Diagnostics {
 	d := s.diag
+	hits, misses := s.res.Stats()
+	d.SymCacheHits = int(hits)
+	d.SymCacheMisses = int(misses)
 	return d
 }
 

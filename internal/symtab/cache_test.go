@@ -1,0 +1,126 @@
+package symtab
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildTable registers n functions of varied sizes and returns the table
+// plus the registered symbols.
+func buildTable(n int) (*Table, []*Fn) {
+	t := NewTable()
+	fns := make([]*Fn, n)
+	for i := 0; i < n; i++ {
+		fns[i] = t.MustRegister(fmt.Sprintf("fn_%04d", i), 48+uint64(i%9)*32)
+	}
+	return t, fns
+}
+
+// resolveSlow is the brute-force oracle: linear scan over every function.
+func resolveSlow(fns []*Fn, ip uint64) *Fn {
+	for _, f := range fns {
+		if f.Contains(ip) {
+			return f
+		}
+	}
+	return nil
+}
+
+// TestResolveCachedMatchesOracle hammers Resolve with random IPs — inside
+// bodies, in alignment gaps, below the base, past the end — and checks the
+// cached answer against the brute-force oracle every time. Collisions in
+// the direct-mapped cache must fall back, never mis-resolve.
+func TestResolveCachedMatchesOracle(t *testing.T) {
+	tab, fns := buildTable(300)
+	rng := rand.New(rand.NewSource(3))
+	limit := fns[len(fns)-1].End() + 4096
+	for i := 0; i < 200000; i++ {
+		ip := DefaultBase - 2048 + uint64(rng.Int63n(int64(limit-DefaultBase+4096)))
+		if got, want := tab.Resolve(ip), resolveSlow(fns, ip); got != want {
+			t.Fatalf("Resolve(%#x) = %v, want %v", ip, got, want)
+		}
+	}
+	hits, misses := tab.CacheStats()
+	if hits+misses == 0 {
+		t.Error("cache counters never moved")
+	}
+}
+
+// TestResolveCacheHitsHotLoop: repeated resolution inside one hot function
+// must be served by the memo, which is the workload shape integration sees.
+func TestResolveCacheHitsHotLoop(t *testing.T) {
+	tab, fns := buildTable(64)
+	hot := fns[17]
+	h0, _ := tab.CacheStats()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		if tab.Resolve(hot.Base+i%hot.Size) != hot {
+			t.Fatal("hot resolve failed")
+		}
+	}
+	h1, _ := tab.CacheStats()
+	if gained := h1 - h0; gained < n-1 {
+		t.Errorf("hot loop hits = %d, want >= %d", gained, n-1)
+	}
+}
+
+// TestResolverDeterministicStats: the same resolution sequence through two
+// fresh Resolvers must produce identical answers and identical counters —
+// the property the per-shard integration diagnostics rely on.
+func TestResolverDeterministicStats(t *testing.T) {
+	tab, fns := buildTable(128)
+	seq := make([]uint64, 5000)
+	rng := rand.New(rand.NewSource(9))
+	for i := range seq {
+		f := fns[rng.Intn(len(fns))]
+		seq[i] = f.Base + uint64(rng.Int63n(int64(f.Size)))
+	}
+	r1, r2 := tab.NewResolver(), tab.NewResolver()
+	for _, ip := range seq {
+		if r1.Resolve(ip) != r2.Resolve(ip) {
+			t.Fatalf("resolvers disagree at ip %#x", ip)
+		}
+	}
+	h1, m1 := r1.Stats()
+	h2, m2 := r2.Stats()
+	if h1 != h2 || m1 != m2 {
+		t.Errorf("stats diverged: (%d,%d) vs (%d,%d)", h1, m1, h2, m2)
+	}
+	if h1 == 0 || m1 == 0 {
+		t.Errorf("expected both hits and misses on a mixed sequence, got %d/%d", h1, m1)
+	}
+}
+
+// TestResolveConcurrent exercises the shared atomic cache from many
+// goroutines (run under -race by the tier-2 target): every answer must
+// still match the oracle even while other goroutines churn the slots.
+func TestResolveConcurrent(t *testing.T) {
+	tab, fns := buildTable(200)
+	limit := fns[len(fns)-1].End() + 1024
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50000; i++ {
+				ip := DefaultBase + uint64(rng.Int63n(int64(limit-DefaultBase)))
+				if got, want := tab.Resolve(ip), resolveSlow(fns, ip); got != want {
+					select {
+					case errs <- fmt.Sprintf("Resolve(%#x) = %v, want %v", ip, got, want):
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

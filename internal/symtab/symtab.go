@@ -12,6 +12,7 @@ package symtab
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // DefaultBase is the virtual address at which the first registered function
@@ -50,15 +51,32 @@ func (f *Fn) String() string {
 	return fmt.Sprintf("%s [%#x,%#x)", f.Name, f.Base, f.End())
 }
 
+// cacheSlots is the size of the direct-mapped IP→Fn cache. IP locality in
+// sampled traces is extreme — a handful of hot functions absorb most
+// samples — so a small power-of-two table captures nearly all of it.
+const cacheSlots = 256
+
+// cacheSlot maps an IP to its direct-mapped slot. IPs are hashed at
+// 64-byte-block granularity so consecutive IPs inside one function body
+// share a slot, while distinct hot functions land in distinct slots.
+func cacheSlot(ip uint64) uint64 { return (ip >> 6) & (cacheSlots - 1) }
+
 // Table is the symbol table of one simulated binary. Functions are appended
-// at increasing addresses; lookups by IP use binary search. A Table is not
+// at increasing addresses; lookups by IP use binary search behind a
+// last-hit memo and a small direct-mapped IP→Fn cache. A Table is not
 // safe for concurrent mutation, but concurrent Resolve calls after all
 // registrations are safe (the simulator registers every function before the
-// workload starts, as a real program's text section is fixed at load time).
+// workload starts, as a real program's text section is fixed at load time):
+// the cache entries are atomic pointers whose targets are immutable, and a
+// stale entry is rejected by the Contains check, never returned.
 type Table struct {
 	fns    []*Fn // sorted by Base
 	byName map[string]*Fn
 	next   uint64
+
+	last         atomic.Pointer[Fn]
+	cache        [cacheSlots]atomic.Pointer[Fn]
+	hits, misses atomic.Uint64
 }
 
 // NewTable returns an empty symbol table starting at DefaultBase.
@@ -100,7 +118,35 @@ func (t *Table) MustRegister(name string, size uint64) *Fn {
 // Resolve maps an instruction pointer to the function containing it, or nil
 // if the IP falls outside every registered function (e.g. a sample taken in
 // unsymbolized library code).
+//
+// Resolution is cached: a last-hit memo catches tight sampling loops inside
+// one function, and a direct-mapped IP-block cache catches the working set
+// of hot functions; both entries self-validate with Contains, so a stale or
+// colliding entry costs a fallback to binary search, never a wrong answer.
+// Misses that resolve to no function are not cached (they cannot be
+// validated cheaply) and count as misses.
 func (t *Table) Resolve(ip uint64) *Fn {
+	if f := t.last.Load(); f != nil && f.Contains(ip) {
+		t.hits.Add(1)
+		return f
+	}
+	slot := &t.cache[cacheSlot(ip)]
+	if f := slot.Load(); f != nil && f.Contains(ip) {
+		t.hits.Add(1)
+		t.last.Store(f)
+		return f
+	}
+	t.misses.Add(1)
+	f := t.lookup(ip)
+	if f != nil {
+		t.last.Store(f)
+		slot.Store(f)
+	}
+	return f
+}
+
+// lookup is the uncached binary search over the address-sorted table.
+func (t *Table) lookup(ip uint64) *Fn {
 	i := sort.Search(len(t.fns), func(i int) bool { return t.fns[i].Base > ip })
 	if i == 0 {
 		return nil
@@ -110,6 +156,52 @@ func (t *Table) Resolve(ip uint64) *Fn {
 	}
 	return nil
 }
+
+// CacheStats returns the cumulative Resolve cache hit and miss counts for
+// this table (all callers, all goroutines).
+func (t *Table) CacheStats() (hits, misses uint64) {
+	return t.hits.Load(), t.misses.Load()
+}
+
+// Resolver is a single-goroutine cached view over a Table. Integration
+// workers use one Resolver per core shard: resolution order within a shard
+// is deterministic, so the hit/miss counters are reproducible run-to-run
+// and identical between sequential and parallel integration — unlike the
+// Table's own shared cache, whose counters depend on cross-goroutine
+// interleaving. A Resolver must not be shared between goroutines.
+type Resolver struct {
+	t            *Table
+	last         *Fn
+	cache        [cacheSlots]*Fn
+	hits, misses uint64
+}
+
+// NewResolver returns a fresh, cold Resolver over the table.
+func (t *Table) NewResolver() *Resolver { return &Resolver{t: t} }
+
+// Resolve is Table.Resolve through this resolver's private cache.
+func (r *Resolver) Resolve(ip uint64) *Fn {
+	if f := r.last; f != nil && f.Contains(ip) {
+		r.hits++
+		return f
+	}
+	slot := &r.cache[cacheSlot(ip)]
+	if f := *slot; f != nil && f.Contains(ip) {
+		r.hits++
+		r.last = f
+		return f
+	}
+	r.misses++
+	f := r.t.lookup(ip)
+	if f != nil {
+		r.last = f
+		*slot = f
+	}
+	return f
+}
+
+// Stats returns this resolver's private hit and miss counts.
+func (r *Resolver) Stats() (hits, misses uint64) { return r.hits, r.misses }
 
 // ByName returns the function with the given symbol name, or nil.
 func (t *Table) ByName(name string) *Fn { return t.byName[name] }
