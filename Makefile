@@ -1,20 +1,29 @@
 # Test tiers.
 #
 # tier1 is the gate every change must pass: build + full test suite.
-# tier2 adds static analysis and the race detector — the parallel
+# tier2 adds static analysis, the race detector — the parallel
 # integration fan-out (internal/core/shard.go) and the concurrent
-# symbol-cache (internal/symtab) are exercised under -race by their tests.
+# symbol-cache (internal/symtab) are exercised under -race by their
+# tests — and a short fuzz smoke of the trace decoder and the
+# integrator (see the Fuzz targets for the long-running form).
 # bench runs the hot-path micro/ablation benchmarks with allocation stats.
+# bench-gate reruns BenchmarkMicroIntegrate and fails if it lands >15%
+# above the baseline recorded in EXPERIMENTS.md (see cmd/benchgate).
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench
+.PHONY: tier1 tier2 bench bench-gate
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
 tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzIntegrate$$' -fuzztime=10s ./internal/core
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .
+
+bench-gate:
+	$(GO) run ./cmd/benchgate

@@ -1,0 +1,106 @@
+// Command benchgate is the performance regression gate: it runs the
+// hot-path integration micro-benchmark and fails (exit 1) if it is more
+// than -threshold slower than the baseline recorded in EXPERIMENTS.md.
+//
+// The baseline is the machine-readable line
+//
+//	bench-gate baseline: BenchmarkMicroIntegrate <ns> ns/op
+//
+// kept next to the benchmark table in EXPERIMENTS.md; update it (and the
+// table) deliberately when a change legitimately moves the number. The
+// benchmark runs -count times and the gate takes the fastest run, so
+// scheduler noise produces false passes rather than false failures —
+// a CI container is noisy in exactly one direction.
+//
+// Run via make bench-gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baselineFile = flag.String("baseline", "EXPERIMENTS.md", "file holding the bench-gate baseline line")
+		bench        = flag.String("bench", "BenchmarkMicroIntegrate", "benchmark to gate")
+		pkg          = flag.String("pkg", ".", "package containing the benchmark")
+		threshold    = flag.Float64("threshold", 0.15, "max allowed slowdown vs baseline (0.15 = +15%)")
+		count        = flag.Int("count", 3, "benchmark repetitions; the fastest run is gated")
+	)
+	flag.Parse()
+
+	baseline, err := readBaseline(*baselineFile, *bench)
+	if err != nil {
+		fatal(err)
+	}
+
+	goBin := os.Getenv("GO")
+	if goBin == "" {
+		goBin = "go"
+	}
+	cmd := exec.Command(goBin, "test", "-run", "^$",
+		"-bench", "^"+*bench+"$", "-count", strconv.Itoa(*count), *pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fatal(fmt.Errorf("benchmark run failed: %w\n%s", err, out))
+	}
+	best, runs, err := fastestRun(string(out), *bench)
+	if err != nil {
+		fatal(fmt.Errorf("%w\n%s", err, out))
+	}
+
+	limit := baseline * (1 + *threshold)
+	ratio := best / baseline
+	fmt.Printf("bench-gate: %s best of %d runs: %.0f ns/op (baseline %.0f, %.2fx, limit %.0f)\n",
+		*bench, runs, best, baseline, ratio, limit)
+	if best > limit {
+		fatal(fmt.Errorf("%s regressed: %.0f ns/op is %.0f%% over the %.0f ns/op baseline (threshold %.0f%%)",
+			*bench, best, (ratio-1)*100, baseline, *threshold*100))
+	}
+	fmt.Println("bench-gate: PASS")
+}
+
+// readBaseline extracts "<bench> <ns> ns/op" from the baseline line in path.
+func readBaseline(path, bench string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	re := regexp.MustCompile(`(?m)^bench-gate baseline:\s+` + regexp.QuoteMeta(bench) + `\s+([0-9][0-9,]*)\s+ns/op`)
+	m := re.FindSubmatch(data)
+	if m == nil {
+		return 0, fmt.Errorf("no 'bench-gate baseline: %s <ns> ns/op' line in %s", bench, path)
+	}
+	return strconv.ParseFloat(strings.ReplaceAll(string(m[1]), ",", ""), 64)
+}
+
+// fastestRun parses `go test -bench` output and returns the minimum ns/op
+// across the repeated runs of bench.
+func fastestRun(out, bench string) (best float64, runs int, err error) {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(bench) + `(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		v, perr := strconv.ParseFloat(m[1], 64)
+		if perr != nil {
+			return 0, 0, perr
+		}
+		if runs == 0 || v < best {
+			best = v
+		}
+		runs++
+	}
+	if runs == 0 {
+		return 0, 0, fmt.Errorf("no %s results in benchmark output", bench)
+	}
+	return best, runs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-gate:", err)
+	os.Exit(1)
+}

@@ -6,7 +6,7 @@
 //	fluct -exp fig9 -packets 10000
 //	fluct -exp all
 //
-// Experiments: fig1, fig2, fig4, fig8, fig9, fig10, datarate, all.
+// Experiments: fig1, fig2, fig4, fig8, fig9, fig10, datarate, faultsweep, all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: fig1|fig2|fig4|fig8|fig9|fig10|datarate|all")
+		exp      = flag.String("exp", "all", "experiment to run: fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|all")
 		packets  = flag.Int("packets", 10000, "packets per ACL run (figs 9/10, data rate)")
 		requests = flag.Int("requests", 20000, "requests for the NGINX workload (fig 2)")
 		resets   = flag.String("resets", "", "comma-separated reset values overriding the paper's sweep")
@@ -112,6 +112,15 @@ func main() {
 			fmt.Fprintln(w)
 		}
 	}
+	if want("faultsweep") {
+		ran = true
+		r, err := experiments.FaultSweep(nil)
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintln(w)
+	}
 	if want("secvc") {
 		ran = true
 		r, err := experiments.SecVC("gcc", nil)
@@ -122,7 +131,7 @@ func main() {
 		fmt.Fprintln(w)
 	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|secvc|all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|secvc|all)", *exp))
 	}
 }
 

@@ -4,10 +4,15 @@
 // profile — the offline half of the paper's workflow, where the prototype
 // dumps samples to SSD during the run and analyzes them later.
 //
+// It can also degrade a trace on the way in (-faults) to rehearse how the
+// diagnosis behaves on imperfect production traces, and write the degraded
+// trace back out (-faults-out) for other tools.
+//
 // Usage:
 //
 //	tracedump -items 20 /tmp/acl.fltrc
 //	tracedump -profile /tmp/acl.fltrc
+//	tracedump -faults 'seed=7,loss=0.1,burst=32,mdrop=0.02' -gaps /tmp/acl.fltrc
 package main
 
 import (
@@ -16,18 +21,22 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		items     = flag.Int("items", 10, "per-item rows to print (0 = none)")
-		profile   = flag.Bool("profile", false, "print the averaged whole-run profile")
-		functions = flag.Bool("functions", false, "print the per-function fluctuation report")
-		exclude   = flag.Bool("exclude-boundaries", false, "exclude samples exactly on marker timestamps")
-		csvOut    = flag.String("csv", "", "export markers+samples as CSV to <prefix>-markers.csv / <prefix>-samples.csv")
-		jsonlOut  = flag.String("jsonl", "", "export all events as JSON Lines to this file")
+		items      = flag.Int("items", 10, "per-item rows to print (0 = none)")
+		profile    = flag.Bool("profile", false, "print the averaged whole-run profile")
+		functions  = flag.Bool("functions", false, "print the per-function fluctuation report")
+		exclude    = flag.Bool("exclude-boundaries", false, "exclude samples exactly on marker timestamps")
+		csvOut     = flag.String("csv", "", "export markers+samples as CSV to <prefix>-markers.csv / <prefix>-samples.csv")
+		jsonlOut   = flag.String("jsonl", "", "export all events as JSON Lines to this file")
+		faultsSpec = flag.String("faults", "", "inject faults before analysis, e.g. 'seed=7,loss=0.1,burst=32,mdrop=0.02,mdup=0.01,skew=500,reorder=16,trunc=0.9'")
+		faultsOut  = flag.String("faults-out", "", "write the (possibly perturbed) trace to this file")
+		gaps       = flag.Bool("gaps", false, "print the per-core gap/degradation summary")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -57,18 +66,70 @@ func main() {
 		len(set.Markers), len(set.Samples), symCount(set), set.FreqHz)
 
 	opts := core.Options{ExcludeBoundaries: *exclude}
+	if *faultsSpec != "" {
+		plan, err := faults.ParsePlan(*faultsSpec)
+		if err != nil {
+			fatal(err)
+		}
+		var rep faults.Report
+		set, rep = faults.Perturb(set, plan)
+		fmt.Printf("%s\n", rep)
+		fmt.Printf("degraded trace: %d markers, %d samples remain\n\n", len(set.Markers), len(set.Samples))
+	}
+	if *faultsOut != "" {
+		f, err := os.Create(*faultsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := set.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *faultsOut)
+	}
+
+	g := set.GapSummary(opts.Event)
+	if *gaps || g.Degraded() {
+		fmt.Printf("%s\n", g)
+		if *gaps {
+			t := report.Table{
+				Title:   "per-core stream health",
+				Headers: []string{"core", "samples", "mean gap cy", "max gap cy", "suspect bursts", "est lost", "begin/end markers"},
+			}
+			for _, c := range g.PerCore {
+				t.AddRow(report.I(int(c.Core)), report.I(c.Samples),
+					report.F(c.MeanGapCycles, 0), report.U(c.MaxGapCycles),
+					report.I(c.SuspectBursts), report.I(c.EstLostSamples),
+					fmt.Sprintf("%d/%d", c.BeginMarkers, c.EndMarkers))
+			}
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
 	a, err := core.Integrate(set, opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("items: %d   unattributed samples: %d   unresolved: %d   marker anomalies: %d\n\n",
-		len(a.Items), a.Diag.UnattributedSamples, a.Diag.UnresolvedSamples,
-		a.Diag.OrphanEndMarkers+a.Diag.ReopenedItems+a.Diag.UnclosedItems)
+	var confSum float64
+	for i := range a.Items {
+		confSum += a.Items[i].Confidence
+	}
+	meanConf := 1.0
+	if len(a.Items) > 0 {
+		meanConf = confSum / float64(len(a.Items))
+	}
+	fmt.Printf("items: %d   mean confidence: %.3f   unattributed samples: %d   unresolved: %d   marker anomalies: %d (repaired: %d)\n\n",
+		len(a.Items), meanConf, a.Diag.UnattributedSamples, a.Diag.UnresolvedSamples,
+		a.Diag.OrphanEndMarkers+a.Diag.ReopenedItems+a.Diag.UnclosedItems,
+		a.Diag.RepairedMarkers)
 
 	if *items > 0 {
 		t := report.Table{
 			Title:   "per-data-item function estimates",
-			Headers: []string{"item", "core", "total us", "function", "est us", "samples"},
+			Headers: []string{"item", "core", "total us", "conf", "function", "est us", "samples"},
 		}
 		for i := range a.Items {
 			if i >= *items {
@@ -77,16 +138,18 @@ func main() {
 			it := &a.Items[i]
 			if len(it.Funcs) == 0 {
 				t.AddRow(report.U(it.ID), report.I(int(it.Core)),
-					report.F(a.CyclesToMicros(it.ElapsedCycles()), 2), "-", "-", "0")
+					report.F(a.CyclesToMicros(it.ElapsedCycles()), 2),
+					report.F(it.Confidence, 2), "-", "-", "0")
 				continue
 			}
 			for j, fs := range it.Funcs {
-				id, total := "", ""
+				id, total, conf := "", "", ""
 				if j == 0 {
 					id = report.U(it.ID)
 					total = report.F(a.CyclesToMicros(it.ElapsedCycles()), 2)
+					conf = report.F(it.Confidence, 2)
 				}
-				t.AddRow(id, report.I(int(it.Core)), total, fs.Fn.Name,
+				t.AddRow(id, report.I(int(it.Core)), total, conf, fs.Fn.Name,
 					report.F(a.CyclesToMicros(fs.Cycles()), 2), report.I(fs.Samples))
 			}
 		}

@@ -31,6 +31,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/pmu"
 	"repro/internal/queue"
 	"repro/internal/sim"
@@ -102,6 +103,17 @@ func NewPEBS(cfg PEBSConfig) *PEBS { return pmu.NewPEBS(cfg) }
 // NewSoftSampler creates a software sampler.
 func NewSoftSampler(cfg SoftSamplerConfig) *SoftSampler { return pmu.NewSoftSampler(cfg) }
 
+// PEBSOverflowPolicy selects the PEBS buffer-full semantics
+// (PEBSConfig.OverflowPolicy): ideal drain, ring-wrap, or burst drop.
+type PEBSOverflowPolicy = pmu.OverflowPolicy
+
+// PEBS buffer-full policies.
+const (
+	PEBSOverflowDrain     = pmu.OverflowDrain
+	PEBSOverflowWrap      = pmu.OverflowWrap
+	PEBSOverflowDropBurst = pmu.OverflowDropBurst
+)
+
 // Tracing (instrumentation + trace sets).
 type (
 	// Marker is one instrumentation record at a data-item switch.
@@ -133,6 +145,29 @@ func NewTraceSet(m *Machine, log *MarkerLog, samples []Sample) *TraceSet {
 
 // DecodeTraceSet reads a serialized trace set (see TraceSet.Encode).
 var DecodeTraceSet = trace.Decode
+
+// Fault injection (degraded-trace modeling).
+type (
+	// FaultPlan is a seeded, deterministic trace-perturbation plan: burst
+	// sample loss, marker drop/duplication, bounded per-core clock skew,
+	// out-of-order delivery, and mid-run truncation.
+	FaultPlan = faults.Plan
+	// FaultReport counts what a Perturb call actually injected.
+	FaultReport = faults.Report
+	// TraceGaps is the integration-free degradation summary of a trace
+	// (suspected PEBS loss bursts, marker imbalance), per core.
+	TraceGaps = trace.Gaps
+)
+
+// Perturb applies a FaultPlan to a trace set and returns a degraded copy
+// plus the damage report. The same plan on the same set yields identical
+// output on every run — the foundation of the graceful-degradation
+// property tests.
+var Perturb = faults.Perturb
+
+// ParseFaultPlan builds a FaultPlan from the compact spec the tracedump
+// -faults flag accepts (e.g. "seed=7,loss=0.1,burst=64,mdrop=0.02").
+var ParseFaultPlan = faults.ParsePlan
 
 // Analysis (the paper's contribution).
 type (

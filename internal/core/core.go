@@ -70,6 +70,17 @@ type Item struct {
 	// UnresolvedSamples counts this item's samples that hit unsymbolized
 	// code.
 	UnresolvedSamples int
+	// Confidence grades how trustworthy this reconstruction is on [0, 1].
+	// 1.0 means a cleanly paired marker interval with sample coverage
+	// consistent with the core's sampling rate. Degraded traces lower it:
+	// an item force-closed by a reopen (its End marker was lost) is halved;
+	// an item whose interval should have held ≥ 4 samples at the core's
+	// mean sample gap but holds under half of them is scaled by the
+	// coverage shortfall (a PEBS loss burst ate its evidence); an item
+	// flushed unclosed at stream end (StreamIntegrator.Close) carries 0.25.
+	// The score is a deterministic function of the trace, identical across
+	// runs and parallelism levels.
+	Confidence float64
 
 	// funcIndex is a lazily built name→Funcs-index lookup, populated by
 	// Func once an item carries enough functions that repeated linear
@@ -130,9 +141,18 @@ type Diagnostics struct {
 	// was still open on the core (the previous item is closed at the new
 	// begin and counted here).
 	ReopenedItems int
-	// UnclosedItems are ItemBegin markers never followed by an ItemEnd;
-	// such items are dropped because their interval is unbounded.
+	// UnclosedItems are ItemBegin markers never followed by an ItemEnd.
+	// The offline integrator drops such items because their interval is
+	// unbounded; StreamIntegrator.Close flushes them as low-confidence.
 	UnclosedItems int
+	// RepairedMarkers counts obviously duplicated markers the integrator
+	// repaired away instead of misinterpreting: an ItemBegin for the item
+	// already open on its core (a doubled log write — honoring it would
+	// fake a reopen) and an ItemEnd for the item most recently closed on
+	// its core (honoring it would count an orphan). Repair restores full
+	// fidelity, so it does not lower Confidence; the count surfaces that
+	// the marker stream was degraded.
+	RepairedMarkers int
 	// IgnoredEventSamples had a different hardware event than the one
 	// being integrated.
 	IgnoredEventSamples int
@@ -151,6 +171,7 @@ func (d *Diagnostics) merge(o Diagnostics) {
 	d.OrphanEndMarkers += o.OrphanEndMarkers
 	d.ReopenedItems += o.ReopenedItems
 	d.UnclosedItems += o.UnclosedItems
+	d.RepairedMarkers += o.RepairedMarkers
 	d.IgnoredEventSamples += o.IgnoredEventSamples
 	d.SymCacheHits += o.SymCacheHits
 	d.SymCacheMisses += o.SymCacheMisses
@@ -209,6 +230,9 @@ type Options struct {
 type interval struct {
 	item       uint64
 	begin, end uint64
+	// reopened marks an interval force-closed at the next Begin because
+	// its own End marker never arrived; it feeds the confidence penalty.
+	reopened bool
 }
 
 // Integrate performs the paper's integration step (§III-D step 2): each
@@ -276,6 +300,40 @@ func afterInterval(tsc uint64, iv interval, excludeBounds bool) bool {
 		return tsc >= iv.end
 	}
 	return tsc > iv.end
+}
+
+// Confidence penalty factors and coverage thresholds (see Item.Confidence).
+const (
+	confReopened = 0.5  // End marker lost; interval closed at the next Begin
+	confUnclosed = 0.25 // Begin never matched; interval closed at stream end
+	// confCoverageMinExpected is the minimum expected sample count (at the
+	// core's mean gap) before coverage is judged at all — short items
+	// legitimately carry few samples.
+	confCoverageMinExpected = 4.0
+	// confCoverageFloor is the fraction of expected samples below which
+	// coverage starts scaling confidence down. Clean traces sit near 1.0
+	// expected coverage; only burst loss pushes an item under half.
+	confCoverageFloor = 0.5
+)
+
+// itemConfidence computes the offline confidence score: the pairing factor
+// times the sample-coverage factor. It uses only per-shard-deterministic
+// inputs, so the score is identical across runs and parallelism levels.
+func itemConfidence(reopened bool, samples int, elapsed uint64, meanGap float64, hasGap bool) float64 {
+	c := 1.0
+	if reopened {
+		c *= confReopened
+	}
+	if hasGap && meanGap > 0 {
+		expected := float64(elapsed) / meanGap
+		if expected >= confCoverageMinExpected {
+			cov := (float64(samples) + 1) / expected
+			if cov < confCoverageFloor {
+				c *= cov / confCoverageFloor
+			}
+		}
+	}
+	return c
 }
 
 func attachSample(b *Item, fn *symtab.Fn, tsc uint64) {

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// allFaults is the kitchen-sink plan covering all four fault classes of
+// the degradation model at once.
+func allFaults(seed uint64) faults.Plan {
+	return faults.Plan{
+		Seed:           seed,
+		SampleLossRate: 0.15, BurstLen: 8, // (a) bursty PEBS loss
+		MarkerDropRate: 0.06, MarkerDupRate: 0.06, // (b) dropped/doubled markers
+		SkewCycles: 400, ReorderWindow: 8, // (c) skew + out-of-order delivery
+		TruncateFraction: 0.85, // (d) crash mid-run
+	}
+}
+
+// TestDegradedIntegrateEquivalence is the headline graceful-degradation
+// property: for every FaultPlan seed, Perturb is deterministic across runs
+// and Integrate(Perturb(set)) is identical across runs and across every
+// Options.Parallelism level — the degraded-input extension of
+// TestParallelIntegrateEquivalence.
+func TestDegradedIntegrateEquivalence(t *testing.T) {
+	levels := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for seed := int64(0); seed < 12; seed++ {
+		base := randomTraceSet(rand.New(rand.NewSource(seed)))
+		plan := allFaults(uint64(seed))
+
+		p1, r1 := faults.Perturb(base, plan)
+		p2, r2 := faults.Perturb(base, plan)
+		if !reflect.DeepEqual(p1, p2) || !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("seed %d: Perturb not deterministic across runs", seed)
+		}
+
+		ref, err := Integrate(p1, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		// Across runs: integrating the second, independently perturbed copy
+		// must match integrating the first.
+		again, err := Integrate(p2, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(ref.Items, again.Items) || ref.Diag != again.Diag {
+			t.Fatalf("seed %d: integration of identical degraded traces differs", seed)
+		}
+		// Across parallelism levels: bit-identical items (including
+		// Confidence), diagnostics, and mean gaps.
+		for _, p := range levels {
+			par, err := Integrate(p1, Options{Parallelism: p})
+			if err != nil {
+				t.Fatalf("seed %d p=%d: %v", seed, p, err)
+			}
+			if !reflect.DeepEqual(ref.Items, par.Items) {
+				t.Fatalf("seed %d p=%d: degraded items differ", seed, p)
+			}
+			if ref.Diag != par.Diag {
+				t.Fatalf("seed %d p=%d: degraded diagnostics differ\nseq %+v\npar %+v", seed, p, ref.Diag, par.Diag)
+			}
+			if !reflect.DeepEqual(ref.MeanSampleGap, par.MeanSampleGap) {
+				t.Fatalf("seed %d p=%d: degraded mean gaps differ", seed, p)
+			}
+		}
+	}
+}
+
+// TestDegradedIntegrateNeverFails: each fault class alone and all four
+// combined, over many seeds, must never make Integrate error, panic, or
+// deadlock, and every emitted item must carry a sane confidence score.
+func TestDegradedIntegrateNeverFails(t *testing.T) {
+	plans := map[string]faults.Plan{
+		"sample-loss":  {SampleLossRate: 0.3, BurstLen: 16},
+		"marker-havoc": {MarkerDropRate: 0.2, MarkerDupRate: 0.2},
+		"skew-reorder": {SkewCycles: 2000, ReorderWindow: 32},
+		"truncation":   {TruncateFraction: 0.4},
+		"everything":   allFaults(0),
+	}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				base := randomTraceSet(rand.New(rand.NewSource(seed)))
+				plan.Seed = uint64(seed)
+				degraded, _ := faults.Perturb(base, plan)
+				a, err := Integrate(degraded, Options{})
+				if err != nil {
+					t.Fatalf("seed %d: Integrate on degraded trace: %v", seed, err)
+				}
+				for i := range a.Items {
+					c := a.Items[i].Confidence
+					if c < 0 || c > 1 {
+						t.Fatalf("seed %d: item %d confidence %v out of [0,1]", seed, a.Items[i].ID, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDegradedStreamIntegratorNeverFails drives the online integrator over
+// the same degraded traces (including out-of-order delivery, which the
+// offline sorter hides but a stream consumer sees head-on).
+func TestDegradedStreamIntegratorNeverFails(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		base := randomTraceSet(rand.New(rand.NewSource(seed)))
+		degraded, _ := faults.Perturb(base, allFaults(uint64(seed)))
+		n := 0
+		s, err := NewStreamIntegrator(degraded.Syms, Options{}, func(it *Item) {
+			if it.Confidence < 0 || it.Confidence > 1 {
+				t.Fatalf("confidence %v out of range", it.Confidence)
+			}
+			n++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deliver in raw (possibly reordered) order — the integrator must
+		// cope, counting violations rather than corrupting.
+		for _, m := range degraded.Markers {
+			s.Marker(m)
+		}
+		for i := range degraded.Samples {
+			s.Sample(degraded.Samples[i])
+		}
+		s.Close()
+		if n != s.Items() {
+			t.Fatalf("seed %d: callback saw %d items, integrator reports %d", seed, n, s.Items())
+		}
+	}
+}
+
+// TestConfidenceSemantics pins the confidence scores on hand-built traces.
+func TestConfidenceSemantics(t *testing.T) {
+	set := cleanTwoItemSet()
+	a, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Items {
+		if a.Items[i].Confidence != 1 {
+			t.Errorf("clean item %d confidence = %v, want 1", a.Items[i].ID, a.Items[i].Confidence)
+		}
+	}
+
+	// Lose item 1's End marker: it gets force-closed at item 2's Begin and
+	// halves its confidence.
+	lost := &trace.Set{FreqHz: set.FreqHz, Syms: set.Syms, Samples: set.Samples}
+	for _, m := range set.Markers {
+		if m.Item == 1 && m.Kind == trace.ItemEnd {
+			continue
+		}
+		lost.Markers = append(lost.Markers, m)
+	}
+	a, err = Integrate(lost, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := a.Item(1); it == nil || it.Confidence != confReopened {
+		t.Errorf("reopened item confidence = %+v, want %v", a.Item(1), confReopened)
+	}
+	if it := a.Item(2); it == nil || it.Confidence != 1 {
+		t.Errorf("clean item 2 confidence = %+v, want 1", a.Item(2))
+	}
+
+	// Wipe the middle of item 2's samples: coverage collapses and so does
+	// its confidence, without touching item 1.
+	sparse := &trace.Set{FreqHz: set.FreqHz, Syms: set.Syms, Markers: set.Markers}
+	kept := 0
+	for i := range set.Samples {
+		sm := set.Samples[i]
+		if sm.TSC > 2000 && kept >= 1 { // keep one sample of item 2
+			continue
+		}
+		if sm.TSC > 2000 {
+			kept++
+		}
+		sparse.Samples = append(sparse.Samples, sm)
+	}
+	a, err = Integrate(sparse, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := a.Item(2); it == nil || it.Confidence >= 1 {
+		t.Errorf("loss-gutted item 2 confidence = %+v, want < 1", a.Item(2))
+	}
+	if it := a.Item(1); it == nil || it.Confidence != 1 {
+		t.Errorf("untouched item 1 confidence = %+v, want 1", a.Item(1))
+	}
+}
+
+// cleanTwoItemSet builds two 1000-cycle items on one core with a sample
+// every 100 cycles.
+func cleanTwoItemSet() *trace.Set {
+	tab := symtab.NewTable()
+	fn := tab.MustRegister("f", 4096)
+	set := &trace.Set{FreqHz: 2_000_000_000, Syms: tab}
+	for id := uint64(1); id <= 2; id++ {
+		begin := id * 1000
+		set.Markers = append(set.Markers,
+			trace.Marker{Item: id, TSC: begin, Kind: trace.ItemBegin},
+			trace.Marker{Item: id, TSC: begin + 1000, Kind: trace.ItemEnd})
+		for s := uint64(100); s < 1000; s += 100 {
+			set.Samples = append(set.Samples, pmu.Sample{TSC: begin + s, IP: fn.Base, Event: pmu.UopsRetired})
+		}
+	}
+	return set
+}
+
+// TestRepairedMarkers pins the duplicate-marker repair in both the offline
+// and the streaming integrator: doubled Begin/End log writes are dropped
+// and counted, producing the same items as the clean trace.
+func TestRepairedMarkers(t *testing.T) {
+	set := cleanTwoItemSet()
+	dup := &trace.Set{FreqHz: set.FreqHz, Syms: set.Syms, Samples: set.Samples}
+	for _, m := range set.Markers {
+		dup.Markers = append(dup.Markers, m, m) // every marker delivered twice
+	}
+
+	clean, err := Integrate(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := Integrate(dup, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean.Items, repaired.Items) {
+		t.Errorf("duplicate markers changed the reconstruction:\nclean %+v\nrepaired %+v", clean.Items, repaired.Items)
+	}
+	if repaired.Diag.RepairedMarkers != len(set.Markers) {
+		t.Errorf("RepairedMarkers = %d, want %d", repaired.Diag.RepairedMarkers, len(set.Markers))
+	}
+	if repaired.Diag.OrphanEndMarkers != 0 || repaired.Diag.ReopenedItems != 0 {
+		t.Errorf("repair leaked into anomaly counts: %+v", repaired.Diag)
+	}
+
+	// Same contract online.
+	var items []Item
+	s, err := NewStreamIntegrator(dup.Syms, Options{}, func(it *Item) { items = append(items, *it) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedInOrder(s, dup)
+	if d := s.Diag(); d.RepairedMarkers != len(set.Markers) || d.OrphanEndMarkers != 0 {
+		t.Errorf("stream repair diag = %+v", d)
+	}
+	if len(items) != len(clean.Items) {
+		t.Errorf("stream emitted %d items, want %d", len(items), len(clean.Items))
+	}
+}

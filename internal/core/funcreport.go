@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/stats"
 	"repro/internal/symtab"
@@ -99,4 +101,31 @@ func FunctionReport(a *Analysis) []FunctionRow {
 		return rows[i].PerItemUs.Mean > rows[j].PerItemUs.Mean
 	})
 	return rows
+}
+
+// FunctionReportString renders the analysis as a stable, byte-comparable
+// text report: the integration diagnostics, the mean item confidence, and
+// one row per function. This is the format the golden-trace fixtures under
+// internal/trace/testdata pin — any change here must regenerate them
+// (go generate ./internal/trace).
+func FunctionReportString(a *Analysis) string {
+	var b strings.Builder
+	conf := 0.0
+	for i := range a.Items {
+		conf += a.Items[i].Confidence
+	}
+	if len(a.Items) > 0 {
+		conf /= float64(len(a.Items))
+	}
+	fmt.Fprintf(&b, "items %d mean-confidence %.3f\n", len(a.Items), conf)
+	d := a.Diag
+	fmt.Fprintf(&b, "diag unattributed %d unresolved %d orphan-ends %d reopened %d unclosed %d repaired %d\n",
+		d.UnattributedSamples, d.UnresolvedSamples, d.OrphanEndMarkers,
+		d.ReopenedItems, d.UnclosedItems, d.RepairedMarkers)
+	for _, row := range FunctionReport(a) {
+		fmt.Fprintf(&b, "fn %-8s ratio %7.3f mean %9.3fus p99 %9.3fus max %9.3fus estimable %d/%d\n",
+			row.Fn.Name, row.FluctuationRatio, row.PerItemUs.Mean,
+			row.PerItemUs.P99, row.PerItemUs.Max, row.EstimableItems, row.TotalItems)
+	}
+	return b.String()
 }

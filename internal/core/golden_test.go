@@ -1,0 +1,46 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestGoldenTraces integrates the three canonical fixtures (clean, 10%
+// bursty sample loss, marker drop) committed under internal/trace/testdata
+// and compares the rendered FunctionReport byte-for-byte against the
+// checked-in .golden files. This pins the whole pipeline — trace decoding,
+// marker pairing, repair, confidence scoring, report math and formatting —
+// against silent drift on both healthy and degraded input. Regenerate with
+// go generate ./internal/trace when a difference is intentional.
+func TestGoldenTraces(t *testing.T) {
+	dir := filepath.Join("..", "trace", "testdata")
+	for _, name := range []string{"clean", "loss10", "markerdrop"} {
+		t.Run(name, func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, name+".fltrc"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			set, err := trace.Decode(f)
+			if err != nil {
+				t.Fatalf("decode fixture: %v", err)
+			}
+			want, err := os.ReadFile(filepath.Join(dir, name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{1, 4} {
+				a, err := Integrate(set, Options{Parallelism: p})
+				if err != nil {
+					t.Fatalf("p=%d: %v", p, err)
+				}
+				if got := FunctionReportString(a); got != string(want) {
+					t.Errorf("p=%d report drifted from golden:\n--- got ---\n%s--- want ---\n%s", p, got, want)
+				}
+			}
+		})
+	}
+}

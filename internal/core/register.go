@@ -88,7 +88,10 @@ func IntegrateByRegister(set *trace.Set, reg int, opts Options) (*Analysis, erro
 		k := key{core: s.Core, id: id}
 		b := builders[k]
 		if b == nil {
-			b = &Item{ID: id, Core: s.Core, BeginTSC: s.TSC, EndTSC: s.TSC}
+			// Register-tagged attribution has no marker pairing to grade;
+			// every sample carries its item ID directly, so confidence is
+			// full by construction.
+			b = &Item{ID: id, Core: s.Core, BeginTSC: s.TSC, EndTSC: s.TSC, Confidence: 1}
 			builders[k] = b
 			order = append(order, k)
 		}

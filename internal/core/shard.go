@@ -143,29 +143,49 @@ func integrateShards(shards []shard, syms *symtab.Table, opts Options) []coreRes
 func integrateCore(sh shard, syms *symtab.Table, opts Options) coreResult {
 	r := coreResult{core: sh.core}
 
-	// Pass 1: pair markers into item intervals.
+	// Pass 1: pair markers into item intervals. Degraded marker streams
+	// (lost or doubled log writes) are repaired where the intent is
+	// unambiguous and surfaced in the diagnostics and per-item confidence
+	// everywhere else; no marker sequence is fatal.
 	ivs := make([]interval, 0, len(sh.markers)/2)
 	var (
-		curID    uint64
-		curBegin uint64
-		curOpen  bool
+		curID      uint64
+		curBegin   uint64
+		curOpen    bool
+		lastClosed uint64
+		haveClosed bool
 	)
 	for _, m := range sh.markers {
 		switch m.Kind {
 		case trace.ItemBegin:
+			if curOpen && curID == m.Item {
+				// A Begin for the item already open is a doubled log
+				// write; honoring it would fake a reopen. Repair: drop it.
+				r.diag.RepairedMarkers++
+				continue
+			}
 			if curOpen {
 				// Forced reopen: close the dangling item here so its
-				// samples stay attributable up to the switch point.
-				ivs = append(ivs, interval{item: curID, begin: curBegin, end: m.TSC})
+				// samples stay attributable up to the switch point. The
+				// interval's true End was lost, so it carries the
+				// reopened-confidence penalty.
+				ivs = append(ivs, interval{item: curID, begin: curBegin, end: m.TSC, reopened: true})
 				r.diag.ReopenedItems++
 			}
 			curID, curBegin, curOpen = m.Item, m.TSC, true
 		case trace.ItemEnd:
 			if !curOpen || curID != m.Item {
+				if !curOpen && haveClosed && lastClosed == m.Item {
+					// An End for the item just closed is the doubled-write
+					// twin of the repair above, not an orphan.
+					r.diag.RepairedMarkers++
+					continue
+				}
 				r.diag.OrphanEndMarkers++
 				continue
 			}
 			ivs = append(ivs, interval{item: curID, begin: curBegin, end: m.TSC})
+			lastClosed, haveClosed = curID, true
 			curOpen = false
 		}
 	}
@@ -214,6 +234,14 @@ func integrateCore(sh shard, syms *symtab.Table, opts Options) coreResult {
 		}
 		attachSample(b, fn, s.TSC)
 	}
+	// Pass 3: grade each reconstruction. Runs after the sweep because the
+	// coverage factor needs final sample counts; uses only per-shard data
+	// so scores are identical at every parallelism level.
+	for i := range r.items {
+		it := &r.items[i]
+		it.Confidence = itemConfidence(ivs[i].reopened, it.SampleCount, it.ElapsedCycles(), r.meanGap, r.hasGap)
+	}
+
 	hits, misses := res.Stats()
 	r.diag.SymCacheHits = int(hits)
 	r.diag.SymCacheMisses = int(misses)

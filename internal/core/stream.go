@@ -51,6 +51,11 @@ type coreStream struct {
 	cur        *Item // open item, nil when none
 	lastTSC    uint64
 	outOfOrder int
+	// lastClosedID/haveClosed remember the most recent cleanly closed item
+	// so a duplicated End marker can be repaired instead of counted as an
+	// orphan (mirrors the offline pass-1 repair).
+	lastClosedID uint64
+	haveClosed   bool
 }
 
 // NewStreamIntegrator creates an online integrator resolving IPs against
@@ -117,22 +122,38 @@ func (s *StreamIntegrator) Marker(m trace.Marker) {
 	cs.lastTSC = m.TSC
 	switch m.Kind {
 	case trace.ItemBegin:
+		if cs.cur != nil && cs.cur.ID == m.Item {
+			// A Begin for the item already open is a doubled log write;
+			// repair it away (same rule as the offline integrator).
+			s.diag.RepairedMarkers++
+			return
+		}
 		if cs.cur != nil {
 			// Force-close the dangling item at the new begin, as the
-			// offline integrator does.
+			// offline integrator does; its true End was lost, so it goes
+			// out with the reopened-confidence penalty.
 			cs.cur.EndTSC = m.TSC
+			cs.cur.Confidence *= confReopened
 			s.finish(cs)
 			s.diag.ReopenedItems++
 		}
 		it := s.takeItem()
 		it.ID, it.Core, it.BeginTSC, it.EndTSC = m.Item, m.Core, m.TSC, m.TSC
+		it.Confidence = 1
 		cs.cur = it
 	case trace.ItemEnd:
 		if cs.cur == nil || cs.cur.ID != m.Item {
+			if cs.cur == nil && cs.haveClosed && cs.lastClosedID == m.Item {
+				// Doubled End for the item just closed: repaired, not an
+				// orphan.
+				s.diag.RepairedMarkers++
+				return
+			}
 			s.diag.OrphanEndMarkers++
 			return
 		}
 		cs.cur.EndTSC = m.TSC
+		cs.lastClosedID, cs.haveClosed = m.Item, true
 		s.finish(cs)
 	}
 }
@@ -176,18 +197,35 @@ func (s *StreamIntegrator) Sample(sm pmu.Sample) {
 	attachSample(cs.cur, fn, sm.TSC)
 }
 
-// Flush reports still-open items as unclosed (call at end of stream).
-// Unclosed items are never emitted — their interval is unbounded — so
-// their storage goes straight back to the free list.
-func (s *StreamIntegrator) Flush() {
-	for _, cs := range s.cores {
+// Close ends the stream. An item still open on some core — its End marker
+// never arrived because the trace was truncated mid-run or the write was
+// lost — is not silently dropped: it is emitted as a low-confidence
+// reconstruction closed at that core's last observed timestamp, and
+// counted in Diagnostics.UnclosedItems. Its samples were attributed as
+// they streamed in, so a diagnostician still sees where the final,
+// possibly crash-implicated item spent its time. Cores are drained in
+// ascending ID order so the emission order is deterministic.
+func (s *StreamIntegrator) Close() {
+	var cores []int32
+	for id, cs := range s.cores {
 		if cs.cur != nil {
-			s.diag.UnclosedItems++
-			s.Recycle(cs.cur)
-			cs.cur = nil
+			cores = append(cores, id)
 		}
 	}
+	slices.Sort(cores)
+	for _, id := range cores {
+		cs := s.cores[id]
+		s.diag.UnclosedItems++
+		cs.cur.EndTSC = cs.lastTSC
+		cs.cur.Confidence *= confUnclosed
+		s.finish(cs)
+	}
 }
+
+// Flush is the historical name for Close. It used to recycle still-open
+// items without emitting them — silently holding the item forever from the
+// consumer's point of view; it now flushes them as low-confidence items.
+func (s *StreamIntegrator) Flush() { s.Close() }
 
 // Diag returns the accumulated diagnostics, including per-core
 // out-of-order event counts folded into one number and the symbol-cache

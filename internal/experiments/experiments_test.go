@@ -314,3 +314,31 @@ func TestDataRateShape(t *testing.T) {
 		t.Error("render missing units")
 	}
 }
+
+func TestFaultSweepShape(t *testing.T) {
+	r, err := FaultSweep([]float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	clean, degraded := r.Rows[0], r.Rows[1]
+	if clean.MeanFnErrPct != 0 || clean.MeanSamplesLost != 0 {
+		t.Errorf("zero-loss row not clean: %+v", clean)
+	}
+	if clean.DetectorHits != clean.Seeds {
+		t.Errorf("detector misses on the clean trace: %d/%d", clean.DetectorHits, clean.Seeds)
+	}
+	if degraded.MeanSamplesLost == 0 || degraded.MeanFnErrPct <= 0 {
+		t.Errorf("30%% loss left no trace on the estimates: %+v", degraded)
+	}
+	if degraded.MeanConfidence < 0 || degraded.MeanConfidence > 1 {
+		t.Errorf("mean confidence %v out of [0,1]", degraded.MeanConfidence)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "loss rate") || !strings.Contains(sb.String(), "detector hits") {
+		t.Error("render missing columns")
+	}
+}

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// regularSet builds a clean two-core trace: items of 1000 cycles with a
+// sample every 100 cycles.
+func regularSet(items int) *trace.Set {
+	tab := symtab.NewTable()
+	fn := tab.MustRegister("f", 4096)
+	set := &trace.Set{FreqHz: 2_000_000_000, Syms: tab}
+	id := uint64(1)
+	for core := int32(0); core < 2; core++ {
+		tsc := uint64(1000)
+		for n := 0; n < items; n++ {
+			set.Markers = append(set.Markers, trace.Marker{Item: id, TSC: tsc, Core: core, Kind: trace.ItemBegin})
+			for s := uint64(100); s < 1000; s += 100 {
+				set.Samples = append(set.Samples, pmu.Sample{TSC: tsc + s, IP: fn.Base, Core: core, Event: pmu.UopsRetired})
+			}
+			tsc += 1000
+			set.Markers = append(set.Markers, trace.Marker{Item: id, TSC: tsc, Core: core, Kind: trace.ItemEnd})
+			tsc += 100
+			id++
+		}
+	}
+	return set
+}
+
+func TestPerturbZeroPlanIsIdentity(t *testing.T) {
+	set := regularSet(10)
+	out, rep := Perturb(set, Plan{})
+	if !reflect.DeepEqual(out.Markers, set.Markers) || !reflect.DeepEqual(out.Samples, set.Samples) {
+		t.Error("zero plan changed the trace")
+	}
+	if rep.SamplesDropped+rep.MarkersDropped+rep.MarkersDuplicated+rep.SamplesReordered+rep.MarkersTruncated+rep.SamplesTruncated != 0 {
+		t.Errorf("zero plan reported damage: %+v", rep)
+	}
+	// And the copy must be independent of the input.
+	out.Markers[0].TSC = 42
+	if set.Markers[0].TSC == 42 {
+		t.Error("Perturb aliases the input marker slice")
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	set := regularSet(40)
+	plan := Plan{
+		Seed: 7, SampleLossRate: 0.15, BurstLen: 8,
+		MarkerDropRate: 0.05, MarkerDupRate: 0.05,
+		SkewCycles: 300, ReorderWindow: 8, TruncateFraction: 0.9,
+	}
+	a, ra := Perturb(set, plan)
+	b, rb := Perturb(set, plan)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan, same set, different outputs")
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("reports differ: %+v vs %+v", ra, rb)
+	}
+	// A different seed must actually change something.
+	plan.Seed = 8
+	c, _ := Perturb(set, plan)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seed produced identical output")
+	}
+	// The input set must be untouched.
+	if !reflect.DeepEqual(set, regularSet(40)) {
+		t.Error("Perturb mutated its input")
+	}
+}
+
+func TestBurstSampleLoss(t *testing.T) {
+	set := regularSet(60)
+	plan := Plan{Seed: 3, SampleLossRate: 0.2, BurstLen: 9}
+	out, rep := Perturb(set, plan)
+	if rep.SamplesDropped == 0 || rep.LossBursts == 0 {
+		t.Fatalf("no loss injected: %+v", rep)
+	}
+	if got := len(set.Samples) - len(out.Samples); got != rep.SamplesDropped {
+		t.Errorf("dropped %d samples but reported %d", got, rep.SamplesDropped)
+	}
+	// Loss should be in the right ballpark (rate 0.2 over ~1000 samples).
+	frac := float64(rep.SamplesDropped) / float64(len(set.Samples))
+	if frac < 0.05 || frac > 0.5 {
+		t.Errorf("loss fraction %.3f wildly off the 0.2 target", frac)
+	}
+	// Bursts are contiguous: mean burst length must be BurstLen except for
+	// possible end-of-stream or overlapping truncation.
+	if mean := float64(rep.SamplesDropped) / float64(rep.LossBursts); mean < 4 || mean > 10 {
+		t.Errorf("mean burst length %.1f, want ~9", mean)
+	}
+}
+
+func TestMarkerDropAndDup(t *testing.T) {
+	set := regularSet(100)
+	out, rep := Perturb(set, Plan{Seed: 5, MarkerDropRate: 0.1, MarkerDupRate: 0.1})
+	if rep.MarkersDropped == 0 || rep.MarkersDuplicated == 0 {
+		t.Fatalf("no marker damage: %+v", rep)
+	}
+	if want := len(set.Markers) - rep.MarkersDropped + rep.MarkersDuplicated; len(out.Markers) != want {
+		t.Errorf("marker count %d, want %d", len(out.Markers), want)
+	}
+}
+
+func TestSkewBoundedAndOrderPreserving(t *testing.T) {
+	set := regularSet(30)
+	out, rep := Perturb(set, Plan{Seed: 11, SkewCycles: 500})
+	if len(rep.CoreSkew) != 2 {
+		t.Fatalf("skew applied to %d cores, want 2", len(rep.CoreSkew))
+	}
+	for core, off := range rep.CoreSkew {
+		if off < -500 || off > 500 {
+			t.Errorf("core %d skew %d out of bounds", core, off)
+		}
+	}
+	// Within a core the constant offset preserves marker order.
+	last := map[int32]uint64{}
+	for _, m := range out.Markers {
+		if m.TSC < last[m.Core] {
+			t.Fatalf("skew reordered core %d markers", m.Core)
+		}
+		last[m.Core] = m.TSC
+	}
+}
+
+func TestReorderOnlyMovesDelivery(t *testing.T) {
+	set := regularSet(30)
+	out, rep := Perturb(set, Plan{Seed: 2, ReorderWindow: 16})
+	if rep.SamplesReordered == 0 {
+		t.Fatal("no reordering happened")
+	}
+	// The multiset of samples is unchanged — only positions moved.
+	if len(out.Samples) != len(set.Samples) {
+		t.Fatalf("reorder changed sample count")
+	}
+	seen := map[uint64]int{}
+	for i := range set.Samples {
+		seen[set.Samples[i].TSC]++
+	}
+	for i := range out.Samples {
+		seen[out.Samples[i].TSC]--
+	}
+	for tsc, n := range seen {
+		if n != 0 {
+			t.Fatalf("sample at %d gained/lost %d copies", tsc, n)
+		}
+	}
+}
+
+func TestTruncateCutsTail(t *testing.T) {
+	set := regularSet(50)
+	out, rep := Perturb(set, Plan{TruncateFraction: 0.5})
+	if rep.MarkersTruncated == 0 || rep.SamplesTruncated == 0 {
+		t.Fatalf("nothing truncated: %+v", rep)
+	}
+	for _, m := range out.Markers {
+		if m.TSC > rep.TruncateTSC {
+			t.Fatalf("marker at %d survived cut %d", m.TSC, rep.TruncateTSC)
+		}
+	}
+	for i := range out.Samples {
+		if out.Samples[i].TSC > rep.TruncateTSC {
+			t.Fatalf("sample at %d survived cut %d", out.Samples[i].TSC, rep.TruncateTSC)
+		}
+	}
+	// Roughly half the events should be gone.
+	frac := float64(rep.MarkersTruncated) / float64(len(set.Markers))
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("truncated %.2f of markers, want ~0.5", frac)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7, loss=0.1, burst=64, mdrop=0.02, mdup=0.01, skew=500, reorder=16, trunc=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, SampleLossRate: 0.1, BurstLen: 64, MarkerDropRate: 0.02,
+		MarkerDupRate: 0.01, SkewCycles: 500, ReorderWindow: 16, TruncateFraction: 0.9}
+	if p != want {
+		t.Errorf("parsed %+v, want %+v", p, want)
+	}
+	if p, err := ParsePlan(""); err != nil || p != (Plan{}) {
+		t.Errorf("empty spec: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"loss=2", "bogus=1", "seed", "mdrop=-0.1", "burst=x"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	set := regularSet(20)
+	_, rep := Perturb(set, Plan{Seed: 1, SampleLossRate: 0.1, MarkerDropRate: 0.1})
+	if s := rep.String(); s == "" {
+		t.Error("empty report string")
+	}
+}

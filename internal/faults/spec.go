@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan builds a Plan from a compact comma-separated spec, the form
+// the tracedump CLI accepts:
+//
+//	seed=7,loss=0.1,burst=64,mdrop=0.02,mdup=0.01,skew=500,reorder=16,trunc=0.9
+//
+// Every key is optional; unknown keys are an error so typos fail loudly.
+// Rates are fractions in [0, 1); skew is in cycles; burst and reorder are
+// sample counts.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: seed: %w", err)
+			}
+			p.Seed = u
+		case "loss":
+			f, err := parseRate(key, val)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.SampleLossRate = f
+		case "burst":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("faults: burst: %q is not a non-negative int", val)
+			}
+			p.BurstLen = n
+		case "mdrop":
+			f, err := parseRate(key, val)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.MarkerDropRate = f
+		case "mdup":
+			f, err := parseRate(key, val)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.MarkerDupRate = f
+		case "skew":
+			u, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: skew: %w", err)
+			}
+			p.SkewCycles = u
+		case "reorder":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("faults: reorder: %q is not a non-negative int", val)
+			}
+			p.ReorderWindow = n
+		case "trunc", "truncate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return Plan{}, fmt.Errorf("faults: %s: %q is not a fraction", key, val)
+			}
+			p.TruncateFraction = f
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown key %q (want seed, loss, burst, mdrop, mdup, skew, reorder, trunc)", key)
+		}
+	}
+	return p, nil
+}
+
+func parseRate(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || f < 0 || f >= 1 {
+		return 0, fmt.Errorf("faults: %s: %q is not a rate in [0, 1)", key, val)
+	}
+	return f, nil
+}

@@ -1,0 +1,96 @@
+package pmu
+
+import "testing"
+
+// fill drives n overflows into p with ascending timestamps.
+func fill(p *PEBS, n int, startTSC uint64) {
+	for i := 0; i < n; i++ {
+		p.Overflow(UopsRetired, Ctx{TSC: startTSC + uint64(i), IP: 0x100})
+	}
+}
+
+func TestOverflowDrainIsDefault(t *testing.T) {
+	p := NewPEBS(PEBSConfig{BufferEntries: 8})
+	fill(p, 20, 1000)
+	if got := len(p.Samples()); got != 20 {
+		t.Errorf("drain policy lost samples: %d/20", got)
+	}
+	if p.Dropped() != 0 || p.DroppedBursts() != 0 {
+		t.Errorf("drain policy dropped: %d in %d bursts", p.Dropped(), p.DroppedBursts())
+	}
+	if p.Interrupts() != 2 {
+		t.Errorf("interrupts = %d, want 2", p.Interrupts())
+	}
+}
+
+func TestOverflowWrapKeepsNewest(t *testing.T) {
+	p := NewPEBS(PEBSConfig{BufferEntries: 8, OverflowPolicy: OverflowWrap})
+	fill(p, 20, 1000)
+	got := p.Samples()
+	if len(got) != 8 {
+		t.Fatalf("wrap kept %d samples, want 8", len(got))
+	}
+	// The ring retains the 12 newest? No — the 8 newest of the 20.
+	for i, s := range got {
+		if want := uint64(1000 + 12 + i); s.TSC != want {
+			t.Fatalf("wrap sample %d TSC = %d, want %d (oldest must be evicted)", i, s.TSC, want)
+		}
+	}
+	if p.Dropped() != 12 {
+		t.Errorf("dropped = %d, want 12", p.Dropped())
+	}
+	if p.Interrupts() != 0 {
+		t.Errorf("wrap mode raised %d interrupts, want 0", p.Interrupts())
+	}
+	if p.Count() != 20 {
+		t.Errorf("count = %d, want 20 (drops included)", p.Count())
+	}
+}
+
+func TestOverflowDropBurstIsContiguous(t *testing.T) {
+	p := NewPEBS(PEBSConfig{BufferEntries: 8, OverflowPolicy: OverflowDropBurst, HelperLagRecords: 4})
+	// 8 fill the buffer; 4 are dropped in one burst; drain; 8 more fill it
+	// again; 4 dropped; drain; 2 land in the fresh buffer.
+	fill(p, 26, 1000)
+	got := p.Samples()
+	if len(got) != 18 {
+		t.Fatalf("kept %d samples, want 18", len(got))
+	}
+	if p.Dropped() != 8 {
+		t.Errorf("dropped = %d, want 8", p.Dropped())
+	}
+	if p.DroppedBursts() != 2 {
+		t.Errorf("bursts = %d, want 2", p.DroppedBursts())
+	}
+	// The losses are the contiguous TSC runs [1008,1011] and [1020,1023].
+	lost := map[uint64]bool{}
+	for i := 0; i < 26; i++ {
+		lost[uint64(1000+i)] = true
+	}
+	for _, s := range got {
+		delete(lost, s.TSC)
+	}
+	for _, want := range []uint64{1008, 1009, 1010, 1011, 1020, 1021, 1022, 1023} {
+		if !lost[want] {
+			t.Errorf("TSC %d should have been dropped; lost set: %v", want, lost)
+		}
+	}
+	if len(lost) != 8 {
+		t.Errorf("lost %d TSCs, want 8: %v", len(lost), lost)
+	}
+	if p.Interrupts() != 2 {
+		t.Errorf("interrupts = %d, want 2 (one per late drain)", p.Interrupts())
+	}
+}
+
+func TestOverflowDropBurstDefaultLag(t *testing.T) {
+	p := NewPEBS(PEBSConfig{BufferEntries: 16, OverflowPolicy: OverflowDropBurst})
+	fill(p, 40, 0)
+	// Default lag = BufferEntries/4 = 4: 16 fill, 4 drop, drain, repeat.
+	if p.Dropped() == 0 || p.DroppedBursts() == 0 {
+		t.Errorf("default lag never dropped: %d in %d bursts", p.Dropped(), p.DroppedBursts())
+	}
+	if mean := float64(p.Dropped()) / float64(p.DroppedBursts()); mean != 4 {
+		t.Errorf("mean burst = %v, want 4", mean)
+	}
+}

@@ -35,7 +35,38 @@ type PEBSConfig struct {
 	// end can attribute the sample to the *next* function — a failure mode
 	// boundary-sensitive analyses should be tested against. Default 0.
 	SkidBytes uint64
+	// OverflowPolicy selects what happens when the debug-store buffer
+	// fills. The default (OverflowDrain) is the ideal helper that always
+	// keeps up; the other policies model the degraded realities the
+	// faults/ layer and the graceful-degradation tests pin down.
+	OverflowPolicy OverflowPolicy
+	// HelperLagRecords applies to OverflowDropBurst: how many records the
+	// CPU discards (the burst length) before the late helper finally
+	// drains the buffer and recording resumes. Default BufferEntries/4.
+	HelperLagRecords int
 }
+
+// OverflowPolicy is the buffer-full semantics of the PEBS debug store.
+type OverflowPolicy uint8
+
+const (
+	// OverflowDrain: the buffer-full interrupt wakes the helper, which
+	// copies the buffer out before the next record arrives; nothing is
+	// lost unless flush-loss injection says so. This is the paper's
+	// assumed steady state.
+	OverflowDrain OverflowPolicy = iota
+	// OverflowWrap: the debug-store area behaves as a ring — when full,
+	// each new record overwrites the oldest one. No drain interrupt fires;
+	// only the final BufferEntries records of each drain window survive.
+	OverflowWrap
+	// OverflowDropBurst: when the buffer fills before the helper drains
+	// it, the CPU stops recording; every record arriving while full is
+	// dropped, forming one contiguous loss burst, until HelperLagRecords
+	// have been discarded and the helper finally drains the buffer. This
+	// is the debug-store overflow that motivates bursty (never i.i.d.)
+	// sample loss in the fault model.
+	OverflowDropBurst
+)
 
 // DefaultPEBSConfig returns the Skylake-calibrated defaults at 2.0 GHz.
 func DefaultPEBSConfig() PEBSConfig {
@@ -60,6 +91,8 @@ type PEBS struct {
 	dropped    uint64
 	lossEvery  uint64 // failure injection: drop every Nth buffer flush
 	flushes    uint64
+	burstLag   int    // OverflowDropBurst: records dropped since the buffer filled
+	bursts     uint64 // OverflowDropBurst/OverflowWrap: contiguous loss episodes
 }
 
 // NewPEBS creates a PEBS unit. A zero-value field in cfg falls back to the
@@ -84,16 +117,53 @@ func NewPEBS(cfg PEBSConfig) *PEBS {
 	return &PEBS{cfg: cfg, buf: make([]Sample, 0, cfg.BufferEntries)}
 }
 
-// Overflow implements Recorder: the CPU appends a record and, if the buffer
-// is now full, raises the drain interrupt.
+// Overflow implements Recorder: the CPU appends a record and handles a
+// full buffer per the configured OverflowPolicy — drain interrupt
+// (default), ring-wrap, or a contiguous drop burst until the late helper
+// catches up.
 func (p *PEBS) Overflow(ev Event, ctx Ctx) uint64 {
 	s := Sample{TSC: ctx.TSC, IP: ctx.IP + p.cfg.SkidBytes, Core: ctx.Core, Event: ev}
 	if ctx.Regs != nil {
 		s.Regs = *ctx.Regs
 	}
-	p.buf = append(p.buf, s)
-	oh := p.cfg.SampleCostCycles
+	oh := p.cfg.SampleCostCycles // the PEBS assist runs even when the record is discarded
+
 	if len(p.buf) >= p.cfg.BufferEntries {
+		switch p.cfg.OverflowPolicy {
+		case OverflowWrap:
+			// Ring semantics: evict the oldest record, keep the newest.
+			if p.burstLag == 0 {
+				p.bursts++
+			}
+			p.burstLag++
+			copy(p.buf, p.buf[1:])
+			p.buf[len(p.buf)-1] = s
+			p.dropped++
+			return oh
+		case OverflowDropBurst:
+			// The helper is late; the CPU silently discards records until
+			// the lag is over, then the drain interrupt finally lands.
+			if p.burstLag == 0 {
+				p.bursts++
+			}
+			p.burstLag++
+			p.dropped++
+			lag := p.cfg.HelperLagRecords
+			if lag <= 0 {
+				lag = p.cfg.BufferEntries / 4
+			}
+			if p.burstLag >= lag {
+				oh += p.cfg.InterruptCostCycles
+				p.interrupts++
+				p.flush()
+				p.burstLag = 0
+			}
+			return oh
+		}
+	}
+
+	p.buf = append(p.buf, s)
+	if len(p.buf) >= p.cfg.BufferEntries && p.cfg.OverflowPolicy == OverflowDrain {
 		if p.cfg.DoubleBuffer {
 			oh += p.cfg.SwapCostCycles
 		} else {
@@ -139,8 +209,13 @@ func (p *PEBS) BytesWritten() uint64 { return p.Count() * p.cfg.RecordBytes }
 // Interrupts returns how many buffer-full interrupts were raised.
 func (p *PEBS) Interrupts() uint64 { return p.interrupts }
 
-// Dropped returns how many samples were lost to injected flush failures.
+// Dropped returns how many samples were lost — to injected flush failures
+// or to the configured overflow policy (wrap evictions, drop bursts).
 func (p *PEBS) Dropped() uint64 { return p.dropped }
+
+// DroppedBursts returns how many contiguous loss episodes the overflow
+// policy produced (0 under OverflowDrain).
+func (p *PEBS) DroppedBursts() uint64 { return p.bursts }
 
 // InjectFlushLoss makes every n-th buffer flush lose its contents; n == 0
 // disables loss. Used by failure-injection tests to show the analyzer

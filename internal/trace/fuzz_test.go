@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+)
+
+// FuzzDecode throws arbitrary bytes at the trace decoder: it must never
+// panic, and anything it accepts must survive an encode→decode round trip
+// and a GapSummary pass. Run continuously with
+//
+//	go test -run '^$' -fuzz '^FuzzDecode$' ./internal/trace
+//
+// (make tier2 includes a short smoke).
+func FuzzDecode(f *testing.F) {
+	tab := symtab.NewTable()
+	fn := tab.MustRegister("f", 128)
+	seed := &Set{
+		FreqHz: 2_000_000_000,
+		Syms:   tab,
+		Markers: []Marker{
+			{Item: 1, TSC: 100, Kind: ItemBegin},
+			{Item: 1, TSC: 300, Kind: ItemEnd},
+		},
+		Samples: []pmu.Sample{{TSC: 200, IP: fn.Base, Event: pmu.UopsRetired}},
+	}
+	var buf bytes.Buffer
+	if err := seed.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2]) // truncated mid-record
+	f.Add([]byte("FLCTRC01"))               // magic only
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		var out bytes.Buffer
+		if err := s.Encode(&out); err != nil {
+			t.Fatalf("decoded set failed to re-encode: %v", err)
+		}
+		s2, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded set failed to decode: %v", err)
+		}
+		if len(s2.Markers) != len(s.Markers) || len(s2.Samples) != len(s.Samples) {
+			t.Fatalf("round trip changed counts: %d/%d markers, %d/%d samples",
+				len(s.Markers), len(s2.Markers), len(s.Samples), len(s2.Samples))
+		}
+		// The health scan must cope with whatever decoded.
+		_ = s.GapSummary(pmu.UopsRetired)
+	})
+}
+
+// FuzzDecodeStream checks the incremental decoder agrees with the
+// materializing one on arbitrary input: same acceptance, same counts.
+func FuzzDecodeStream(f *testing.F) {
+	var buf bytes.Buffer
+	set := &Set{FreqHz: 1, Markers: []Marker{{Item: 1, TSC: 1, Kind: ItemBegin}}}
+	if err := set.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		full, fullErr := Decode(bytes.NewReader(data))
+		var markers, samples int
+		_, streamErr := DecodeStream(bytes.NewReader(data), nil,
+			func(Marker) error { markers++; return nil },
+			func(pmu.Sample) error { samples++; return nil })
+		if (fullErr == nil) != (streamErr == nil) {
+			t.Fatalf("decoders disagree on acceptance: full=%v stream=%v", fullErr, streamErr)
+		}
+		if fullErr == nil && (markers != len(full.Markers) || samples != len(full.Samples)) {
+			t.Fatalf("stream saw %d/%d records, full decode %d/%d",
+				markers, samples, len(full.Markers), len(full.Samples))
+		}
+	})
+}

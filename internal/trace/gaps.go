@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pmu"
+)
+
+// GapBurstFactor is the multiple of a core's mean inter-sample gap above
+// which a gap is flagged as a suspected loss burst. PEBS overflow loss is
+// bursty — a whole debug-store buffer vanishes at once — so a healthy
+// stream's gaps cluster tightly around the mean while a degraded stream
+// shows rare, huge holes. 4× keeps ordinary jitter (item switches, cache
+// misses stretching the inter-sample distance) below the threshold.
+const GapBurstFactor = 4.0
+
+// CoreGaps summarizes one core's stream health.
+type CoreGaps struct {
+	// Core is the core ID.
+	Core int32
+	// Samples is the number of samples of the inspected event on the core.
+	Samples int
+	// MeanGapCycles is the mean inter-sample distance.
+	MeanGapCycles float64
+	// MaxGapCycles is the largest inter-sample distance observed.
+	MaxGapCycles uint64
+	// SuspectBursts counts gaps exceeding GapBurstFactor × mean — each one
+	// a likely PEBS buffer-overflow loss burst.
+	SuspectBursts int
+	// EstLostSamples estimates how many samples the suspect gaps swallowed
+	// (each gap of g cycles at mean m should have held ≈ g/m − 1 samples).
+	EstLostSamples int
+	// BeginMarkers / EndMarkers count the instrumentation records; a
+	// mismatch means dropped or duplicated marker writes.
+	BeginMarkers, EndMarkers int
+}
+
+// MarkerImbalance returns |BeginMarkers − EndMarkers|, the coarse count of
+// lost-or-doubled marker writes on the core.
+func (c CoreGaps) MarkerImbalance() int {
+	d := c.BeginMarkers - c.EndMarkers
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Gaps is the per-trace degradation summary: the cheap, integration-free
+// health check run before (or instead of) a full Integrate pass to decide
+// how much to trust a trace. It is a pure function of the Set.
+type Gaps struct {
+	// PerCore holds one row per core present in either stream, ascending.
+	PerCore []CoreGaps
+}
+
+// Degraded reports whether any core shows suspected sample loss or a
+// marker imbalance.
+func (g Gaps) Degraded() bool {
+	for _, c := range g.PerCore {
+		if c.SuspectBursts > 0 || c.MarkerImbalance() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalEstLostSamples sums the per-core loss estimates.
+func (g Gaps) TotalEstLostSamples() int {
+	n := 0
+	for _, c := range g.PerCore {
+		n += c.EstLostSamples
+	}
+	return n
+}
+
+// String renders a one-line health verdict.
+func (g Gaps) String() string {
+	bursts, lost, imbalance := 0, 0, 0
+	for _, c := range g.PerCore {
+		bursts += c.SuspectBursts
+		lost += c.EstLostSamples
+		imbalance += c.MarkerImbalance()
+	}
+	if !g.Degraded() {
+		return fmt.Sprintf("gaps: healthy (%d cores)", len(g.PerCore))
+	}
+	return fmt.Sprintf("gaps: DEGRADED — %d suspect bursts (~%d samples lost), marker imbalance %d across %d cores",
+		bursts, lost, imbalance, len(g.PerCore))
+}
+
+// GapSummary scans the set for the fingerprints of degraded collection:
+// outsized holes in each core's sample stream (PEBS loss bursts) and
+// Begin/End marker imbalance (lost or doubled marker writes). Only samples
+// of ev are considered. The input set is not mutated and may be in any
+// record order.
+func (s *Set) GapSummary(ev pmu.Event) Gaps {
+	perCore := map[int32]*CoreGaps{}
+	coreOf := func(id int32) *CoreGaps {
+		c := perCore[id]
+		if c == nil {
+			c = &CoreGaps{Core: id}
+			perCore[id] = c
+		}
+		return c
+	}
+
+	for _, m := range s.Markers {
+		c := coreOf(m.Core)
+		if m.Kind == ItemBegin {
+			c.BeginMarkers++
+		} else {
+			c.EndMarkers++
+		}
+	}
+
+	// Collect per-core sample timestamps, sort, then measure gaps.
+	tscs := map[int32][]uint64{}
+	for i := range s.Samples {
+		sm := &s.Samples[i]
+		c := coreOf(sm.Core) // the core is present even if its samples are filtered
+		if sm.Event != ev {
+			continue
+		}
+		c.Samples++
+		tscs[sm.Core] = append(tscs[sm.Core], sm.TSC)
+	}
+	for id, ts := range tscs {
+		c := perCore[id]
+		if len(ts) < 2 {
+			continue
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		c.MeanGapCycles = float64(ts[len(ts)-1]-ts[0]) / float64(len(ts)-1)
+		threshold := GapBurstFactor * c.MeanGapCycles
+		for i := 1; i < len(ts); i++ {
+			gap := ts[i] - ts[i-1]
+			if gap > c.MaxGapCycles {
+				c.MaxGapCycles = gap
+			}
+			if c.MeanGapCycles > 0 && float64(gap) > threshold {
+				c.SuspectBursts++
+				c.EstLostSamples += int(float64(gap)/c.MeanGapCycles) - 1
+			}
+		}
+	}
+
+	ids := make([]int32, 0, len(perCore))
+	for id := range perCore {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := Gaps{PerCore: make([]CoreGaps, 0, len(ids))}
+	for _, id := range ids {
+		out.PerCore = append(out.PerCore, *perCore[id])
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+)
+
+// gapSet builds one core with a sample every 100 cycles, optionally
+// punching a hole of holeLen samples starting at index holeAt.
+func gapSet(n, holeAt, holeLen int) *Set {
+	s := &Set{FreqHz: 2_000_000_000}
+	for i := 0; i < n; i++ {
+		if i >= holeAt && i < holeAt+holeLen {
+			continue
+		}
+		s.Samples = append(s.Samples, pmu.Sample{TSC: uint64(1000 + i*100), Event: pmu.UopsRetired})
+	}
+	return s
+}
+
+func TestGapSummaryHealthy(t *testing.T) {
+	s := gapSet(100, 0, 0)
+	s.Markers = []Marker{
+		{Item: 1, TSC: 1000, Kind: ItemBegin},
+		{Item: 1, TSC: 9000, Kind: ItemEnd},
+	}
+	g := s.GapSummary(pmu.UopsRetired)
+	if g.Degraded() {
+		t.Fatalf("clean trace flagged degraded: %s", g)
+	}
+	if len(g.PerCore) != 1 {
+		t.Fatalf("cores = %d, want 1", len(g.PerCore))
+	}
+	c := g.PerCore[0]
+	if c.Samples != 100 || c.SuspectBursts != 0 || c.MarkerImbalance() != 0 {
+		t.Errorf("healthy core summary wrong: %+v", c)
+	}
+	if c.MeanGapCycles < 99 || c.MeanGapCycles > 101 {
+		t.Errorf("mean gap = %v, want ~100", c.MeanGapCycles)
+	}
+}
+
+func TestGapSummaryDetectsBurstLoss(t *testing.T) {
+	// Punch a 20-sample hole into 200 regular samples: one ~2000-cycle gap
+	// against a ~110-cycle mean.
+	s := gapSet(200, 100, 20)
+	g := s.GapSummary(pmu.UopsRetired)
+	if !g.Degraded() {
+		t.Fatalf("burst loss not flagged: %+v", g.PerCore)
+	}
+	c := g.PerCore[0]
+	if c.SuspectBursts != 1 {
+		t.Errorf("suspect bursts = %d, want 1", c.SuspectBursts)
+	}
+	// ~20 samples missing; the estimate divides the hole by the mean gap,
+	// which the hole itself inflated, so accept a broad band.
+	if c.EstLostSamples < 10 || c.EstLostSamples > 25 {
+		t.Errorf("estimated lost = %d, want ≈ 18±", c.EstLostSamples)
+	}
+	if g.TotalEstLostSamples() != c.EstLostSamples {
+		t.Errorf("total = %d", g.TotalEstLostSamples())
+	}
+}
+
+func TestGapSummaryMarkerImbalance(t *testing.T) {
+	s := &Set{FreqHz: 1}
+	s.Markers = []Marker{
+		{Item: 1, TSC: 10, Kind: ItemBegin},
+		{Item: 1, TSC: 20, Kind: ItemEnd},
+		{Item: 2, TSC: 30, Kind: ItemBegin}, // End lost
+	}
+	g := s.GapSummary(pmu.UopsRetired)
+	if !g.Degraded() {
+		t.Fatal("marker imbalance not flagged")
+	}
+	if im := g.PerCore[0].MarkerImbalance(); im != 1 {
+		t.Errorf("imbalance = %d, want 1", im)
+	}
+}
+
+func TestGapSummaryFiltersEvents(t *testing.T) {
+	s := gapSet(50, 0, 0)
+	for i := range s.Samples {
+		s.Samples[i].Event = pmu.LLCMisses
+	}
+	g := s.GapSummary(pmu.UopsRetired)
+	if len(g.PerCore) != 1 || g.PerCore[0].Samples != 0 {
+		t.Errorf("wrong-event samples counted: %+v", g.PerCore)
+	}
+}
+
+func TestGapSummaryMultiCoreSorted(t *testing.T) {
+	s := &Set{FreqHz: 1}
+	for core := int32(3); core >= 0; core-- {
+		for i := 0; i < 5; i++ {
+			s.Samples = append(s.Samples, pmu.Sample{TSC: uint64(100 + i*10), Core: core, Event: pmu.UopsRetired})
+		}
+	}
+	g := s.GapSummary(pmu.UopsRetired)
+	if len(g.PerCore) != 4 {
+		t.Fatalf("cores = %d", len(g.PerCore))
+	}
+	for i, c := range g.PerCore {
+		if c.Core != int32(i) {
+			t.Errorf("core rows not sorted: %+v", g.PerCore)
+		}
+	}
+}

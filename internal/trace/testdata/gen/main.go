@@ -1,0 +1,113 @@
+// Command gen regenerates the golden-trace fixtures under
+// internal/trace/testdata: three canonical trace sets (clean, 10% bursty
+// sample loss, marker drop/duplication) plus the FunctionReport text each
+// one must integrate to. Run via go generate ./internal/trace after any
+// intentional change to the trace format, the integrator, or the report
+// rendering, and review the .golden diffs like code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// canonicalSet builds the fixture trace entirely from fixed arithmetic —
+// no RNG, no clock — so regeneration is reproducible to the byte. Two
+// cores run eight items each; f1 and f2 split most of every item, and f3
+// blows up on every fourth item (the Fig. 8 shape: a function that is
+// vestigial for most items and dominant for a few).
+func canonicalSet() *trace.Set {
+	tab := symtab.NewTable()
+	f1 := tab.MustRegister("f1", 1024)
+	f2 := tab.MustRegister("f2", 2048)
+	f3 := tab.MustRegister("f3", 4096)
+	set := &trace.Set{FreqHz: 2_000_000_000, Syms: tab}
+
+	const (
+		itemCycles  = 20_000
+		sampleEvery = 500
+		itemsPer    = 8
+	)
+	for core := int32(0); core < 2; core++ {
+		for i := 0; i < itemsPer; i++ {
+			id := uint64(core)*100 + uint64(i) + 1
+			begin := uint64(100_000 + i*(itemCycles+1000))
+			end := begin + itemCycles
+			set.Markers = append(set.Markers,
+				trace.Marker{Item: id, TSC: begin, Core: core, Kind: trace.ItemBegin},
+				trace.Marker{Item: id, TSC: end, Core: core, Kind: trace.ItemEnd})
+			slow := i%4 == 3 // every fourth item, f3 dominates
+			for off := uint64(sampleEvery); off < itemCycles; off += sampleEvery {
+				frac := float64(off) / itemCycles
+				var fn *symtab.Fn
+				switch {
+				case slow && frac >= 0.3:
+					fn = f3
+				case frac < 0.45:
+					fn = f1
+				case frac < 0.9:
+					fn = f2
+				default:
+					fn = f3
+				}
+				set.Samples = append(set.Samples, pmu.Sample{
+					TSC: begin + off, IP: fn.Base + off%64, Core: core, Event: pmu.UopsRetired,
+				})
+			}
+		}
+	}
+	return set
+}
+
+func main() {
+	out := flag.String("out", "testdata", "directory to write fixtures into")
+	flag.Parse()
+
+	fixtures := []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{"clean", nil},
+		{"loss10", &faults.Plan{Seed: 42, SampleLossRate: 0.10, BurstLen: 8}},
+		{"markerdrop", &faults.Plan{Seed: 42, MarkerDropRate: 0.08, MarkerDupRate: 0.04}},
+	}
+	base := canonicalSet()
+	for _, fx := range fixtures {
+		set := base
+		if fx.plan != nil {
+			degraded, rep := faults.Perturb(base, *fx.plan)
+			set = degraded
+			fmt.Printf("%s: %s\n", fx.name, rep)
+		}
+		path := filepath.Join(*out, fx.name+".fltrc")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := set.Encode(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+
+		a, err := core.Integrate(set, core.Options{})
+		if err != nil {
+			log.Fatalf("%s: integrate: %v", fx.name, err)
+		}
+		golden := filepath.Join(*out, fx.name+".golden")
+		if err := os.WriteFile(golden, []byte(core.FunctionReportString(a)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s + %s (%d markers, %d samples)\n", path, golden, len(set.Markers), len(set.Samples))
+	}
+}

@@ -5,6 +5,11 @@
 // offline, as the paper's prototype does by dumping both streams to SSD.
 package trace
 
+// Regenerate the golden-trace fixtures (testdata/*.fltrc + *.golden)
+// whenever the trace format, the integrator, or the report rendering
+// changes on purpose:
+//go:generate go run ./testdata/gen
+
 import (
 	"sort"
 
