@@ -2,13 +2,19 @@
 #
 # tier1 is the gate every change must pass: build + full test suite.
 # tier2 adds static analysis, the race detector — the parallel
-# integration fan-out (internal/core/shard.go) and the concurrent
-# symbol-cache (internal/symtab) are exercised under -race by their
-# tests — and a short fuzz smoke of the trace decoder and the
-# integrator (see the Fuzz targets for the long-running form).
+# integration fan-out (internal/core/shard.go), the concurrent
+# symbol-cache (internal/symtab) and the self-telemetry layer
+# (internal/obs, vetted and raced explicitly) are exercised under
+# -race by their tests — a short fuzz smoke of the trace decoder and
+# the integrator (see the Fuzz targets for the long-running form),
+# and the `fluct -serve` smoke test (ephemeral port, scrapes /metrics
+# and /healthz).
 # bench runs the hot-path micro/ablation benchmarks with allocation stats.
-# bench-gate reruns BenchmarkMicroIntegrate and fails if it lands >15%
-# above the baseline recorded in EXPERIMENTS.md (see cmd/benchgate).
+# bench-gate enforces two budgets: BenchmarkMicroIntegrate must land
+# within 15% of the absolute baseline recorded in EXPERIMENTS.md, and
+# BenchmarkInstrumentedIntegrate (full self-telemetry live) must be
+# within 3% of it — the instrumentation-overhead budget (see
+# cmd/benchgate).
 
 GO ?= go
 
@@ -19,11 +25,14 @@ tier1:
 
 tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) vet ./internal/obs && $(GO) test -race -count 1 ./internal/obs
+	$(GO) test -race -count 1 -run '^TestServe' ./internal/experiments
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzIntegrate$$' -fuzztime=10s ./internal/core
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkInstrumentedIntegrate|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .
 
 bench-gate:
 	$(GO) run ./cmd/benchgate
+	$(GO) run ./cmd/benchgate -bench BenchmarkInstrumentedIntegrate -against BenchmarkMicroIntegrate -threshold 0.03 -count 5

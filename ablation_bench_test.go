@@ -10,6 +10,7 @@ import (
 	"repro/internal/acl"
 	"repro/internal/core"
 	"repro/internal/lpm"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/queue"
 	"repro/internal/sim"
@@ -209,7 +210,10 @@ func BenchmarkAblationLPMFirstLevel(b *testing.B) {
 
 // Micro-benchmarks of the hot paths (real time, not virtual time).
 
-func BenchmarkMicroIntegrate(b *testing.B) {
+// microIntegrateSet builds the fixed 2000-item single-core trace shared by
+// BenchmarkMicroIntegrate and BenchmarkInstrumentedIntegrate — the two must
+// integrate identical input for the relative bench gate to mean anything.
+func microIntegrateSet() *trace.Set {
 	m := sim.MustNew(sim.Config{Cores: 1})
 	fn := m.Syms.MustRegister("f", 4096)
 	pebs := pmu.NewPEBS(pmu.PEBSConfig{})
@@ -221,7 +225,36 @@ func BenchmarkMicroIntegrate(b *testing.B) {
 		c.Call(fn, func() { c.Exec(5000) })
 		log.Mark(c, id, trace.ItemEnd)
 	}
-	set := trace.NewSet(m, log, pebs.Samples())
+	return trace.NewSet(m, log, pebs.Samples())
+}
+
+// BenchmarkMicroIntegrate is the uninstrumented baseline: self-telemetry is
+// disabled for its duration so the number stays comparable to the absolute
+// bench-gate baseline recorded in EXPERIMENTS.md.
+func BenchmarkMicroIntegrate(b *testing.B) {
+	set := microIntegrateSet()
+	old := obs.SetDefault(nil)
+	defer obs.SetDefault(old)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Integrate(set, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(set.Samples)), "samples")
+}
+
+// BenchmarkInstrumentedIntegrate is the same workload with the full
+// self-telemetry stack live: a fresh metrics registry receiving every
+// counter/gauge/histogram publication AND span tracing enabled. The
+// relative bench gate (make bench-gate) compares it against
+// BenchmarkMicroIntegrate and fails if instrumentation costs more than 3%.
+func BenchmarkInstrumentedIntegrate(b *testing.B) {
+	set := microIntegrateSet()
+	old := obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(old)
+	obs.StartTracing()
+	defer obs.StopTracing()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Integrate(set, core.Options{}); err != nil {

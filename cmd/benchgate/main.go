@@ -12,6 +12,13 @@
 // scheduler noise produces false passes rather than false failures —
 // a CI container is noisy in exactly one direction.
 //
+// With -against <bench>, the gate is relative instead of absolute: both
+// benchmarks run in the same `go test -bench` invocation and -bench must
+// not be more than -threshold slower than -against. No baseline file is
+// involved, so the relative gate is machine-independent — it is how CI
+// enforces the "self-telemetry costs <3%" budget
+// (BenchmarkInstrumentedIntegrate vs BenchmarkMicroIntegrate).
+//
 // Run via make bench-gate.
 package main
 
@@ -32,18 +39,28 @@ func main() {
 		pkg          = flag.String("pkg", ".", "package containing the benchmark")
 		threshold    = flag.Float64("threshold", 0.15, "max allowed slowdown vs baseline (0.15 = +15%)")
 		count        = flag.Int("count", 3, "benchmark repetitions; the fastest run is gated")
+		against      = flag.String("against", "", "gate -bench relative to this benchmark instead of the recorded baseline")
 	)
 	flag.Parse()
+
+	goBin := os.Getenv("GO")
+	if goBin == "" {
+		goBin = "go"
+	}
+
+	if *against != "" {
+		if err := relativeGate(goBin, *pkg, *bench, *against, *threshold, *count); err != nil {
+			fatal(err)
+		}
+		fmt.Println("bench-gate: PASS")
+		return
+	}
 
 	baseline, err := readBaseline(*baselineFile, *bench)
 	if err != nil {
 		fatal(err)
 	}
 
-	goBin := os.Getenv("GO")
-	if goBin == "" {
-		goBin = "go"
-	}
 	cmd := exec.Command(goBin, "test", "-run", "^$",
 		"-bench", "^"+*bench+"$", "-count", strconv.Itoa(*count), *pkg)
 	out, err := cmd.CombinedOutput()
@@ -64,6 +81,34 @@ func main() {
 			*bench, best, (ratio-1)*100, baseline, *threshold*100))
 	}
 	fmt.Println("bench-gate: PASS")
+}
+
+// relativeGate runs bench and ref in one `go test -bench` invocation —
+// same binary, same machine state — and fails when bench's fastest run is
+// more than threshold slower than ref's fastest run.
+func relativeGate(goBin, pkg, bench, ref string, threshold float64, count int) error {
+	cmd := exec.Command(goBin, "test", "-run", "^$",
+		"-bench", "^("+bench+"|"+ref+")$", "-count", strconv.Itoa(count), pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("benchmark run failed: %w\n%s", err, out)
+	}
+	bestBench, runsBench, err := fastestRun(string(out), bench)
+	if err != nil {
+		return fmt.Errorf("%w\n%s", err, out)
+	}
+	bestRef, runsRef, err := fastestRun(string(out), ref)
+	if err != nil {
+		return fmt.Errorf("%w\n%s", err, out)
+	}
+	ratio := bestBench / bestRef
+	fmt.Printf("bench-gate: %s best of %d runs: %.0f ns/op vs %s best of %d runs: %.0f ns/op (%.3fx, limit %.3fx)\n",
+		bench, runsBench, bestBench, ref, runsRef, bestRef, ratio, 1+threshold)
+	if ratio > 1+threshold {
+		return fmt.Errorf("%s is %.1f%% slower than %s (threshold %.1f%%)",
+			bench, (ratio-1)*100, ref, threshold*100)
+	}
+	return nil
 }
 
 // readBaseline extracts "<bench> <ns> ns/op" from the baseline line in path.

@@ -5,14 +5,22 @@
 //
 //	fluct -exp fig9 -packets 10000
 //	fluct -exp all
+//	fluct -serve 127.0.0.1:8080
 //
 // Experiments: fig1, fig2, fig4, fig8, fig9, fig10, datarate, faultsweep, all.
+//
+// With -serve, fluct instead runs the online monitor continuously and
+// exposes its self-telemetry over HTTP: /metrics (Prometheus text),
+// /debug/vars (expvar), /debug/pprof/* and /healthz (trace.GapSummary
+// verdict). Add -serve-faults to watch the health endpoint degrade.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -27,8 +35,26 @@ func main() {
 		requests = flag.Int("requests", 20000, "requests for the NGINX workload (fig 2)")
 		resets   = flag.String("resets", "", "comma-separated reset values overriding the paper's sweep")
 		out      = flag.String("out", "", "write output to this file instead of stdout")
+		serve    = flag.String("serve", "", "serve self-telemetry on this address (e.g. 127.0.0.1:8080) instead of running experiments")
+		srvFault = flag.String("serve-faults", "", "fault spec injected into every -serve round (e.g. 'loss=0.2,burst=64')")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		// -requests only overrides the monitor's per-round default (300)
+		// when the user passed it explicitly; the experiment default of
+		// 20000 would make rounds needlessly slow.
+		reqs := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "requests" {
+				reqs = *requests
+			}
+		})
+		if err := runServe(*serve, reqs, *srvFault); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -133,6 +159,24 @@ func main() {
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|secvc|all)", *exp))
 	}
+}
+
+// runServe runs the online monitor forever and serves its telemetry.
+func runServe(addr string, requests int, faultSpec string) error {
+	m, err := experiments.NewMonitor(experiments.MonitorConfig{
+		Requests: requests,
+		Faults:   faultSpec,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- m.Run(ctx) }()
+	fmt.Fprintf(os.Stderr, "fluct: serving /metrics /healthz /debug/vars /debug/pprof/ on http://%s\n", addr)
+	go func() { errc <- http.ListenAndServe(addr, m.Handler()) }()
+	return <-errc
 }
 
 func fatal(err error) {

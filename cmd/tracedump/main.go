@@ -22,9 +22,26 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
+
+// writeSpans stops tracing and dumps the collected spans.
+func writeSpans(path string) {
+	tr := obs.StopTracing()
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteTrace(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d spans)\n", path, len(tr.Events()))
+}
 
 func main() {
 	var (
@@ -37,11 +54,18 @@ func main() {
 		faultsSpec = flag.String("faults", "", "inject faults before analysis, e.g. 'seed=7,loss=0.1,burst=32,mdrop=0.02,mdup=0.01,skew=500,reorder=16,trunc=0.9'")
 		faultsOut  = flag.String("faults-out", "", "write the (possibly perturbed) trace to this file")
 		gaps       = flag.Bool("gaps", false, "print the per-core gap/degradation summary")
+		spansOut   = flag.String("spans", "", "trace the tracer: write the analyzer's own spans as Chrome trace_event JSON to this file (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracedump [flags] <trace file> [more trace files...]")
 		os.Exit(2)
+	}
+	if *spansOut != "" {
+		// Start before the first Decode so every analyzer phase — decode,
+		// merge, gap scan, shard fan-out — lands on the timeline.
+		obs.StartTracing()
+		defer writeSpans(*spansOut)
 	}
 	// Multiple files (e.g. per-core dumps) are merged before analysis.
 	sets := make([]*trace.Set, 0, flag.NArg())

@@ -12,7 +12,9 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/symtab"
 	"repro/internal/trace"
@@ -163,6 +165,18 @@ type Diagnostics struct {
 	SymCacheHits, SymCacheMisses int
 }
 
+// String renders the diagnostics on one line with a stable field order
+// (declaration order above). The format is part of the CLI/log surface
+// and byte-pinned by a golden test — reordering or renaming a field here
+// is a deliberate, visible change, never an accident of refactoring.
+func (d Diagnostics) String() string {
+	return fmt.Sprintf(
+		"diag: unattributed=%d unresolved=%d orphan_ends=%d reopened=%d unclosed=%d repaired=%d ignored_event=%d symcache=%d/%d",
+		d.UnattributedSamples, d.UnresolvedSamples, d.OrphanEndMarkers,
+		d.ReopenedItems, d.UnclosedItems, d.RepairedMarkers,
+		d.IgnoredEventSamples, d.SymCacheHits, d.SymCacheMisses)
+}
+
 // merge accumulates another pass's counters into d (used when folding
 // per-core partial diagnostics into the final Analysis).
 func (d *Diagnostics) merge(o Diagnostics) {
@@ -258,6 +272,15 @@ func Integrate(set *trace.Set, opts Options) (*Analysis, error) {
 	if set.FreqHz == 0 {
 		return nil, fmt.Errorf("core: trace set has zero TSC frequency")
 	}
+	// Self-telemetry: one span for the whole pass, one publish at the
+	// end. With telemetry off (nil default registry, no tracer) this adds
+	// two atomic loads per Integrate call — nothing per marker or sample.
+	sp := obs.StartSpan("core.Integrate")
+	reg := obs.Default()
+	var t0 time.Time
+	if reg != nil {
+		t0 = time.Now()
+	}
 	a := &Analysis{FreqHz: set.FreqHz, MeanSampleGap: map[int32]float64{}}
 
 	shards := shardByCore(set, opts, &a.Diag)
@@ -285,6 +308,10 @@ func Integrate(set *trace.Set, opts Options) (*Analysis, error) {
 		}
 		return cmp.Compare(x.Core, y.Core)
 	})
+	if reg != nil {
+		publishIntegrate(reg, a, results, time.Since(t0))
+	}
+	sp.End()
 	return a, nil
 }
 

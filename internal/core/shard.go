@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/symtab"
 	"repro/internal/trace"
@@ -141,6 +142,11 @@ func integrateShards(shards []shard, syms *symtab.Table, opts Options) []coreRes
 // private symtab.Resolver, whose deterministic hit/miss counts feed the
 // shard diagnostics.
 func integrateCore(sh shard, syms *symtab.Table, opts Options) coreResult {
+	// One span per shard on the core's own track, so the trace viewer
+	// shows the fan-out as parallel lanes; an atomic load when tracing
+	// is off.
+	sp := obs.StartSpanOn(int64(sh.core), "core.integrateShard")
+	defer sp.End()
 	r := coreResult{core: sh.core}
 
 	// Pass 1: pair markers into item intervals. Degraded marker streams

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/symtab"
 	"repro/internal/trace"
@@ -45,6 +46,13 @@ type StreamIntegrator struct {
 	diag  Diagnostics
 	items int
 	free  []*Item
+	// closed latches after the first Close so repeated Close (and Flush)
+	// calls are idempotent no-ops.
+	closed bool
+	// met holds cached self-telemetry handles (nil handles when the
+	// default registry was disabled at construction — every update is
+	// then a nil-check no-op).
+	met streamMetrics
 }
 
 type coreStream struct {
@@ -73,6 +81,7 @@ func NewStreamIntegrator(syms *symtab.Table, opts Options, onItem func(*Item)) (
 		res:    syms.NewResolver(),
 		opts:   opts,
 		cores:  map[int32]*coreStream{},
+		met:    newStreamMetrics(obs.Default()),
 	}, nil
 }
 
@@ -82,8 +91,10 @@ func (s *StreamIntegrator) takeItem() *Item {
 	if n := len(s.free); n > 0 {
 		it := s.free[n-1]
 		s.free = s.free[:n-1]
+		s.met.freelist.SetInt(n - 1)
 		return it
 	}
+	s.met.allocs.Inc()
 	return &Item{}
 }
 
@@ -99,6 +110,8 @@ func (s *StreamIntegrator) Recycle(it *Item) {
 	funcs := it.Funcs[:0]
 	*it = Item{Funcs: funcs}
 	s.free = append(s.free, it)
+	s.met.recycled.Inc()
+	s.met.freelist.SetInt(len(s.free))
 }
 
 func (s *StreamIntegrator) coreOf(id int32) *coreStream {
@@ -117,6 +130,7 @@ func (s *StreamIntegrator) Marker(m trace.Marker) {
 	cs := s.coreOf(m.Core)
 	if m.TSC < cs.lastTSC {
 		cs.outOfOrder++
+		s.met.outOfOrder.Inc()
 		return
 	}
 	cs.lastTSC = m.TSC
@@ -141,6 +155,7 @@ func (s *StreamIntegrator) Marker(m trace.Marker) {
 		it.ID, it.Core, it.BeginTSC, it.EndTSC = m.Item, m.Core, m.TSC, m.TSC
 		it.Confidence = 1
 		cs.cur = it
+		s.met.open.Add(1)
 	case trace.ItemEnd:
 		if cs.cur == nil || cs.cur.ID != m.Item {
 			if cs.cur == nil && cs.haveClosed && cs.lastClosedID == m.Item {
@@ -163,6 +178,10 @@ func (s *StreamIntegrator) finish(cs *coreStream) {
 	cs.cur = nil
 	slices.SortStableFunc(it.Funcs, func(a, b FuncSpan) int { return cmp.Compare(a.FirstTSC, b.FirstTSC) })
 	s.items++
+	s.met.items.Inc()
+	s.met.open.Add(-1)
+	s.met.cycles.Record(it.ElapsedCycles())
+	s.met.conf.Record(uint64(it.Confidence * 1000))
 	s.OnItem(it)
 }
 
@@ -176,6 +195,7 @@ func (s *StreamIntegrator) Sample(sm pmu.Sample) {
 	cs := s.coreOf(sm.Core)
 	if sm.TSC < cs.lastTSC {
 		cs.outOfOrder++
+		s.met.outOfOrder.Inc()
 		return
 	}
 	cs.lastTSC = sm.TSC
@@ -205,7 +225,16 @@ func (s *StreamIntegrator) Sample(sm pmu.Sample) {
 // they streamed in, so a diagnostician still sees where the final,
 // possibly crash-implicated item spent its time. Cores are drained in
 // ascending ID order so the emission order is deterministic.
+//
+// Close is idempotent: the second and later calls (directly or via the
+// Flush alias, in any interleaving) are no-ops — nothing is re-emitted
+// and the diagnostics do not change. Defer-Close-plus-explicit-Close is
+// therefore safe, the shutdown idiom a long-running monitor wants.
 func (s *StreamIntegrator) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	var cores []int32
 	for id, cs := range s.cores {
 		if cs.cur != nil {
@@ -225,6 +254,7 @@ func (s *StreamIntegrator) Close() {
 // Flush is the historical name for Close. It used to recycle still-open
 // items without emitting them — silently holding the item forever from the
 // consumer's point of view; it now flushes them as low-confidence items.
+// Like Close, it is idempotent in any combination with Close.
 func (s *StreamIntegrator) Flush() { s.Close() }
 
 // Diag returns the accumulated diagnostics, including per-core

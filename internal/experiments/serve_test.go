@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// scrape fetches a path from the serve handler and returns the body.
+func scrape(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	cl := http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeSmoke is the CI gate for `fluct -serve`: start the handler on an
+// ephemeral port, run one monitor round, and scrape /metrics, /healthz and
+// /debug/vars. This is the acceptance-criteria smoke test wired into
+// `make tier2`.
+func TestServeSmoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	old := obs.SetDefault(reg)
+	defer obs.SetDefault(old)
+
+	m, err := NewMonitor(MonitorConfig{Requests: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Before the first round: healthy-but-starting.
+	code, body := scrape(t, base, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz before first round: status %d, body %q", code, body)
+	}
+	var h obs.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if !h.OK || h.Status != "starting" {
+		t.Fatalf("/healthz before first round = %+v, want OK starting", h)
+	}
+
+	if err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = scrape(t, base, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"fluct_serve_rounds_total 1",
+		"fluct_core_stream_items_total",
+		"fluct_core_item_cycles",
+		"fluct_symtab_functions",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = scrape(t, base, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz after clean round: status %d, body %q", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if !h.OK || h.Status != "healthy" {
+		t.Fatalf("/healthz after clean round = %+v, want OK healthy", h)
+	}
+	if h.Fields["rounds"] != 1 || h.Fields["cores"] != 2 {
+		t.Fatalf("/healthz fields = %v, want rounds=1 cores=2", h.Fields)
+	}
+
+	code, body = scrape(t, base, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["fluct"]; !ok {
+		t.Fatalf("/debug/vars missing the fluct key; keys: %v", body)
+	}
+
+	code, body = scrape(t, base, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: status %d, body %q", code, body)
+	}
+}
+
+// TestServeDegraded: a fault-injecting monitor must eventually flip
+// /healthz to 503 degraded — the whole point of feeding GapSummary into
+// the health endpoint.
+func TestServeDegraded(t *testing.T) {
+	reg := obs.NewRegistry()
+	old := obs.SetDefault(reg)
+	defer obs.SetDefault(old)
+
+	m, err := NewMonitor(MonitorConfig{Requests: 100, Faults: "seed=7,loss=0.3,burst=64,mdrop=0.05"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	h := m.Health()
+	if h.OK || h.Status != "degraded" {
+		t.Fatalf("health after faulty round = %+v, want degraded", h)
+	}
+	if h.Fields["est_lost_samples"] <= 0 && h.Fields["marker_imbalance"] <= 0 {
+		t.Fatalf("degraded health carries no evidence fields: %v", h.Fields)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	code, body := scrape(t, "http://"+ln.Addr().String(), "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz for degraded monitor: status %d, body %q", code, body)
+	}
+}
+
+// TestMonitorConfigErrors: a bad faults spec is rejected at construction.
+func TestMonitorConfigErrors(t *testing.T) {
+	if _, err := NewMonitor(MonitorConfig{Faults: "nonsense=1"}); err == nil {
+		t.Fatal("NewMonitor accepted a bogus faults spec")
+	}
+}

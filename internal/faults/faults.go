@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/trace"
 )
@@ -147,6 +148,8 @@ func Perturb(set *trace.Set, plan Plan) (*trace.Set, Report) {
 
 // Apply implements Perturb as a method (see Perturb).
 func (p Plan) Apply(set *trace.Set) (*trace.Set, Report) {
+	sp := obs.StartSpan("faults.Perturb")
+	defer sp.End()
 	rep := Report{CoreSkew: map[int32]int64{}}
 	out := &trace.Set{
 		FreqHz:  set.FreqHz,
@@ -168,7 +171,24 @@ func (p Plan) Apply(set *trace.Set) (*trace.Set, Report) {
 	p.loseSampleBursts(out, &lossRNG, &rep)
 	p.skewCores(out, &skewRNG, &rep)
 	p.reorderSamples(out, &ordRNG, &rep)
+	rep.publish(obs.Default())
 	return out, rep
+}
+
+// publish accumulates the injected damage into the self-telemetry
+// counters, so a soak run that perturbs traces continuously exposes its
+// cumulative injected-fault budget on /metrics.
+func (r Report) publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("fluct_faults_perturbs_total").Inc()
+	reg.Counter("fluct_faults_samples_dropped_total").Add(uint64(r.SamplesDropped))
+	reg.Counter("fluct_faults_loss_bursts_total").Add(uint64(r.LossBursts))
+	reg.Counter("fluct_faults_markers_dropped_total").Add(uint64(r.MarkersDropped))
+	reg.Counter("fluct_faults_markers_duplicated_total").Add(uint64(r.MarkersDuplicated))
+	reg.Counter("fluct_faults_samples_reordered_total").Add(uint64(r.SamplesReordered))
+	reg.Counter("fluct_faults_events_truncated_total").Add(uint64(r.MarkersTruncated + r.SamplesTruncated))
 }
 
 // truncate cuts both streams at TruncateFraction of the global TSC span.

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear bucketing invariants across
+// the whole range: the index function is total, monotone non-decreasing,
+// bucketLow is its exact left inverse, and every value lands in the
+// bucket whose [low, nextLow) range contains it.
+func TestBucketBoundaries(t *testing.T) {
+	// Exact region.
+	for v := uint64(0); v < histSub; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want exact %d", v, got, v)
+		}
+	}
+	// bucketLow(i) must map back to bucket i for every bucket.
+	for i := 0; i < histBuckets; i++ {
+		low := bucketLow(i)
+		if got := bucketIndex(low); got != i {
+			t.Fatalf("bucketIndex(bucketLow(%d)=%d) = %d", i, low, got)
+		}
+		if i+1 < histBuckets {
+			// The last value of bucket i is one below bucket i+1's low.
+			if hi := bucketLow(i+1) - 1; bucketIndex(hi) != i {
+				t.Fatalf("bucketIndex(%d) = %d, want %d (upper edge of bucket)", hi, bucketIndex(hi), i)
+			}
+		}
+	}
+	// Power-of-two edges and their neighbours, the classic off-by-one
+	// sites, across every exponent.
+	prev := -1
+	for exp := 0; exp < 64; exp++ {
+		for _, v := range []uint64{1<<exp - 1, 1 << exp, 1<<exp + 1} {
+			i := bucketIndex(v)
+			if i < 0 || i >= histBuckets {
+				t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, i, histBuckets)
+			}
+			if low := bucketLow(i); v < low {
+				t.Fatalf("value %d below its bucket low %d (bucket %d)", v, low, i)
+			}
+		}
+		if i := bucketIndex(1 << exp); i < prev {
+			t.Fatalf("index not monotone at 2^%d: %d < %d", exp, i, prev)
+		} else {
+			prev = i
+		}
+	}
+	if bucketIndex(math.MaxUint64) != histBuckets-1 {
+		t.Fatalf("MaxUint64 should land in the last bucket, got %d", bucketIndex(math.MaxUint64))
+	}
+	// Relative bucket width stays within the design bound 1/histSub for
+	// values past the exact region.
+	for _, v := range []uint64{16, 100, 1000, 123456, 1 << 40} {
+		i := bucketIndex(v)
+		width := bucketLow(i+1) - bucketLow(i)
+		if rel := float64(width) / float64(bucketLow(i)); rel > 1.0/histSub+1e-9 {
+			t.Fatalf("bucket %d rel width %.4f exceeds %.4f", i, rel, 1.0/histSub)
+		}
+	}
+}
+
+// TestHistogramMergeEqualsConcat pins Merge(a,b) == Record(a ++ b).
+func TestHistogramMergeEqualsConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	sample := func() uint64 {
+		// Mix magnitudes so many exponents are exercised.
+		return rng.Uint64() >> uint(rng.Intn(60))
+	}
+	for i := 0; i < 5000; i++ {
+		v := sample()
+		a.Record(v)
+		both.Record(v)
+	}
+	for i := 0; i < 3000; i++ {
+		v := sample()
+		b.Record(v)
+		both.Record(v)
+	}
+	a.Merge(b)
+	sa, sb := a.Snapshot(), both.Snapshot()
+	if sa.Count != sb.Count || sa.Sum != sb.Sum {
+		t.Fatalf("merge count/sum = %d/%.0f, concat = %d/%.0f", sa.Count, sa.Sum, sb.Count, sb.Sum)
+	}
+	if sa.buckets != sb.buckets {
+		t.Fatalf("merged bucket occupancy differs from concatenated recording")
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		if sa.Quantile(q) != sb.Quantile(q) {
+			t.Fatalf("q=%v: merge %v != concat %v", q, sa.Quantile(q), sb.Quantile(q))
+		}
+	}
+}
+
+// TestMergeLocalEqualsDirect: batching observations through a Local and
+// flushing with MergeLocal is observation-equivalent to Recording each
+// value directly — the invariant the batch-publication fast path relies
+// on.
+func TestMergeLocalEqualsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	direct, batched := NewHistogram(), NewHistogram()
+	var local Local
+	for i := 0; i < 4000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(60))
+		direct.Record(v)
+		local.Record(v)
+	}
+	batched.MergeLocal(&local)
+	sd, sb := direct.Snapshot(), batched.Snapshot()
+	if sd.Count != sb.Count || sd.Sum != sb.Sum || sd.buckets != sb.buckets {
+		t.Fatalf("MergeLocal state differs from direct recording: count %d/%d sum %.0f/%.0f",
+			sd.Count, sb.Count, sd.Sum, sb.Sum)
+	}
+	// Nil and empty cases are no-ops.
+	batched.MergeLocal(nil)
+	batched.MergeLocal(&Local{})
+	var nilHist *Histogram
+	nilHist.MergeLocal(&local)
+	if got := batched.Count(); got != 4000 {
+		t.Fatalf("no-op MergeLocal changed count: %d", got)
+	}
+}
+
+// TestQuantileMonotonicity: quantiles are non-decreasing in q, bracketed
+// by the recorded extremes' buckets, and within the design error bound
+// of the true order statistics.
+func TestQuantileMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := NewHistogram()
+	vals := make([]uint64, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		v := uint64(rng.Intn(1 << 30))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.005 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%v gives %v after %v", q, v, prev)
+		}
+		prev = v
+		// Compare against the true order statistic with the bucket's
+		// relative error bound (lower-bound representative: the estimate
+		// can sit up to one bucket width below the true value).
+		truth := float64(vals[int(q*float64(len(vals)-1))])
+		if v > truth {
+			t.Fatalf("q=%v: estimate %v above true order statistic %v", q, v, truth)
+		}
+		if truth >= histSub && v < truth*(1-2.0/histSub) {
+			t.Fatalf("q=%v: estimate %v more than a bucket below truth %v", q, v, truth)
+		}
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Fatalf("q<0 should clamp to 0: %v vs %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Fatalf("q>1 should clamp to 1: %v vs %v", got, s.Quantile(1))
+	}
+}
+
+func TestRecordDur(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDur(1500 * time.Nanosecond) // 1.5 us -> bucket of value 1
+	h.RecordDur(-5 * time.Second)       // clamps to 0
+	h.RecordDur(3 * time.Millisecond)   // 3000 us
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 1+0+3000 {
+		t.Fatalf("sum = %v, want 3001", s.Sum)
+	}
+}
+
+// TestConcurrentWrites hammers one histogram and a few counters from
+// many goroutines while a reader snapshots — meaningful chiefly under
+// `make tier2`'s -race run, but the count invariant is checked here too.
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fluct_test_conc_us")
+	c := r.Counter("fluct_test_conc_total")
+	const workers, per = 8, 4000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Snapshot()
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(uint64(rng.Intn(1 << 20)))
+				c.Inc()
+			}
+		}(int64(w))
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fluct_core_items_total").Add(42)
+	r.Histogram("fluct_core_item_us").Record(100)
+	degraded := false
+	h := Handler(HandlerOptions{
+		Registry: r,
+		Health: func() Health {
+			if degraded {
+				return Health{OK: false, Status: "degraded", Detail: "suspect loss bursts",
+					Fields: map[string]float64{"est_lost_samples": 128}}
+			}
+			return Health{OK: true, Status: "healthy"}
+		},
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "fluct_core_items_total 42") ||
+		!strings.Contains(body, "fluct_core_item_us_count 1") {
+		t.Fatalf("/metrics body missing expected series:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var hl Health
+	if err := json.Unmarshal([]byte(body), &hl); err != nil || !hl.OK || hl.Status != "healthy" {
+		t.Fatalf("/healthz body %q err %v", body, err)
+	}
+
+	degraded = true
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz status %d, want 503", code)
+	}
+	if err := json.Unmarshal([]byte(body), &hl); err != nil || hl.OK || hl.Fields["est_lost_samples"] != 128 {
+		t.Fatalf("degraded /healthz body %q err %v", body, err)
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["fluct"]; !ok {
+		t.Fatalf("/debug/vars missing the fluct registry export")
+	}
+
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %.80q", code, body)
+	}
+	code, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestHandlerDefaultRegistry: with no explicit registry the handler
+// scrapes whatever the process default is at request time.
+func TestHandlerDefaultRegistry(t *testing.T) {
+	old := SetDefault(NewRegistry())
+	defer SetDefault(old)
+	Default().Counter("fluct_test_live_total").Add(9)
+
+	srv := httptest.NewServer(Handler(HandlerOptions{}))
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "fluct_test_live_total 9") {
+		t.Fatalf("status %d body:\n%s", code, body)
+	}
+	code, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("default health should be 200, got %d", code)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fluct_test_ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("fluct_test_ops_total") != c {
+		t.Fatalf("second Counter lookup returned a different instance")
+	}
+
+	g := r.Gauge("fluct_test_depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	g.SetInt(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after SetInt = %v, want 7", got)
+	}
+}
+
+// TestNilSafety pins the central contract: with telemetry disabled every
+// instrumentation call is a no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Gauge("x").Add(1)
+	r.Histogram("x").Record(1)
+	r.Histogram("x").RecordDur(1)
+	r.GaugeFunc("x", func() float64 { return 1 })
+	if r.Snapshot() != nil {
+		t.Fatalf("nil registry snapshot should be nil")
+	}
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 {
+		t.Fatalf("nil metrics should read zero")
+	}
+	var h *Histogram
+	h.Merge(NewHistogram())
+	NewHistogram().Merge(h)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram should read zero")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean() != 0 {
+		t.Fatalf("nil histogram snapshot should be empty")
+	}
+}
+
+func TestSetDefaultSwap(t *testing.T) {
+	old := SetDefault(nil)
+	defer SetDefault(old)
+	if Default() != nil {
+		t.Fatalf("Default() should be nil after SetDefault(nil)")
+	}
+	// Instrumentation sites read Default() and must be inert now.
+	Default().Counter("fluct_test_total").Inc()
+	r := NewRegistry()
+	if prev := SetDefault(r); prev != nil {
+		t.Fatalf("swap should return the previous (nil) default")
+	}
+	if Default() != r {
+		t.Fatalf("Default() should return the installed registry")
+	}
+}
+
+func TestSnapshotSortedAndKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fluct_b_total").Add(2)
+	r.Gauge("fluct_a").Set(1)
+	r.Histogram("fluct_c_us").Record(100)
+	r.GaugeFunc("fluct_d_fn", func() float64 { return 42 })
+	pts := r.Snapshot()
+	if len(pts) != 4 {
+		t.Fatalf("snapshot has %d points, want 4", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Name >= pts[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", pts[i-1].Name, pts[i].Name)
+		}
+	}
+	byName := map[string]MetricPoint{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	if p := byName["fluct_b_total"]; p.Kind != "counter" || p.Value != 2 {
+		t.Fatalf("counter point = %+v", p)
+	}
+	if p := byName["fluct_d_fn"]; p.Kind != "gauge" || p.Value != 42 {
+		t.Fatalf("gauge-func point = %+v", p)
+	}
+	if p := byName["fluct_c_us"]; p.Kind != "summary" || p.Count != 1 {
+		t.Fatalf("summary point = %+v", p)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fluct_core_items_total").Add(10)
+	r.Gauge("fluct_core_freelist").Set(3)
+	h := r.Histogram("fluct_core_item_us")
+	for v := uint64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE fluct_core_items_total counter\nfluct_core_items_total 10\n",
+		"# TYPE fluct_core_freelist gauge\nfluct_core_freelist 3\n",
+		"# TYPE fluct_core_item_us summary\n",
+		"fluct_core_item_us{quantile=\"0.5\"}",
+		"fluct_core_item_us_sum 5050\n",
+		"fluct_core_item_us_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// nil registry: valid empty exposition.
+	var empty strings.Builder
+	if err := WritePrometheus(&empty, nil); err != nil || empty.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, empty.String())
+	}
+}
+
+func TestVars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fluct_x_total").Add(7)
+	r.Histogram("fluct_y_us").Record(8)
+	v := r.Vars()
+	if v["fluct_x_total"] != 7.0 {
+		t.Fatalf("vars counter = %v", v["fluct_x_total"])
+	}
+	m, ok := v["fluct_y_us"].(map[string]any)
+	if !ok || m["count"] != uint64(1) {
+		t.Fatalf("vars summary = %#v", v["fluct_y_us"])
+	}
+}

@@ -1,5 +1,7 @@
 package pmu
 
+import "repro/internal/obs"
+
 // PEBSConfig parameterizes the hardware sampling model. The defaults encode
 // the costs measured by the paper and its companion study [6] on Skylake.
 type PEBSConfig struct {
@@ -93,6 +95,17 @@ type PEBS struct {
 	flushes    uint64
 	burstLag   int    // OverflowDropBurst: records dropped since the buffer filled
 	bursts     uint64 // OverflowDropBurst/OverflowWrap: contiguous loss episodes
+
+	// Cached self-telemetry handles (nil when the default registry was
+	// disabled at construction; all updates are then nil-check no-ops).
+	// Counters aggregate across every PEBS unit in the process; the
+	// occupancy gauge is last-writer-wins, which for the usual one-unit-
+	// per-machine setup is simply "the" ring.
+	mOcc        *obs.Gauge
+	mDropped    *obs.Counter
+	mInterrupts *obs.Counter
+	mFlushes    *obs.Counter
+	mBursts     *obs.Counter
 }
 
 // NewPEBS creates a PEBS unit. A zero-value field in cfg falls back to the
@@ -114,7 +127,15 @@ func NewPEBS(cfg PEBSConfig) *PEBS {
 	if cfg.SwapCostCycles == 0 {
 		cfg.SwapCostCycles = 1000
 	}
-	return &PEBS{cfg: cfg, buf: make([]Sample, 0, cfg.BufferEntries)}
+	p := &PEBS{cfg: cfg, buf: make([]Sample, 0, cfg.BufferEntries)}
+	if reg := obs.Default(); reg != nil {
+		p.mOcc = reg.Gauge("fluct_pmu_ring_occupancy")
+		p.mDropped = reg.Counter("fluct_pmu_dropped_total")
+		p.mInterrupts = reg.Counter("fluct_pmu_interrupts_total")
+		p.mFlushes = reg.Counter("fluct_pmu_flushes_total")
+		p.mBursts = reg.Counter("fluct_pmu_loss_bursts_total")
+	}
+	return p
 }
 
 // Overflow implements Recorder: the CPU appends a record and handles a
@@ -134,20 +155,24 @@ func (p *PEBS) Overflow(ev Event, ctx Ctx) uint64 {
 			// Ring semantics: evict the oldest record, keep the newest.
 			if p.burstLag == 0 {
 				p.bursts++
+				p.mBursts.Inc()
 			}
 			p.burstLag++
 			copy(p.buf, p.buf[1:])
 			p.buf[len(p.buf)-1] = s
 			p.dropped++
+			p.mDropped.Inc()
 			return oh
 		case OverflowDropBurst:
 			// The helper is late; the CPU silently discards records until
 			// the lag is over, then the drain interrupt finally lands.
 			if p.burstLag == 0 {
 				p.bursts++
+				p.mBursts.Inc()
 			}
 			p.burstLag++
 			p.dropped++
+			p.mDropped.Inc()
 			lag := p.cfg.HelperLagRecords
 			if lag <= 0 {
 				lag = p.cfg.BufferEntries / 4
@@ -155,6 +180,7 @@ func (p *PEBS) Overflow(ev Event, ctx Ctx) uint64 {
 			if p.burstLag >= lag {
 				oh += p.cfg.InterruptCostCycles
 				p.interrupts++
+				p.mInterrupts.Inc()
 				p.flush()
 				p.burstLag = 0
 			}
@@ -163,6 +189,7 @@ func (p *PEBS) Overflow(ev Event, ctx Ctx) uint64 {
 	}
 
 	p.buf = append(p.buf, s)
+	p.mOcc.SetInt(len(p.buf))
 	if len(p.buf) >= p.cfg.BufferEntries && p.cfg.OverflowPolicy == OverflowDrain {
 		if p.cfg.DoubleBuffer {
 			oh += p.cfg.SwapCostCycles
@@ -170,6 +197,7 @@ func (p *PEBS) Overflow(ev Event, ctx Ctx) uint64 {
 			oh += p.cfg.InterruptCostCycles
 		}
 		p.interrupts++
+		p.mInterrupts.Inc()
 		p.flush()
 	}
 	return oh
@@ -180,12 +208,15 @@ func (p *PEBS) Overflow(ev Event, ctx Ctx) uint64 {
 // discarded, standing in for a helper that could not keep up.
 func (p *PEBS) flush() {
 	p.flushes++
+	p.mFlushes.Inc()
 	if p.lossEvery > 0 && p.flushes%p.lossEvery == 0 {
 		p.dropped += uint64(len(p.buf))
+		p.mDropped.Add(uint64(len(p.buf)))
 	} else {
 		p.store = append(p.store, p.buf...)
 	}
 	p.buf = p.buf[:0]
+	p.mOcc.SetInt(0)
 }
 
 // Samples drains the hardware buffer and returns every record copied out so

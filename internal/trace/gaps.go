@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/pmu"
 )
 
@@ -95,6 +96,8 @@ func (g Gaps) String() string {
 // of ev are considered. The input set is not mutated and may be in any
 // record order.
 func (s *Set) GapSummary(ev pmu.Event) Gaps {
+	sp := obs.StartSpan("trace.GapSummary")
+	defer sp.End()
 	perCore := map[int32]*CoreGaps{}
 	coreOf := func(id int32) *CoreGaps {
 		c := perCore[id]

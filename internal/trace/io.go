@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/symtab"
 )
@@ -136,6 +137,8 @@ func (s *Set) Encode(w io.Writer) error {
 
 // Decode reads a trace set in the binary format from r.
 func Decode(r io.Reader) (*Set, error) {
+	sp := obs.StartSpan("trace.Decode")
+	defer sp.End()
 	var s Set
 	err := decodeStream(r, &s.FreqHz, func(t *symtab.Table) { s.Syms = t },
 		func(m Marker) error { s.Markers = append(s.Markers, m); return nil },

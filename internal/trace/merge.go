@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/symtab"
 )
 
@@ -15,6 +16,8 @@ import (
 // address range must agree (same binary); the merged table is their union.
 // Inputs without a symbol table contribute only their event streams.
 func Merge(sets ...*Set) (*Set, error) {
+	sp := obs.StartSpan("trace.Merge")
+	defer sp.End()
 	if len(sets) == 0 {
 		return nil, fmt.Errorf("trace: nothing to merge")
 	}
