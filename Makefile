@@ -5,10 +5,12 @@
 # integration fan-out (internal/core/shard.go), the concurrent
 # symbol-cache (internal/symtab) and the self-telemetry layer
 # (internal/obs, vetted and raced explicitly) are exercised under
-# -race by their tests — a short fuzz smoke of the trace decoder and
-# the integrator (see the Fuzz targets for the long-running form),
-# and the `fluct -serve` smoke test (ephemeral port, scrapes /metrics
-# and /healthz).
+# -race by their tests — a short fuzz smoke of the trace decoder, the
+# integrator, and the wire-frame decoder (see the Fuzz targets for the
+# long-running form), the `fluct -serve` smoke test (ephemeral port,
+# scrapes /metrics and /healthz), and the fleet loopback smoke: a set
+# shipped over real TCP must integrate byte-identically to a local
+# Integrate, including under injected mid-frame connection cuts.
 # bench runs the hot-path micro/ablation benchmarks with allocation stats.
 # bench-gate enforces two budgets: BenchmarkMicroIntegrate must land
 # within 15% of the absolute baseline recorded in EXPERIMENTS.md, and
@@ -27,8 +29,10 @@ tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
 	$(GO) vet ./internal/obs && $(GO) test -race -count 1 ./internal/obs
 	$(GO) test -race -count 1 -run '^TestServe' ./internal/experiments
+	$(GO) test -race -count 1 -run '^TestLoopback' ./internal/collector
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzIntegrate$$' -fuzztime=10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime=10s ./internal/wire
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkInstrumentedIntegrate|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .
@@ -36,3 +40,4 @@ bench:
 bench-gate:
 	$(GO) run ./cmd/benchgate
 	$(GO) run ./cmd/benchgate -bench BenchmarkInstrumentedIntegrate -against BenchmarkMicroIntegrate -threshold 0.03 -count 5
+	$(GO) run ./cmd/benchgate -bench BenchmarkWireEncodeDecode -pkg ./internal/wire -threshold 0.30

@@ -6,6 +6,7 @@
 //	fluct -exp fig9 -packets 10000
 //	fluct -exp all
 //	fluct -serve 127.0.0.1:8080
+//	fluct -ship 127.0.0.1:9000 -source worker-1 -rounds 5
 //
 // Experiments: fig1, fig2, fig4, fig8, fig9, fig10, datarate, faultsweep, all.
 //
@@ -13,6 +14,12 @@
 // exposes its self-telemetry over HTTP: /metrics (Prometheus text),
 // /debug/vars (expvar), /debug/pprof/* and /healthz (trace.GapSummary
 // verdict). Add -serve-faults to watch the health endpoint degrade.
+//
+// With -ship, fluct becomes a fleet worker: each workload round's trace set
+// is shipped over TCP to a fluctd collector instead of being integrated
+// locally. -source names this worker in the collector's fleet view,
+// -rounds bounds the run (0 runs until interrupted), and -ship-faults
+// injects network damage (e.g. 'net=cutframe,netrate=0.2') into the link.
 package main
 
 import (
@@ -22,8 +29,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 )
@@ -37,8 +46,25 @@ func main() {
 		out      = flag.String("out", "", "write output to this file instead of stdout")
 		serve    = flag.String("serve", "", "serve self-telemetry on this address (e.g. 127.0.0.1:8080) instead of running experiments")
 		srvFault = flag.String("serve-faults", "", "fault spec injected into every -serve round (e.g. 'loss=0.2,burst=64')")
+		shipAddr = flag.String("ship", "", "ship workload rounds to a fluctd collector at this address instead of running experiments")
+		source   = flag.String("source", "", "source ID for -ship (default: hostname-pid)")
+		rounds   = flag.Int("rounds", 0, "rounds to ship with -ship (0: until interrupted)")
+		shpFault = flag.String("ship-faults", "", "network fault spec for the -ship link (e.g. 'net=cutframe,netrate=0.2')")
 	)
 	flag.Parse()
+
+	if *shipAddr != "" {
+		reqs := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "requests" {
+				reqs = *requests
+			}
+		})
+		if err := runShip(*shipAddr, *source, *rounds, reqs, *shpFault); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *serve != "" {
 		// -requests only overrides the monitor's per-round default (300)
@@ -146,6 +172,12 @@ func main() {
 		}
 		r.Render(w)
 		fmt.Fprintln(w)
+		n, err := experiments.NetSweep(nil)
+		if err != nil {
+			fatal(err)
+		}
+		n.Render(w)
+		fmt.Fprintln(w)
 	}
 	if want("secvc") {
 		ran = true
@@ -159,6 +191,34 @@ func main() {
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|secvc|all)", *exp))
 	}
+}
+
+// runShip runs the fleet-worker loop: generate rounds, ship each round's
+// trace set to the collector, print the delivery stats. Ctrl-C ends the run
+// gracefully (queued frames drain before exit).
+func runShip(addr, source string, rounds, requests int, faultSpec string) error {
+	if source == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		source = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "fluct: shipping rounds to %s as %q\n", addr, source)
+	st, err := experiments.ShipRounds(ctx, experiments.ShipConfig{
+		Addr:     addr,
+		Source:   source,
+		Rounds:   rounds,
+		Requests: requests,
+		Faults:   faultSpec,
+	})
+	st.Render(os.Stdout)
+	if err != nil && ctx.Err() != nil {
+		return nil // interrupted: the stats line is the exit report
+	}
+	return err
 }
 
 // runServe runs the online monitor forever and serves its telemetry.

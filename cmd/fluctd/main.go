@@ -1,0 +1,71 @@
+// Command fluctd is the fleet collector daemon: it accepts trace streams
+// from fluct -ship workers over the wire protocol, integrates each stream
+// with a per-source StreamIntegrator, and serves the merged fleet view.
+//
+// Usage:
+//
+//	fluctd -listen 127.0.0.1:9000 -http 127.0.0.1:9001
+//
+// Shippers connect to -listen; operators scrape -http:
+//
+//	/metrics     collector self-telemetry (Prometheus text)
+//	/healthz     fleet verdict (degraded when any source shows loss)
+//	/fleet       the merged cross-host view as JSON
+//	/debug/...   expvar + pprof
+//
+// On SIGINT/SIGTERM the daemon prints a final fleet report to stdout and
+// exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/collector"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9000", "accept fluct -ship connections on this address")
+		httpAd = flag.String("http", "", "serve /metrics /healthz /fleet on this address (empty: no HTTP)")
+		topK   = flag.Int("topk", 10, "how many fleet-wide slowest items the fleet view carries")
+	)
+	flag.Parse()
+
+	c := collector.New(collector.Config{TopK: *topK})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fluctd: accepting shippers on %s\n", l.Addr())
+
+	errc := make(chan error, 2)
+	go func() { errc <- c.Serve(l) }()
+	if *httpAd != "" {
+		fmt.Fprintf(os.Stderr, "fluctd: serving /metrics /healthz /fleet on http://%s\n", *httpAd)
+		go func() { errc <- http.ListenAndServe(*httpAd, c.Handler()) }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "fluctd: %v — final fleet report:\n", s)
+	}
+	l.Close()
+	c.Fleet().Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluctd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,340 @@
+// Package collector is the central end of fleet trace shipping: a daemon
+// that accepts N concurrent shippers speaking the wire protocol, tags each
+// stream with its source ID, feeds every stream through its own per-source
+// core.StreamIntegrator, and merges the per-item results into one
+// fleet-wide view — top-K slowest items across hosts, per-source mean
+// confidence, and per-source GapSummary health.
+//
+// This is what turns the paper's single-host diagnosis into a fleet
+// diagnosis: one host's "slow item" is noise, the same function slow on
+// eight hosts at once is a pattern. The collector never trusts the
+// transport — frames are CRC-checked, set totals are reconciled against
+// what actually arrived, and a shipper that dies mid-set leaves behind
+// low-confidence flushed items rather than wedged state.
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a Collector.
+type Config struct {
+	// TopK is how many fleet-wide slowest items the fleet view carries
+	// (default 10).
+	TopK int
+	// Event selects which hardware event the per-source integrators and
+	// gap scans inspect (default UopsRetired, the paper's workhorse).
+	Event pmu.Event
+	// Registry receives the collector's self-telemetry (nil: obs.Default()).
+	Registry *obs.Registry
+}
+
+// Collector accepts shipper connections and maintains the fleet state.
+type Collector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	sources map[string]*Source
+
+	metConns    *obs.Counter
+	metFrames   *obs.Counter
+	metBytes    *obs.Counter
+	metCRCErrs  *obs.Counter
+	metDiscon   *obs.Counter
+	metItems    *obs.Counter
+	metSets     *obs.Counter
+	metSources  *obs.Gauge
+	metConfHist *obs.Histogram
+}
+
+// Source is the per-shipper state. It survives reconnects: a shipper that
+// loses its link mid-set resumes the same integrator on the next
+// connection, so the cut shows up as degraded items, not lost state.
+type Source struct {
+	// ID is the source tag from the handshake.
+	ID string
+
+	mu sync.Mutex
+
+	// Current-set decoding state.
+	freq    uint64
+	syms    *symtab.Table
+	integ   *core.StreamIntegrator
+	cur     *trace.Set // accumulates the in-flight set for the gap scan
+	curItem []core.Item
+
+	// Last-completed-set results.
+	items []core.Item
+	gaps  trace.Gaps
+	diag  core.Diagnostics
+
+	// Cumulative accounting.
+	sets          uint64
+	abortedSets   uint64
+	frames        uint64
+	crcErrors     uint64
+	disconnects   uint64
+	lostMarkers   uint64
+	lostSamples   uint64
+	confSum       float64
+	confN         int
+	lastMeanConf  float64
+	lastDegraded  bool
+	everConnected bool
+}
+
+// New builds a collector.
+func New(cfg Config) *Collector {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	c := &Collector{
+		cfg:         cfg,
+		sources:     map[string]*Source{},
+		metConns:    reg.Counter("fluct_collector_connections_total"),
+		metFrames:   reg.Counter("fluct_collector_frames_total"),
+		metBytes:    reg.Counter("fluct_collector_bytes_total"),
+		metCRCErrs:  reg.Counter("fluct_collector_crc_errors_total"),
+		metDiscon:   reg.Counter("fluct_collector_disconnects_total"),
+		metItems:    reg.Counter("fluct_collector_items_total"),
+		metSets:     reg.Counter("fluct_collector_sets_total"),
+		metSources:  reg.Gauge("fluct_collector_sources"),
+		metConfHist: reg.Histogram("fluct_collector_item_confidence_x1000"),
+	}
+	return c
+}
+
+// Serve accepts shipper connections on l until the listener closes. Each
+// connection is handled on its own goroutine; Serve itself returns the
+// accept error (net.ErrClosed after a clean Close of the listener).
+func (c *Collector) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go c.HandleConn(conn)
+	}
+}
+
+// source returns (creating if needed) the state for id.
+func (c *Collector) source(id string) *Source {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sources[id]
+	if s == nil {
+		s = &Source{ID: id}
+		c.sources[id] = s
+		c.metSources.SetInt(len(c.sources))
+	}
+	return s
+}
+
+// Source returns the state for id, or nil if the source never connected.
+func (c *Collector) Source(id string) *Source {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sources[id]
+}
+
+// HandleConn runs one shipper connection to completion: handshake, then
+// frames until the connection dies. Exported so tests and in-process
+// transports can drive the collector without a listener.
+func (c *Collector) HandleConn(conn net.Conn) {
+	defer conn.Close()
+	c.metConns.Inc()
+	srcID, _, err := wire.ServerHandshake(conn)
+	if err != nil {
+		return
+	}
+	src := c.source(srcID)
+	src.mu.Lock()
+	src.everConnected = true
+	src.mu.Unlock()
+
+	var buf []byte
+	for {
+		var f wire.Frame
+		f, buf, err = wire.ReadFrame(conn, buf)
+		if err != nil {
+			if errors.Is(err, wire.ErrChecksum) {
+				// Framing survived, the payload did not: drop the frame,
+				// keep the connection. The set-total reconciliation at
+				// SetEnd will surface the hole.
+				c.metCRCErrs.Inc()
+				src.mu.Lock()
+				src.crcErrors++
+				src.mu.Unlock()
+				continue
+			}
+			// Cut mid-frame or closed: the shipper will reconnect and the
+			// per-source state picks up where it left off.
+			if err != io.EOF {
+				c.metDiscon.Inc()
+				src.mu.Lock()
+				src.disconnects++
+				src.mu.Unlock()
+			}
+			return
+		}
+		c.metFrames.Inc()
+		c.metBytes.Add(uint64(len(f.Payload)) + 9)
+		if err := c.frame(src, f); err != nil {
+			// A well-framed but uninterpretable payload: count and drop.
+			c.metCRCErrs.Inc()
+			src.mu.Lock()
+			src.crcErrors++
+			src.mu.Unlock()
+		}
+	}
+}
+
+// frame applies one verified frame to the source's state.
+func (c *Collector) frame(src *Source, f wire.Frame) error {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	src.frames++
+	switch f.Type {
+	case wire.TSymtab:
+		freq, tab, err := wire.DecodeSymtab(f.Payload)
+		if err != nil {
+			return err
+		}
+		if src.integ != nil {
+			// The previous set never saw its SetEnd (dropped frame or a
+			// shipper restart): finalize what arrived rather than wedge.
+			src.abortedSets++
+			c.finishSetLocked(src, wire.SetEnd{})
+		}
+		src.freq, src.syms = freq, tab
+		src.cur = &trace.Set{FreqHz: freq, Syms: tab}
+		src.curItem = src.curItem[:0]
+		integ, err := core.NewStreamIntegrator(tab, core.Options{Event: c.cfg.Event}, func(*core.Item) {})
+		if err != nil {
+			return err
+		}
+		integ.OnItem = func(it *core.Item) {
+			// Copy out: the integrator recycles, the fleet view retains.
+			cp := *it
+			cp.Funcs = append([]core.FuncSpan(nil), it.Funcs...)
+			src.curItem = append(src.curItem, cp)
+			integ.Recycle(it)
+		}
+		src.integ = integ
+		return nil
+	case wire.TMarkers:
+		if src.integ == nil {
+			return fmt.Errorf("collector: markers before symtab")
+		}
+		return wire.DecodeMarkers(f.Payload, func(m trace.Marker) error {
+			src.cur.Markers = append(src.cur.Markers, m)
+			src.integ.Marker(m)
+			return nil
+		})
+	case wire.TSamples:
+		if src.integ == nil {
+			return fmt.Errorf("collector: samples before symtab")
+		}
+		return wire.DecodeSamples(f.Payload, func(sm pmu.Sample) error {
+			src.cur.Samples = append(src.cur.Samples, sm)
+			src.integ.Sample(sm)
+			return nil
+		})
+	case wire.TSetEnd:
+		if src.integ == nil {
+			return fmt.Errorf("collector: setend before symtab")
+		}
+		end, err := wire.DecodeSetEnd(f.Payload)
+		if err != nil {
+			return err
+		}
+		c.finishSetLocked(src, end)
+		return nil
+	default:
+		return fmt.Errorf("collector: unexpected %s frame", f.Type)
+	}
+}
+
+// finishSetLocked closes the in-flight set: flush the integrator, run the
+// gap scan, reconcile declared vs received totals, and publish the result
+// as the source's last completed set. Caller holds src.mu.
+func (c *Collector) finishSetLocked(src *Source, declared wire.SetEnd) {
+	src.integ.Close()
+	src.diag = src.integ.Diag()
+	src.integ = nil
+
+	src.items = append(src.items[:0], src.curItem...)
+	src.gaps = src.cur.GapSummary(c.cfg.Event)
+	if declared.Markers > uint64(len(src.cur.Markers)) {
+		src.lostMarkers += declared.Markers - uint64(len(src.cur.Markers))
+	}
+	if declared.Samples > uint64(len(src.cur.Samples)) {
+		src.lostSamples += declared.Samples - uint64(len(src.cur.Samples))
+	}
+
+	var confSum float64
+	for i := range src.items {
+		confSum += src.items[i].Confidence
+		c.metConfHist.Record(uint64(src.items[i].Confidence * 1000))
+	}
+	src.confSum += confSum
+	src.confN += len(src.items)
+	if n := len(src.items); n > 0 {
+		src.lastMeanConf = confSum / float64(n)
+	} else {
+		src.lastMeanConf = 0
+	}
+	src.lastDegraded = src.gaps.Degraded() || src.lostMarkers+src.lostSamples > 0
+	src.sets++
+	src.cur = &trace.Set{FreqHz: src.freq, Syms: src.syms}
+	src.curItem = src.curItem[:0]
+
+	c.metSets.Inc()
+	c.metItems.Add(uint64(len(src.items)))
+}
+
+// Sets returns how many complete trace sets the source has delivered.
+func (s *Source) Sets() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sets
+}
+
+// Items returns a copy of the source's last completed set's items, in the
+// offline Integrate order: ascending (BeginTSC, core).
+func (s *Source) Items() []core.Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]core.Item(nil), s.items...)
+	sortItems(out)
+	return out
+}
+
+// Diag returns the integration diagnostics of the last completed set.
+func (s *Source) Diag() core.Diagnostics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diag
+}
+
+// FreqHz returns the source's TSC frequency (0 before the first symtab).
+func (s *Source) FreqHz() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freq
+}

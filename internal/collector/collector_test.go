@@ -1,0 +1,191 @@
+package collector
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// pipeSource connects an in-memory shipper-side conn to the collector and
+// completes the handshake.
+func pipeSource(t *testing.T, c *Collector, source string) net.Conn {
+	t.Helper()
+	client, server := net.Pipe()
+	go c.HandleConn(server)
+	if _, err := wire.ClientHandshake(client, source); err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+func sendFrame(t *testing.T, conn net.Conn, f wire.Frame) {
+	t.Helper()
+	if err := wire.WriteFrame(conn, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// miniSet sends one tiny complete set over conn: one item on core 0 with
+// the given elapsed cycles.
+func miniSet(t *testing.T, conn net.Conn, elapsed uint64) {
+	t.Helper()
+	tab := symtab.NewTable()
+	tab.MustRegister("f", 256)
+	sym, err := wire.AppendSymtab(nil, 1_000_000_000, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendFrame(t, conn, wire.Frame{Type: wire.TSymtab, Payload: sym})
+	ms := []trace.Marker{
+		{Item: 1, TSC: 1000, Core: 0, Kind: trace.ItemBegin},
+		{Item: 1, TSC: 1000 + elapsed, Core: 0, Kind: trace.ItemEnd},
+	}
+	sendFrame(t, conn, wire.Frame{Type: wire.TMarkers, Payload: wire.AppendMarkers(nil, ms)})
+	sendFrame(t, conn, wire.Frame{Type: wire.TSetEnd, Payload: wire.AppendSetEnd(nil, wire.SetEnd{Markers: 2})})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFleetTopK: items from several sources merge into one slowest-first
+// list with source tags, cross-host comparable in microseconds.
+func TestFleetTopK(t *testing.T) {
+	c := New(Config{TopK: 2, Registry: obs.NewRegistry()})
+	for i, spec := range []struct {
+		source  string
+		elapsed uint64
+	}{{"host-a", 500}, {"host-b", 9000}, {"host-c", 3000}} {
+		conn := pipeSource(t, c, spec.source)
+		miniSet(t, conn, spec.elapsed)
+		conn.Close()
+		_ = i
+	}
+	waitFor(t, "three sets", func() bool {
+		n := 0
+		for _, id := range []string{"host-a", "host-b", "host-c"} {
+			if s := c.Source(id); s != nil && s.Sets() == 1 {
+				n++
+			}
+		}
+		return n == 3
+	})
+	v := c.Fleet()
+	if len(v.Sources) != 3 {
+		t.Fatalf("fleet has %d sources", len(v.Sources))
+	}
+	if len(v.TopSlow) != 2 {
+		t.Fatalf("top-K returned %d items, want 2", len(v.TopSlow))
+	}
+	if v.TopSlow[0].Source != "host-b" || v.TopSlow[1].Source != "host-c" {
+		t.Fatalf("top slow order: %s then %s", v.TopSlow[0].Source, v.TopSlow[1].Source)
+	}
+	if v.TopSlow[0].ElapsedUs <= v.TopSlow[1].ElapsedUs {
+		t.Fatalf("not slowest-first: %v", v.TopSlow)
+	}
+	h := c.Health()
+	if !h.OK {
+		t.Fatalf("clean fleet reports %+v", h)
+	}
+}
+
+// TestProtocolErrorsTolerated: a source that sends records before its
+// symtab is counted, not crashed, and the connection survives for the
+// retry.
+func TestProtocolErrorsTolerated(t *testing.T) {
+	c := New(Config{Registry: obs.NewRegistry()})
+	conn := pipeSource(t, c, "confused")
+	ms := []trace.Marker{{Item: 1, TSC: 10, Kind: trace.ItemBegin}}
+	sendFrame(t, conn, wire.Frame{Type: wire.TMarkers, Payload: wire.AppendMarkers(nil, ms)})
+	// The same connection then ships a correct set — it must land.
+	miniSet(t, conn, 100)
+	waitFor(t, "recovered set", func() bool {
+		s := c.Source("confused")
+		return s != nil && s.Sets() == 1
+	})
+	src := c.Source("confused")
+	src.mu.Lock()
+	crc := src.crcErrors
+	src.mu.Unlock()
+	if crc == 0 {
+		t.Fatal("out-of-order frame was not counted")
+	}
+	conn.Close()
+}
+
+// TestSymtabMidSetFinalizesPrevious: a shipper restart (new symtab while a
+// set is open) finalizes the half-delivered set as aborted instead of
+// wedging or leaking the integrator.
+func TestSymtabMidSetFinalizesPrevious(t *testing.T) {
+	c := New(Config{Registry: obs.NewRegistry()})
+	conn := pipeSource(t, c, "restarter")
+	tab := symtab.NewTable()
+	tab.MustRegister("f", 256)
+	sym, err := wire.AppendSymtab(nil, 1_000_000_000, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendFrame(t, conn, wire.Frame{Type: wire.TSymtab, Payload: sym})
+	ms := []trace.Marker{{Item: 5, TSC: 100, Core: 0, Kind: trace.ItemBegin}} // open item, no end
+	sendFrame(t, conn, wire.Frame{Type: wire.TMarkers, Payload: wire.AppendMarkers(nil, ms)})
+	// Restart: fresh symtab, then a clean set.
+	miniSet(t, conn, 200)
+	waitFor(t, "post-restart set", func() bool {
+		s := c.Source("restarter")
+		return s != nil && s.Sets() == 2 // aborted set finalizes as a set too
+	})
+	src := c.Source("restarter")
+	src.mu.Lock()
+	aborted := src.abortedSets
+	src.mu.Unlock()
+	if aborted != 1 {
+		t.Fatalf("aborted sets = %d, want 1", aborted)
+	}
+	conn.Close()
+}
+
+// TestHealthDegradedOnTransportLoss: a SetEnd declaring more records than
+// arrived flips the source and the fleet /healthz verdict to degraded.
+func TestHealthDegradedOnTransportLoss(t *testing.T) {
+	c := New(Config{Registry: obs.NewRegistry()})
+	conn := pipeSource(t, c, "lossy")
+	tab := symtab.NewTable()
+	tab.MustRegister("f", 256)
+	sym, err := wire.AppendSymtab(nil, 1_000_000_000, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendFrame(t, conn, wire.Frame{Type: wire.TSymtab, Payload: sym})
+	ms := []trace.Marker{
+		{Item: 1, TSC: 10, Core: 0, Kind: trace.ItemBegin},
+		{Item: 1, TSC: 90, Core: 0, Kind: trace.ItemEnd},
+	}
+	sendFrame(t, conn, wire.Frame{Type: wire.TMarkers, Payload: wire.AppendMarkers(nil, ms)})
+	// Declare 4 markers: two never made it.
+	sendFrame(t, conn, wire.Frame{Type: wire.TSetEnd, Payload: wire.AppendSetEnd(nil, wire.SetEnd{Markers: 4})})
+	waitFor(t, "lossy set", func() bool {
+		s := c.Source("lossy")
+		return s != nil && s.Sets() == 1
+	})
+	h := c.Health()
+	if h.OK {
+		t.Fatalf("transport loss not reflected in health: %+v", h)
+	}
+	if !strings.Contains(h.Detail, "degraded") {
+		t.Fatalf("detail %q", h.Detail)
+	}
+	conn.Close()
+}

@@ -1,0 +1,232 @@
+package collector
+
+import (
+	"cmp"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// SourceSummary is one host's row in the fleet view.
+type SourceSummary struct {
+	// ID is the shipper's source tag.
+	ID string `json:"id"`
+	// Sets and AbortedSets count complete and mid-set-abandoned deliveries.
+	Sets        uint64 `json:"sets"`
+	AbortedSets uint64 `json:"aborted_sets,omitempty"`
+	// Items is the item count of the last completed set.
+	Items int `json:"items"`
+	// MeanConfidence averages Item.Confidence over the last completed set.
+	MeanConfidence float64 `json:"mean_confidence"`
+	// Degraded reports whether the last set's gap scan flagged loss or the
+	// transport lost records.
+	Degraded bool `json:"degraded"`
+	// GapLine is the last set's one-line GapSummary verdict.
+	GapLine string `json:"gap_line,omitempty"`
+	// LostMarkers/LostSamples are cumulative transport-loss counts
+	// (declared in SetEnd frames but never received).
+	LostMarkers uint64 `json:"lost_markers,omitempty"`
+	LostSamples uint64 `json:"lost_samples,omitempty"`
+	// CRCErrors and Disconnects count cumulative link damage.
+	CRCErrors   uint64 `json:"crc_errors,omitempty"`
+	Disconnects uint64 `json:"disconnects,omitempty"`
+}
+
+// FleetItem tags an item with the source it came from.
+type FleetItem struct {
+	// Source is the shipping host's ID.
+	Source string `json:"source"`
+	// ElapsedUs is the item's on-core time in microseconds on its host's
+	// clock (fleet hosts may run at different frequencies, so cycles are
+	// not comparable across sources — microseconds are).
+	ElapsedUs float64 `json:"elapsed_us"`
+	// Item is the reconstruction.
+	Item core.Item `json:"item"`
+}
+
+// FleetView is the merged cross-host state: per-source health plus the
+// fleet-wide top-K slowest items — the cross-host comparison that turns
+// one host's slow item into a diagnosable pattern.
+type FleetView struct {
+	// Sources holds one summary per known source, ascending by ID.
+	Sources []SourceSummary `json:"sources"`
+	// TopSlow holds the K slowest items (by elapsed time) across all
+	// sources' last completed sets, slowest first.
+	TopSlow []FleetItem `json:"top_slow"`
+}
+
+// Fleet assembles the current fleet view.
+func (c *Collector) Fleet() FleetView {
+	c.mu.Lock()
+	srcs := make([]*Source, 0, len(c.sources))
+	for _, s := range c.sources {
+		srcs = append(srcs, s)
+	}
+	c.mu.Unlock()
+
+	var v FleetView
+	var all []FleetItem
+	for _, s := range srcs {
+		s.mu.Lock()
+		sum := SourceSummary{
+			ID:             s.ID,
+			Sets:           s.sets,
+			AbortedSets:    s.abortedSets,
+			Items:          len(s.items),
+			MeanConfidence: s.lastMeanConf,
+			Degraded:       s.lastDegraded,
+			GapLine:        s.gaps.String(),
+			LostMarkers:    s.lostMarkers,
+			LostSamples:    s.lostSamples,
+			CRCErrors:      s.crcErrors,
+			Disconnects:    s.disconnects,
+		}
+		freq := s.freq
+		for i := range s.items {
+			it := s.items[i]
+			it.Funcs = append([]core.FuncSpan(nil), it.Funcs...)
+			us := 0.0
+			if freq > 0 {
+				us = float64(it.ElapsedCycles()) * 1e6 / float64(freq)
+			}
+			all = append(all, FleetItem{Source: s.ID, ElapsedUs: us, Item: it})
+		}
+		s.mu.Unlock()
+		v.Sources = append(v.Sources, sum)
+	}
+	slices.SortFunc(v.Sources, func(a, b SourceSummary) int { return cmp.Compare(a.ID, b.ID) })
+
+	// Slowest first; deterministic tie-break on (source, item, core).
+	slices.SortFunc(all, func(a, b FleetItem) int {
+		if a.ElapsedUs != b.ElapsedUs {
+			return cmp.Compare(b.ElapsedUs, a.ElapsedUs)
+		}
+		if a.Source != b.Source {
+			return cmp.Compare(a.Source, b.Source)
+		}
+		if a.Item.ID != b.Item.ID {
+			return cmp.Compare(a.Item.ID, b.Item.ID)
+		}
+		return cmp.Compare(a.Item.Core, b.Item.Core)
+	})
+	if len(all) > c.cfg.TopK {
+		all = all[:c.cfg.TopK]
+	}
+	v.TopSlow = all
+	return v
+}
+
+// Render writes the fleet view as a human-readable report.
+func (v FleetView) Render(w io.Writer) {
+	fmt.Fprintf(w, "fleet: %d sources\n", len(v.Sources))
+	for _, s := range v.Sources {
+		state := "healthy"
+		if s.Degraded {
+			state = "DEGRADED"
+		}
+		fmt.Fprintf(w, "  %-16s %s sets=%d items=%d conf=%.3f lost=%d+%d crc=%d disc=%d\n",
+			s.ID, state, s.Sets, s.Items, s.MeanConfidence,
+			s.LostMarkers, s.LostSamples, s.CRCErrors, s.Disconnects)
+		if s.GapLine != "" {
+			fmt.Fprintf(w, "  %-16s %s\n", "", s.GapLine)
+		}
+	}
+	if len(v.TopSlow) > 0 {
+		fmt.Fprintf(w, "top %d slowest items across the fleet:\n", len(v.TopSlow))
+		for i, fi := range v.TopSlow {
+			fmt.Fprintf(w, "  %2d. %-16s item=%d core=%d %.2fus samples=%d conf=%.3f\n",
+				i+1, fi.Source, fi.Item.ID, fi.Item.Core, fi.ElapsedUs,
+				fi.Item.SampleCount, fi.Item.Confidence)
+		}
+	}
+}
+
+// Health renders the fleet verdict for /healthz: OK while every connected
+// source's last set was clean; degraded when any source shows gap-scan
+// damage or transport loss.
+func (c *Collector) Health() obs.Health {
+	v := c.Fleet()
+	degraded := 0
+	var sets, lost uint64
+	for _, s := range v.Sources {
+		if s.Degraded {
+			degraded++
+		}
+		sets += s.Sets
+		lost += s.LostMarkers + s.LostSamples
+	}
+	h := obs.Health{
+		OK:     degraded == 0,
+		Status: "healthy",
+		Fields: map[string]float64{
+			"sources":          float64(len(v.Sources)),
+			"degraded_sources": float64(degraded),
+			"sets":             float64(sets),
+			"lost_records":     float64(lost),
+		},
+	}
+	if len(v.Sources) == 0 {
+		h.Detail = "no shippers connected yet"
+		return h
+	}
+	if degraded > 0 {
+		h.OK = false
+		h.Status = "degraded"
+		h.Detail = fmt.Sprintf("%d/%d sources degraded", degraded, len(v.Sources))
+	} else {
+		h.Detail = fmt.Sprintf("%d sources clean", len(v.Sources))
+	}
+	return h
+}
+
+// Handler returns the collector's HTTP surface: the standard self-telemetry
+// endpoints (/metrics, /healthz fed by the fleet verdict, /debug/...) plus
+// /fleet, the merged cross-host view as JSON.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(obs.HandlerOptions{Registry: c.cfg.Registry, Health: c.Health}))
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(c.Fleet())
+	})
+	return mux
+}
+
+// sortItems orders items the way offline core.Integrate orders its output:
+// ascending (BeginTSC, core).
+func sortItems(items []core.Item) {
+	slices.SortStableFunc(items, func(x, y core.Item) int {
+		if x.BeginTSC != y.BeginTSC {
+			return cmp.Compare(x.BeginTSC, y.BeginTSC)
+		}
+		return cmp.Compare(x.Core, y.Core)
+	})
+}
+
+// RenderItems writes one line per item — ID, interval, sample counts,
+// confidence, and every function span — in a fixed format. It is the
+// byte-comparable report the loopback equivalence test pins: rendering the
+// collector's items for a shipped set must equal rendering a local
+// Integrate of the same set.
+func RenderItems(w io.Writer, freqHz uint64, items []core.Item) {
+	fmt.Fprintf(w, "freq=%d items=%d\n", freqHz, len(items))
+	for i := range items {
+		it := &items[i]
+		fmt.Fprintf(w, "item=%d core=%d begin=%d end=%d samples=%d unresolved=%d conf=%.4f funcs=",
+			it.ID, it.Core, it.BeginTSC, it.EndTSC, it.SampleCount, it.UnresolvedSamples, it.Confidence)
+		for j, f := range it.Funcs {
+			if j > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%s:%d:%d:%d", f.Fn.Name, f.Samples, f.FirstTSC, f.LastTSC)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -66,15 +66,15 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	return m, nil
 }
 
-// RunOnce executes one round: generate a fresh trace from the simulated
-// workload, degrade it if configured, health-check it, and stream-integrate
-// it with full self-telemetry. Safe to call concurrently with scrapes (the
-// registry is lock-free for readers; the health verdict is mutex-guarded).
-func (m *Monitor) RunOnce() error {
-	reg := obs.Default()
-	sp := obs.StartSpan("serve.round")
-	defer sp.End()
-
+// WorkloadRound generates one round of the canonical two-core request
+// workload: a lookup with a rare (~1/97) cold-chain stall plus a fixed-cost
+// render, PEBS-sampled per core. It is the trace source behind both
+// `fluct -serve` rounds and `fluct -ship` rounds, so a local monitor and a
+// fleet shipper observe the same workload shape.
+func WorkloadRound(requests int) *trace.Set {
+	if requests <= 0 {
+		requests = 300
+	}
 	const cores = 2
 	mach := sim.MustNew(sim.Config{Cores: cores})
 	lookup := mach.Syms.MustRegister("table_lookup", 4096)
@@ -85,7 +85,7 @@ func (m *Monitor) RunOnce() error {
 	pebs := make([]*pmu.PEBS, cores)
 	log := trace.NewMarkerLog(cores, 0)
 
-	perCore := m.cfg.Requests / cores
+	perCore := requests / cores
 	for ci := 0; ci < cores; ci++ {
 		first := uint64(ci*perCore) + 1
 		pebs[ci] = pmu.NewPEBS(pmu.PEBSConfig{})
@@ -120,7 +120,19 @@ func (m *Monitor) RunOnce() error {
 	for _, p := range pebs {
 		samples = append(samples, p.Samples()...)
 	}
-	set := trace.NewSet(mach, log, samples)
+	return trace.NewSet(mach, log, samples)
+}
+
+// RunOnce executes one round: generate a fresh trace from the simulated
+// workload, degrade it if configured, health-check it, and stream-integrate
+// it with full self-telemetry. Safe to call concurrently with scrapes (the
+// registry is lock-free for readers; the health verdict is mutex-guarded).
+func (m *Monitor) RunOnce() error {
+	reg := obs.Default()
+	sp := obs.StartSpan("serve.round")
+	defer sp.End()
+
+	set := WorkloadRound(m.cfg.Requests)
 	if m.plan != nil {
 		plan := *m.plan
 		plan.Seed += m.Rounds() // fresh damage every round, still deterministic

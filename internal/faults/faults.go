@@ -80,6 +80,12 @@ type Plan struct {
 	// within the first TruncateFraction of the trace's [min, max] TSC span
 	// survive. 0 and values >= 1 disable truncation.
 	TruncateFraction float64
+
+	// Net is the network half of the plan: it perturbs wire-protocol
+	// connections (see NetPlan and WrapDial), not trace sets, and is
+	// ignored by Apply. ParsePlan populates it from the net* spec keys so
+	// one spec string can degrade both the trace and its transport.
+	Net NetPlan
 }
 
 // Report counts what Apply actually injected, so tests and the CLI can

@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeDial returns a dial func backed by net.Pipe, plus a channel of the
+// server ends.
+func pipeDial(t *testing.T) (func(addr string) (net.Conn, error), chan net.Conn) {
+	t.Helper()
+	server := make(chan net.Conn, 16)
+	return func(string) (net.Conn, error) {
+		c, s := net.Pipe()
+		server <- s
+		return c, nil
+	}, server
+}
+
+func TestParseNetKeys(t *testing.T) {
+	p, err := ParsePlan("seed=9,net=cutframe,netrate=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Net.Mode != NetCutFrame || p.Net.CutRate != 0.3 {
+		t.Fatalf("parsed %+v", p.Net)
+	}
+	if p.Net.Seed != 9 {
+		t.Fatalf("net seed should inherit plan seed, got %d", p.Net.Seed)
+	}
+	p, err = ParsePlan("net=partition,netafter=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Net.Mode != NetPartition || p.Net.PartitionAfterBytes != 4096 {
+		t.Fatalf("parsed %+v", p.Net)
+	}
+	p, err = ParsePlan("net=latency,netdelay=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Net.Mode != NetLatency || p.Net.Delay != 3*time.Millisecond {
+		t.Fatalf("parsed %+v", p.Net)
+	}
+	for _, bad := range []string{"net=tsunami", "netafter=-1", "netdelay=fast", "netrate=2"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNetPartitionCutsAfterBudget(t *testing.T) {
+	dial, server := pipeDial(t)
+	wrapped := WrapDial(NetPlan{Mode: NetPartition, Seed: 1, PartitionAfterBytes: 10}, dial)
+	conn, err := wrapped("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-server
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := srv.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := conn.Write(bytes.Repeat([]byte{'a'}, 64))
+	if err == nil {
+		t.Fatal("write past the partition budget succeeded")
+	}
+	if n != 10 {
+		t.Fatalf("delivered %d bytes, want the 10-byte budget", n)
+	}
+	if b := <-got; len(b) != 10 {
+		t.Fatalf("server saw %d bytes", len(b))
+	}
+	if _, err := conn.Write([]byte("more")); err == nil {
+		t.Fatal("write on a partitioned conn succeeded")
+	}
+}
+
+func TestNetCutFrameIsDeterministicPerSeedAndVariesPerConn(t *testing.T) {
+	cut := func(seed uint64) []bool {
+		plan := NetPlan{Mode: NetCutFrame, Seed: seed, CutRate: 0.5}
+		var outcomes []bool
+		dial, server := pipeDial(t)
+		wrapped := WrapDial(plan, dial)
+		for c := 0; c < 4; c++ {
+			conn, err := wrapped("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := <-server
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := srv.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			failed := false
+			for w := 0; w < 8; w++ {
+				if _, err := conn.Write(bytes.Repeat([]byte{'x'}, 100)); err != nil {
+					failed = true
+					break
+				}
+			}
+			outcomes = append(outcomes, failed)
+			conn.Close()
+			srv.Close()
+		}
+		return outcomes
+	}
+	a, b := cut(7), cut(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	// At rate 0.5 over 4 connections × 8 writes, at least one cut must
+	// land and at least one connection's first write must survive —
+	// otherwise the per-connection seed advance is broken.
+	anyCut := false
+	for _, f := range a {
+		anyCut = anyCut || f
+	}
+	if !anyCut {
+		t.Fatalf("no cut landed across %v", a)
+	}
+}
+
+func TestNetErrInjectedIsNotTimeout(t *testing.T) {
+	var err error = errInjected{NetCutFrame}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		t.Fatal("injected fault claims to be a timeout")
+	}
+}

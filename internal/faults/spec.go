@@ -4,12 +4,21 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // ParsePlan builds a Plan from a compact comma-separated spec, the form
 // the tracedump CLI accepts:
 //
 //	seed=7,loss=0.1,burst=64,mdrop=0.02,mdup=0.01,skew=500,reorder=16,trunc=0.9
+//
+// Network faults for the wire transport ride in the same spec under the
+// net* keys (they populate Plan.Net and are ignored by Apply — they
+// perturb connections, not trace sets):
+//
+//	net=cutframe,netrate=0.3
+//	net=partition,netafter=65536
+//	net=latency,netdelay=5ms
 //
 // Every key is optional; unknown keys are an error so typos fail loudly.
 // Rates are fractions in [0, 1); skew is in cycles; burst and reorder are
@@ -79,9 +88,43 @@ func ParsePlan(spec string) (Plan, error) {
 				return Plan{}, fmt.Errorf("faults: %s: %q is not a fraction", key, val)
 			}
 			p.TruncateFraction = f
+		case "net":
+			switch val {
+			case "partition":
+				p.Net.Mode = NetPartition
+			case "latency":
+				p.Net.Mode = NetLatency
+			case "cutframe":
+				p.Net.Mode = NetCutFrame
+			case "none":
+				p.Net.Mode = NetNone
+			default:
+				return Plan{}, fmt.Errorf("faults: net: %q is not partition, latency, cutframe, or none", val)
+			}
+		case "netafter":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Plan{}, fmt.Errorf("faults: netafter: %q is not a positive byte count", val)
+			}
+			p.Net.PartitionAfterBytes = n
+		case "netdelay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return Plan{}, fmt.Errorf("faults: netdelay: %q is not a positive duration", val)
+			}
+			p.Net.Delay = d
+		case "netrate":
+			f, err := parseRate(key, val)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Net.CutRate = f
 		default:
-			return Plan{}, fmt.Errorf("faults: unknown key %q (want seed, loss, burst, mdrop, mdup, skew, reorder, trunc)", key)
+			return Plan{}, fmt.Errorf("faults: unknown key %q (want seed, loss, burst, mdrop, mdup, skew, reorder, trunc, net, netafter, netdelay, netrate)", key)
 		}
+	}
+	if p.Net.Active() && p.Net.Seed == 0 {
+		p.Net.Seed = p.Seed
 	}
 	return p, nil
 }

@@ -1,0 +1,117 @@
+package ship
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"repro/internal/pmu"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// ShipSet encodes one complete trace set as wire frames and enqueues them:
+// a symbol-table snapshot, then marker/sample batches in per-core
+// timestamp order — the order a live per-core ring drain delivers and the
+// order the collector's StreamIntegrator requires — then a SetEnd frame
+// declaring the totals.
+//
+// The event interleaving is preserved across batch boundaries: batches
+// are cut whenever the record type flips (marker run → sample run) or a
+// run reaches BatchRecords, so replaying the frames in arrival order
+// reproduces exactly the local feed order. That is what makes the
+// collector's integration bit-identical to a local Integrate of the same
+// set on a clean link.
+func (s *Shipper) ShipSet(set *trace.Set) error {
+	if set == nil {
+		return fmt.Errorf("ship: nil trace set")
+	}
+	if set.FreqHz == 0 {
+		return fmt.Errorf("ship: trace set has zero TSC frequency")
+	}
+	symPayload, err := wire.AppendSymtab(nil, set.FreqHz, set.Syms)
+	if err != nil {
+		return err
+	}
+	if !s.EnqueueFrame(wire.Frame{Type: wire.TSymtab, Payload: symPayload}) {
+		return fmt.Errorf("ship: shipper closed")
+	}
+
+	// Merge both streams into per-core timestamp order, markers before
+	// samples at equal timestamps (stable sort, markers appended first) —
+	// the same discipline the local online-monitor feed uses.
+	type ev struct {
+		tsc    uint64
+		core   int32
+		marker int32 // index into set.Markers, -1 for a sample
+		sample int32
+	}
+	evs := make([]ev, 0, len(set.Markers)+len(set.Samples))
+	for i := range set.Markers {
+		m := &set.Markers[i]
+		evs = append(evs, ev{tsc: m.TSC, core: m.Core, marker: int32(i), sample: -1})
+	}
+	for i := range set.Samples {
+		sm := &set.Samples[i]
+		evs = append(evs, ev{tsc: sm.TSC, core: sm.Core, marker: -1, sample: int32(i)})
+	}
+	slices.SortStableFunc(evs, func(a, b ev) int {
+		if c := cmp.Compare(a.core, b.core); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.tsc, b.tsc)
+	})
+
+	var (
+		markerRun []trace.Marker
+		sampleRun []pmu.Sample
+	)
+	flushMarkers := func() bool {
+		if len(markerRun) == 0 {
+			return true
+		}
+		ok := s.EnqueueFrame(wire.Frame{Type: wire.TMarkers, Payload: wire.AppendMarkers(nil, markerRun)})
+		markerRun = markerRun[:0]
+		return ok
+	}
+	flushSamples := func() bool {
+		if len(sampleRun) == 0 {
+			return true
+		}
+		ok := s.EnqueueFrame(wire.Frame{Type: wire.TSamples, Payload: wire.AppendSamples(nil, sampleRun)})
+		sampleRun = sampleRun[:0]
+		return ok
+	}
+	for _, e := range evs {
+		if e.marker >= 0 {
+			if !flushSamples() {
+				return fmt.Errorf("ship: shipper closed")
+			}
+			markerRun = append(markerRun, set.Markers[e.marker])
+			if len(markerRun) >= s.cfg.BatchRecords && !flushMarkers() {
+				return fmt.Errorf("ship: shipper closed")
+			}
+		} else {
+			if !flushMarkers() {
+				return fmt.Errorf("ship: shipper closed")
+			}
+			sampleRun = append(sampleRun, set.Samples[e.sample])
+			if len(sampleRun) >= s.cfg.BatchRecords && !flushSamples() {
+				return fmt.Errorf("ship: shipper closed")
+			}
+		}
+	}
+	if !flushMarkers() || !flushSamples() {
+		return fmt.Errorf("ship: shipper closed")
+	}
+
+	end := wire.AppendSetEnd(nil, wire.SetEnd{
+		Markers: uint64(len(set.Markers)),
+		Samples: uint64(len(set.Samples)),
+	})
+	if !s.EnqueueFrame(wire.Frame{Type: wire.TSetEnd, Payload: end}) {
+		return fmt.Errorf("ship: shipper closed")
+	}
+	s.metSets.Inc()
+	return nil
+}

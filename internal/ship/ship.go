@@ -1,0 +1,320 @@
+// Package ship is the worker-side trace shipping agent: it turns finished
+// (or live) trace sets into wire frames, queues them behind a bounded
+// drop-oldest buffer, and pushes them to the central collector over TCP,
+// reconnecting with jittered exponential backoff when the link dies.
+//
+// The queue policy is the paper's own collection philosophy applied to the
+// network: never stall the instrumented workload. When the collector is
+// slow or unreachable the shipper sheds the *oldest* frames — stale
+// telemetry is the cheapest telemetry to lose — and counts every drop in
+// the obs registry (fluct_ship_dropped_frames_total), so degradation is
+// visible, never silent.
+package ship
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// DialFunc opens the transport to the collector. Tests and fault injection
+// substitute their own (loopback pipes, faults.NetPlan-wrapped conns).
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// Config parameterizes a Shipper.
+type Config struct {
+	// Addr is the collector's address, passed to Dial.
+	Addr string
+	// Source identifies this shipper in the collector's fleet view
+	// (1–255 bytes; hostname-pid is the conventional form).
+	Source string
+	// BatchRecords caps how many markers or samples one frame carries
+	// (default 512). Smaller batches ship fresher, larger batches ship
+	// cheaper.
+	BatchRecords int
+	// QueueFrames bounds the outbound frame queue (default 1024). When
+	// full, the oldest queued frame is dropped and counted.
+	QueueFrames int
+	// Dial opens the connection (default net.Dialer over TCP).
+	Dial DialFunc
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 50ms
+	// and 5s). Each failed attempt doubles the wait up to BackoffMax,
+	// with ±50% deterministic jitter so a fleet of shippers restarting
+	// together does not reconnect in lockstep.
+	BackoffMin, BackoffMax time.Duration
+	// JitterSeed seeds the backoff jitter (default: derived from Source),
+	// keeping reconnect schedules deterministic per shipper.
+	JitterSeed uint64
+	// Registry receives the shipper's self-telemetry (nil: obs.Default()).
+	Registry *obs.Registry
+}
+
+// Shipper ships frames to one collector. Producers enqueue (EnqueueFrame /
+// ShipSet) from any goroutine; one Run loop drains the queue to the
+// network.
+type Shipper struct {
+	cfg Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []queued // FIFO: queue[0] is oldest
+	closed bool
+
+	metQueue      *obs.Gauge
+	metDropped    *obs.Counter
+	metReconnects *obs.Counter
+	metFrames     *obs.Counter
+	metBytes      *obs.Counter
+	metSets       *obs.Counter
+
+	rng splitmix64
+}
+
+// queued is one encoded frame awaiting transmission.
+type queued struct {
+	bytes []byte
+}
+
+// New validates cfg and builds a shipper.
+func New(cfg Config) (*Shipper, error) {
+	if cfg.Source == "" || len(cfg.Source) > 255 {
+		return nil, fmt.Errorf("ship: source ID must be 1–255 bytes")
+	}
+	if cfg.BatchRecords <= 0 {
+		cfg.BatchRecords = 512
+	}
+	if cfg.QueueFrames <= 0 {
+		cfg.QueueFrames = 1024
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.JitterSeed == 0 {
+		for _, b := range []byte(cfg.Source) {
+			cfg.JitterSeed = cfg.JitterSeed*131 + uint64(b)
+		}
+		cfg.JitterSeed |= 1
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &Shipper{
+		cfg:           cfg,
+		metQueue:      reg.Gauge("fluct_ship_queue_depth"),
+		metDropped:    reg.Counter("fluct_ship_dropped_frames_total"),
+		metReconnects: reg.Counter("fluct_ship_reconnects_total"),
+		metFrames:     reg.Counter("fluct_ship_frames_sent_total"),
+		metBytes:      reg.Counter("fluct_ship_bytes_sent_total"),
+		metSets:       reg.Counter("fluct_ship_sets_total"),
+		rng:           splitmix64{state: cfg.JitterSeed},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// EnqueueFrame queues one frame for shipping, dropping the oldest queued
+// frame when the queue is full (drop-oldest backpressure). It never
+// blocks. Returns false if the shipper is closed.
+func (s *Shipper) EnqueueFrame(f wire.Frame) bool {
+	enc := wire.AppendFrame(nil, f)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if len(s.queue) >= s.cfg.QueueFrames {
+		n := len(s.queue) - s.cfg.QueueFrames + 1
+		s.queue = s.queue[n:]
+		s.metDropped.Add(uint64(n))
+	}
+	s.queue = append(s.queue, queued{bytes: enc})
+	s.metQueue.SetInt(len(s.queue))
+	s.cond.Signal()
+	return true
+}
+
+// QueueDepth returns the number of frames currently queued.
+func (s *Shipper) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Close marks the shipper closed: further enqueues are refused and Run
+// returns once the queue drains (or immediately if disconnected and the
+// queue is already empty).
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Drain blocks until the queue is empty or ctx is cancelled.
+func (s *Shipper) Drain(ctx context.Context) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		empty := len(s.queue) == 0
+		s.mu.Unlock()
+		if empty {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// next blocks until a frame is available, the shipper is closed with an
+// empty queue, or ctx is cancelled. It returns the frame's encoded bytes
+// without dequeuing — the caller pops via popFront only after a successful
+// write, so a frame interrupted by a dying connection is retransmitted on
+// the next connection rather than lost (the collector discards the cut
+// half-frame; a duplicate, if the cut landed after delivery, is absorbed
+// by the integrator's marker-repair path and the confidence model).
+func (s *Shipper) next(ctx context.Context) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 {
+		if s.closed || ctx.Err() != nil {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	return s.queue[0].bytes, true
+}
+
+// popFront removes the frame returned by next after it was fully written.
+func (s *Shipper) popFront() {
+	s.mu.Lock()
+	if len(s.queue) > 0 {
+		s.queue = s.queue[1:]
+		s.metQueue.SetInt(len(s.queue))
+	}
+	s.mu.Unlock()
+}
+
+// Run connects, handshakes, and drains the queue to the collector until
+// ctx is cancelled or Close is called and the queue is empty. Connection
+// failures are retried forever with jittered exponential backoff; Run only
+// returns an error for unrecoverable configuration problems (a refused
+// handshake on a healthy link, e.g. a version mismatch).
+func (s *Shipper) Run(ctx context.Context) error {
+	// Wake any cond.Wait when the context dies.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	backoff := s.cfg.BackoffMin
+	for {
+		// Wait for work before dialing: an idle shipper holds no socket.
+		if _, ok := s.next(ctx); !ok {
+			return ctx.Err()
+		}
+		conn, err := s.cfg.Dial(ctx, s.cfg.Addr)
+		if err != nil {
+			if !s.sleep(ctx, backoff) {
+				return ctx.Err()
+			}
+			backoff = s.bump(backoff)
+			s.metReconnects.Inc()
+			continue
+		}
+		_, err = wire.ClientHandshake(conn, s.cfg.Source)
+		if err != nil {
+			conn.Close()
+			if !s.sleep(ctx, backoff) {
+				return ctx.Err()
+			}
+			backoff = s.bump(backoff)
+			s.metReconnects.Inc()
+			continue
+		}
+		backoff = s.cfg.BackoffMin // healthy link: reset
+		err = s.pump(ctx, conn)
+		conn.Close()
+		if err == nil {
+			return ctx.Err() // clean shutdown: closed + drained, or ctx done
+		}
+		s.metReconnects.Inc()
+		if !s.sleep(ctx, backoff) {
+			return ctx.Err()
+		}
+		backoff = s.bump(backoff)
+	}
+}
+
+// pump writes queued frames to conn until the queue closes cleanly (nil)
+// or the connection fails (non-nil).
+func (s *Shipper) pump(ctx context.Context, conn net.Conn) error {
+	for {
+		frame, ok := s.next(ctx)
+		if !ok {
+			return nil
+		}
+		if _, err := conn.Write(frame); err != nil {
+			return err
+		}
+		s.popFront()
+		s.metFrames.Inc()
+		s.metBytes.Add(uint64(len(frame)))
+	}
+}
+
+// bump doubles the backoff up to the max, with ±50% deterministic jitter.
+func (s *Shipper) bump(d time.Duration) time.Duration {
+	d *= 2
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	return d
+}
+
+// sleep waits d scaled by the jitter factor, returning false when ctx dies
+// first.
+func (s *Shipper) sleep(ctx context.Context, d time.Duration) bool {
+	// Jitter in [0.5, 1.5): fleet-wide reconnect storms decorrelate.
+	j := 0.5 + float64(s.rng.next()%1024)/1024.0
+	t := time.NewTimer(time.Duration(float64(d) * j))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// splitmix64 mirrors the faults package's fully specified PRNG so backoff
+// schedules are reproducible across Go versions.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,210 @@
+package ship
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+func testSet(t *testing.T) *trace.Set {
+	t.Helper()
+	tab := symtab.NewTable()
+	f := tab.MustRegister("f", 4096)
+	return &trace.Set{
+		FreqHz: 2_000_000_000,
+		Syms:   tab,
+		Markers: []trace.Marker{
+			{Item: 1, TSC: 100, Core: 0, Kind: trace.ItemBegin},
+			{Item: 1, TSC: 900, Core: 0, Kind: trace.ItemEnd},
+			{Item: 2, TSC: 150, Core: 1, Kind: trace.ItemBegin},
+			{Item: 2, TSC: 600, Core: 1, Kind: trace.ItemEnd},
+		},
+		Samples: []pmu.Sample{
+			{TSC: 300, IP: f.Base + 8, Core: 0, Event: pmu.UopsRetired},
+			{TSC: 500, IP: f.Base + 16, Core: 0, Event: pmu.UopsRetired},
+			{TSC: 400, IP: f.Base + 24, Core: 1, Event: pmu.UopsRetired},
+		},
+	}
+}
+
+// TestShipSetFrameOrder: ShipSet must produce symtab → per-core-ordered
+// batches → setend, with the marker/sample interleaving of the local feed
+// order preserved across batch boundaries.
+func TestShipSetFrameOrder(t *testing.T) {
+	s, err := New(Config{Addr: "x", Source: "hostA", Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := testSet(t)
+	if err := s.ShipSet(set); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode the queue back into an event sequence.
+	var stream bytes.Buffer
+	s.mu.Lock()
+	for _, q := range s.queue {
+		stream.Write(q.bytes)
+	}
+	s.mu.Unlock()
+
+	var types []wire.Type
+	var markers []trace.Marker
+	var samples []pmu.Sample
+	var end wire.SetEnd
+	var buf []byte
+	for stream.Len() > 0 {
+		var f wire.Frame
+		f, buf, err = wire.ReadFrame(&stream, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		types = append(types, f.Type)
+		switch f.Type {
+		case wire.TMarkers:
+			if err := wire.DecodeMarkers(f.Payload, func(m trace.Marker) error { markers = append(markers, m); return nil }); err != nil {
+				t.Fatal(err)
+			}
+		case wire.TSamples:
+			if err := wire.DecodeSamples(f.Payload, func(sm pmu.Sample) error { samples = append(samples, sm); return nil }); err != nil {
+				t.Fatal(err)
+			}
+		case wire.TSetEnd:
+			if end, err = wire.DecodeSetEnd(f.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if types[0] != wire.TSymtab || types[len(types)-1] != wire.TSetEnd {
+		t.Fatalf("frame types %v: want symtab first, setend last", types)
+	}
+	if end.Markers != 4 || end.Samples != 3 {
+		t.Fatalf("setend declared %+v", end)
+	}
+	if len(markers) != 4 || len(samples) != 3 {
+		t.Fatalf("decoded %d markers, %d samples", len(markers), len(samples))
+	}
+	// Per-core feed order: core 0 first (begin, its samples, end), then core 1.
+	if markers[0].Core != 0 || markers[1].Core != 0 || markers[2].Core != 1 {
+		t.Fatalf("marker core order %v", markers)
+	}
+	if samples[0].Core != 0 || samples[1].Core != 0 || samples[2].Core != 1 {
+		t.Fatalf("sample core order %v", samples)
+	}
+	// Within core 0: begin(100) ≤ sample(300) ≤ sample(500) ≤ end(900).
+	if markers[0].Kind != trace.ItemBegin || markers[1].Kind != trace.ItemEnd {
+		t.Fatalf("core 0 marker kinds %v", markers[:2])
+	}
+}
+
+// TestDropOldest: the queue must shed the oldest frame, never block, and
+// count every drop.
+func TestDropOldest(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{Addr: "x", Source: "hostA", QueueFrames: 3, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ok := s.EnqueueFrame(wire.Frame{Type: wire.TSetEnd, Payload: wire.AppendSetEnd(nil, wire.SetEnd{Markers: uint64(i)})})
+		if !ok {
+			t.Fatal("enqueue refused")
+		}
+	}
+	if depth := s.QueueDepth(); depth != 3 {
+		t.Fatalf("queue depth %d, want 3", depth)
+	}
+	if drops := reg.Counter("fluct_ship_dropped_frames_total").Value(); drops != 2 {
+		t.Fatalf("dropped %d, want 2", drops)
+	}
+	// The survivors must be the *newest* three (markers 2, 3, 4).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		f, _, err := wire.ReadFrame(bytes.NewReader(q.bytes), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := wire.DecodeSetEnd(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Markers != uint64(i+2) {
+			t.Fatalf("queue[%d] = set %d, want %d (drop-oldest)", i, e.Markers, i+2)
+		}
+	}
+}
+
+// TestRunReconnectsWithBackoff: a dial that fails twice then succeeds must
+// be retried, counted, and end with the queue drained.
+func TestRunReconnectsWithBackoff(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	attempts := 0
+	server, client := net.Pipe()
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts <= 2 {
+			return nil, errors.New("refused")
+		}
+		return client, nil
+	}
+	s, err := New(Config{
+		Addr: "x", Source: "hostA", Dial: dial,
+		BackoffMin: time.Millisecond, BackoffMax: 4 * time.Millisecond,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnqueueFrame(wire.Frame{Type: wire.TSetEnd, Payload: wire.AppendSetEnd(nil, wire.SetEnd{})})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() {
+		// Server side: handshake then read frames forever.
+		if _, _, err := wire.ServerHandshake(server); err != nil {
+			return
+		}
+		var buf []byte
+		for {
+			if _, buf, err = wire.ReadFrame(server, buf); err != nil {
+				return
+			}
+		}
+	}()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+	if got := reg.Counter("fluct_ship_reconnects_total").Value(); got < 2 {
+		t.Fatalf("reconnects = %d, want ≥ 2", got)
+	}
+	if got := reg.Counter("fluct_ship_frames_sent_total").Value(); got != 1 {
+		t.Fatalf("frames sent = %d, want 1", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Addr: "x"}); err == nil {
+		t.Fatal("accepted empty source")
+	}
+	if _, err := New(Config{Addr: "x", Source: string(bytes.Repeat([]byte{'s'}, 300))}); err == nil {
+		t.Fatal("accepted oversized source")
+	}
+}

@@ -159,57 +159,85 @@ func DecodeStream(r io.Reader, onSyms func(*symtab.Table), onMarker func(Marker)
 	return freqHz, err
 }
 
+// offsetReader tracks how many bytes of the trace file were consumed, so a
+// truncated dump (a crashed writer, a torn copy, a cut transfer) reports
+// *where* it ends — the difference between "file is damaged" and "file is
+// damaged 3 bytes into sample 41817", which is what an operator needs to
+// decide whether the prefix is worth salvaging.
+type offsetReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+// full reads exactly len(buf) bytes, advancing the offset by what arrived.
+func (o *offsetReader) full(buf []byte) error {
+	n, err := io.ReadFull(o.br, buf)
+	o.off += int64(n)
+	return err
+}
+
+// one reads a single byte.
+func (o *offsetReader) one() (byte, error) {
+	b, err := o.br.ReadByte()
+	if err == nil {
+		o.off++
+	}
+	return b, err
+}
+
+// fail decorates a read error with what was being read and, for truncation
+// (clean EOF mid-structure or a short read), the byte offset where the file
+// ended — normalized to wrap io.ErrUnexpectedEOF so callers can
+// errors.Is(err, io.ErrUnexpectedEOF) regardless of which read hit the end.
+func (o *offsetReader) fail(what string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("trace: %s: truncated at byte %d: %w", what, o.off, io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("trace: %s: %w", what, err)
+}
+
 func decodeStream(r io.Reader, freqOut *uint64, onSyms func(*symtab.Table), onMarker func(Marker) error, onSample func(pmu.Sample) error) error {
-	br := bufio.NewReader(r)
+	or := &offsetReader{br: bufio.NewReader(r)}
 	le := binary.LittleEndian
 	var scratch [8]byte
-	get := func(n int) ([]byte, error) {
-		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
-			return nil, err
+	get64 := func(what string) (uint64, error) {
+		if err := or.full(scratch[:8]); err != nil {
+			return 0, or.fail(what, err)
 		}
-		return scratch[:n], nil
+		return le.Uint64(scratch[:8]), nil
 	}
-	get64 := func() (uint64, error) {
-		b, err := get(8)
-		if err != nil {
-			return 0, err
+	get32 := func(what string) (uint32, error) {
+		if err := or.full(scratch[:4]); err != nil {
+			return 0, or.fail(what, err)
 		}
-		return le.Uint64(b), nil
+		return le.Uint32(scratch[:4]), nil
 	}
-	get32 := func() (uint32, error) {
-		b, err := get(4)
-		if err != nil {
-			return 0, err
+	get16 := func(what string) (uint16, error) {
+		if err := or.full(scratch[:2]); err != nil {
+			return 0, or.fail(what, err)
 		}
-		return le.Uint32(b), nil
-	}
-	get16 := func() (uint16, error) {
-		b, err := get(2)
-		if err != nil {
-			return 0, err
-		}
-		return le.Uint16(b), nil
+		return le.Uint16(scratch[:2]), nil
 	}
 
 	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return fmt.Errorf("trace: reading magic: %w", err)
+	if err := or.full(m[:]); err != nil {
+		return or.fail("magic", err)
 	}
 	if m != magic {
 		return fmt.Errorf("trace: bad magic %q", m[:])
 	}
-	freq, err := get64()
+	freq, err := get64("freq")
 	if err != nil {
-		return fmt.Errorf("trace: reading freq: %w", err)
+		return err
 	}
 	if freq == 0 {
 		return fmt.Errorf("trace: zero TSC frequency")
 	}
 	*freqOut = freq
 
-	nSyms, err := get32()
+	nSyms, err := get32("symbol count")
 	if err != nil {
-		return fmt.Errorf("trace: reading symbol count: %w", err)
+		return err
 	}
 	if nSyms > maxCount {
 		return fmt.Errorf("trace: absurd symbol count %d", nSyms)
@@ -219,19 +247,19 @@ func decodeStream(r io.Reader, freqOut *uint64, onSyms func(*symtab.Table), onMa
 		syms = symtab.NewTable()
 	}
 	for i := uint32(0); i < nSyms; i++ {
-		nameLen, err := get16()
-		if err != nil {
-			return fmt.Errorf("trace: symbol %d: %w", i, err)
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return fmt.Errorf("trace: symbol %d name: %w", i, err)
-		}
-		base, err := get64()
+		nameLen, err := get16(fmt.Sprintf("symbol %d name length", i))
 		if err != nil {
 			return err
 		}
-		size, err := get64()
+		name := make([]byte, nameLen)
+		if err := or.full(name); err != nil {
+			return or.fail(fmt.Sprintf("symbol %d name", i), err)
+		}
+		base, err := get64(fmt.Sprintf("symbol %d base", i))
+		if err != nil {
+			return err
+		}
+		size, err := get64(fmt.Sprintf("symbol %d size", i))
 		if err != nil {
 			return err
 		}
@@ -249,29 +277,29 @@ func decodeStream(r io.Reader, freqOut *uint64, onSyms func(*symtab.Table), onMa
 		onSyms(syms)
 	}
 
-	nMark, err := get32()
+	nMark, err := get32("marker count")
 	if err != nil {
-		return fmt.Errorf("trace: reading marker count: %w", err)
+		return err
 	}
 	if nMark > maxCount {
 		return fmt.Errorf("trace: absurd marker count %d", nMark)
 	}
 	for i := uint32(0); i < nMark; i++ {
 		var mk Marker
-		if mk.Item, err = get64(); err != nil {
+		if mk.Item, err = get64(fmt.Sprintf("marker %d item", i)); err != nil {
 			return err
 		}
-		if mk.TSC, err = get64(); err != nil {
+		if mk.TSC, err = get64(fmt.Sprintf("marker %d tsc", i)); err != nil {
 			return err
 		}
-		c, err := get32()
+		c, err := get32(fmt.Sprintf("marker %d core", i))
 		if err != nil {
 			return err
 		}
 		mk.Core = int32(c)
-		b, err := br.ReadByte()
+		b, err := or.one()
 		if err != nil {
-			return err
+			return or.fail(fmt.Sprintf("marker %d kind", i), err)
 		}
 		if Kind(b) != ItemBegin && Kind(b) != ItemEnd {
 			return fmt.Errorf("trace: marker %d has invalid kind %d", i, b)
@@ -282,43 +310,43 @@ func decodeStream(r io.Reader, freqOut *uint64, onSyms func(*symtab.Table), onMa
 		}
 	}
 
-	nSamp, err := get32()
+	nSamp, err := get32("sample count")
 	if err != nil {
-		return fmt.Errorf("trace: reading sample count: %w", err)
+		return err
 	}
 	if nSamp > maxCount {
 		return fmt.Errorf("trace: absurd sample count %d", nSamp)
 	}
 	for i := uint32(0); i < nSamp; i++ {
 		var sm pmu.Sample
-		if sm.TSC, err = get64(); err != nil {
+		if sm.TSC, err = get64(fmt.Sprintf("sample %d tsc", i)); err != nil {
 			return err
 		}
-		if sm.IP, err = get64(); err != nil {
+		if sm.IP, err = get64(fmt.Sprintf("sample %d ip", i)); err != nil {
 			return err
 		}
-		c, err := get32()
+		c, err := get32(fmt.Sprintf("sample %d core", i))
 		if err != nil {
 			return err
 		}
 		sm.Core = int32(c)
-		ev, err := br.ReadByte()
+		ev, err := or.one()
 		if err != nil {
-			return err
+			return or.fail(fmt.Sprintf("sample %d event", i), err)
 		}
 		if pmu.Event(ev) >= pmu.NumEvents {
 			return fmt.Errorf("trace: sample %d has invalid event %d", i, ev)
 		}
 		sm.Event = pmu.Event(ev)
-		hasRegs, err := br.ReadByte()
+		hasRegs, err := or.one()
 		if err != nil {
-			return err
+			return or.fail(fmt.Sprintf("sample %d regs flag", i), err)
 		}
 		switch hasRegs {
 		case 0:
 		case 1:
 			for j := range sm.Regs {
-				if sm.Regs[j], err = get64(); err != nil {
+				if sm.Regs[j], err = get64(fmt.Sprintf("sample %d reg %d", i, j)); err != nil {
 					return err
 				}
 			}

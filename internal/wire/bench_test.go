@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/trace"
+)
+
+// BenchmarkWireEncodeDecode is the shipping-throughput baseline gated by
+// make bench-gate: one 512-marker + 2048-sample batch pair framed,
+// checksummed, read back, and parsed — the per-batch cost a shipper and a
+// collector each pay. The bench-gate baseline line lives in EXPERIMENTS.md.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	markers := make([]trace.Marker, 512)
+	tsc := uint64(1 << 40)
+	for i := range markers {
+		tsc += 2000
+		kind := trace.ItemBegin
+		if i%2 == 1 {
+			kind = trace.ItemEnd
+		}
+		markers[i] = trace.Marker{Item: uint64(i / 2), TSC: tsc, Core: int32(i % 4), Kind: kind}
+	}
+	samples := make([]pmu.Sample, 2048)
+	tsc = uint64(1 << 40)
+	for i := range samples {
+		tsc += 500
+		samples[i] = pmu.Sample{TSC: tsc, IP: 0x400000 + uint64(i%4096)*16, Core: int32(i % 4), Event: pmu.UopsRetired}
+	}
+
+	var wireBytes int64
+	var encBuf []byte
+	var rdBuf []byte
+	var stream bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encBuf = AppendMarkers(encBuf[:0], markers)
+		stream.Reset()
+		if err := WriteFrame(&stream, Frame{Type: TMarkers, Payload: encBuf}); err != nil {
+			b.Fatal(err)
+		}
+		encBuf2 := AppendSamples(encBuf[len(encBuf):], samples)
+		if err := WriteFrame(&stream, Frame{Type: TSamples, Payload: encBuf2}); err != nil {
+			b.Fatal(err)
+		}
+		wireBytes += int64(stream.Len())
+
+		var nm, ns int
+		for f := 0; f < 2; f++ {
+			var fr Frame
+			var err error
+			fr, rdBuf, err = ReadFrame(&stream, rdBuf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch fr.Type {
+			case TMarkers:
+				err = DecodeMarkers(fr.Payload, func(trace.Marker) error { nm++; return nil })
+			case TSamples:
+				err = DecodeSamples(fr.Payload, func(pmu.Sample) error { ns++; return nil })
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if nm != len(markers) || ns != len(samples) {
+			b.Fatalf("lost records: %d/%d markers, %d/%d samples", nm, len(markers), ns, len(samples))
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(wireBytes / int64(b.N))
+	b.ReportMetric(float64(len(markers)+len(samples)), "records/op")
+}

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/trace"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the frame reader and the
+// payload parsers — the exact path a hostile or half-dead shipper can
+// reach on a collector port. Nothing may panic; every frame the reader
+// accepts carried a valid checksum; every payload a parser accepts must
+// survive an encode → decode round trip with identical records (bytes may
+// legitimately differ: varint re-encoding is canonical, arbitrary input
+// need not be). Run continuously with
+//
+//	go test -run '^$' -fuzz '^FuzzFrameDecode$' ./internal/wire
+//
+// (make tier2 includes a short smoke).
+func FuzzFrameDecode(f *testing.F) {
+	markers := AppendMarkers(nil, []trace.Marker{
+		{Item: 1, TSC: 100, Kind: trace.ItemBegin},
+		{Item: 1, TSC: 300, Kind: trace.ItemEnd},
+	})
+	samples := AppendSamples(nil, []pmu.Sample{{TSC: 200, IP: 0x400000, Event: pmu.UopsRetired}})
+	f.Add(AppendFrame(nil, Frame{Type: TMarkers, Payload: markers}))
+	f.Add(AppendFrame(nil, Frame{Type: TSamples, Payload: samples}))
+	f.Add(AppendFrame(nil, Frame{Type: TSetEnd, Payload: AppendSetEnd(nil, SetEnd{Markers: 2, Samples: 1})}))
+	hello, _ := AppendHello(nil, Hello{MinVersion: 1, MaxVersion: 1, Source: "fuzz"})
+	f.Add(AppendFrame(nil, Frame{Type: THello, Payload: hello}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // absurd length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, _, err := ReadFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			ok := err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, ErrChecksum) || err.Error() != ""
+			if !ok {
+				t.Fatalf("unclassifiable frame error: %v", err)
+			}
+			return
+		}
+		switch fr.Type {
+		case TMarkers:
+			var ms []trace.Marker
+			if DecodeMarkers(fr.Payload, func(m trace.Marker) error { ms = append(ms, m); return nil }) != nil {
+				return
+			}
+			var back []trace.Marker
+			if err := DecodeMarkers(AppendMarkers(nil, ms), func(m trace.Marker) error { back = append(back, m); return nil }); err != nil {
+				t.Fatalf("accepted markers failed to re-decode: %v", err)
+			}
+			if !reflect.DeepEqual(ms, back) {
+				t.Fatal("marker round trip changed records")
+			}
+		case TSamples:
+			var ss []pmu.Sample
+			if DecodeSamples(fr.Payload, func(s pmu.Sample) error { ss = append(ss, s); return nil }) != nil {
+				return
+			}
+			var back []pmu.Sample
+			if err := DecodeSamples(AppendSamples(nil, ss), func(s pmu.Sample) error { back = append(back, s); return nil }); err != nil {
+				t.Fatalf("accepted samples failed to re-decode: %v", err)
+			}
+			if !reflect.DeepEqual(ss, back) {
+				t.Fatal("sample round trip changed records")
+			}
+		case TSymtab:
+			freq, tab, err := DecodeSymtab(fr.Payload)
+			if err != nil {
+				return
+			}
+			re, err := AppendSymtab(nil, freq, tab)
+			if err != nil {
+				t.Fatalf("accepted symtab failed to re-encode: %v", err)
+			}
+			freq2, tab2, err := DecodeSymtab(re)
+			if err != nil || freq2 != freq || tab2.Len() != tab.Len() {
+				t.Fatalf("symtab round trip changed table (err %v)", err)
+			}
+		case TSetEnd:
+			e, err := DecodeSetEnd(fr.Payload)
+			if err != nil {
+				return
+			}
+			e2, err := DecodeSetEnd(AppendSetEnd(nil, e))
+			if err != nil || e2 != e {
+				t.Fatalf("setend round trip changed counts (err %v)", err)
+			}
+		case THello:
+			h, err := DecodeHello(fr.Payload)
+			if err != nil {
+				return
+			}
+			re, err := AppendHello(nil, h)
+			if err != nil {
+				t.Fatalf("accepted hello failed to re-encode: %v", err)
+			}
+			h2, err := DecodeHello(re)
+			if err != nil || h2 != h {
+				t.Fatalf("hello round trip changed fields (err %v)", err)
+			}
+		case THelloAck:
+			a, err := DecodeHelloAck(fr.Payload)
+			if err != nil {
+				return
+			}
+			a2, err := DecodeHelloAck(AppendHelloAck(nil, a))
+			if err != nil || a2 != a {
+				t.Fatalf("helloack round trip changed fields (err %v)", err)
+			}
+		}
+	})
+}

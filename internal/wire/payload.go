@@ -1,0 +1,295 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// Record payload layouts. These mirror the trace.Encode record layouts —
+// the same fields in the same order — with one transport change:
+// timestamps are signed-varint deltas against the previous record in the
+// frame (the first record deltas against zero). Batches arrive in per-core
+// drain order, so consecutive deltas are small and usually positive; the
+// signed form keeps a core switch (TSC jumping backwards to another core's
+// clock) from exploding into a 10-byte varint wraparound.
+
+// ErrPayload reports a payload that could not be interpreted. It wraps the
+// specific cause.
+func errPayload(kind Type, format string, args ...any) error {
+	return fmt.Errorf("wire: %s payload: "+format, append([]any{kind}, args...)...)
+}
+
+// AppendSymtab appends a TSymtab payload: the trace set's TSC frequency
+// and its symbol table in the trace.Encode symbol-section layout
+// (count, then {nameLen, name, base, size} per function).
+func AppendSymtab(dst []byte, freqHz uint64, t *symtab.Table) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint64(dst, freqHz)
+	var fns []*symtab.Fn
+	if t != nil {
+		fns = t.Fns()
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(fns)))
+	for _, f := range fns {
+		if len(f.Name) > 0xffff {
+			return nil, fmt.Errorf("wire: symbol name too long (%d bytes)", len(f.Name))
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Name)))
+		dst = append(dst, f.Name...)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Base)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Size)
+	}
+	return dst, nil
+}
+
+// DecodeSymtab parses a TSymtab payload into a freshly built table. As in
+// trace.Decode, registration re-derives each base address and the decoded
+// one must match, so Resolve on the rebuilt table behaves identically.
+func DecodeSymtab(p []byte) (freqHz uint64, t *symtab.Table, err error) {
+	if len(p) < 12 {
+		return 0, nil, errPayload(TSymtab, "short header (%d bytes)", len(p))
+	}
+	freqHz = binary.LittleEndian.Uint64(p)
+	if freqHz == 0 {
+		return 0, nil, errPayload(TSymtab, "zero TSC frequency")
+	}
+	n := binary.LittleEndian.Uint32(p[8:])
+	p = p[12:]
+	t = symtab.NewTable()
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 2 {
+			return 0, nil, errPayload(TSymtab, "symbol %d: truncated", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < nameLen+16 {
+			return 0, nil, errPayload(TSymtab, "symbol %d: truncated", i)
+		}
+		name := string(p[:nameLen])
+		base := binary.LittleEndian.Uint64(p[nameLen:])
+		size := binary.LittleEndian.Uint64(p[nameLen+8:])
+		p = p[nameLen+16:]
+		f, rerr := t.Register(name, size)
+		if rerr != nil {
+			return 0, nil, errPayload(TSymtab, "symbol %d: %w", i, rerr)
+		}
+		if f.Base != base {
+			return 0, nil, errPayload(TSymtab, "symbol %q base mismatch: frame %#x, table %#x", name, base, f.Base)
+		}
+	}
+	if len(p) != 0 {
+		return 0, nil, errPayload(TSymtab, "%d trailing bytes", len(p))
+	}
+	return freqHz, t, nil
+}
+
+// AppendMarkers appends a TMarkers payload: a count followed by
+// {ΔTSC varint, item uvarint, core varint, kind byte} per marker.
+func AppendMarkers(dst []byte, ms []trace.Marker) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ms)))
+	prev := uint64(0)
+	for _, m := range ms {
+		dst = binary.AppendVarint(dst, int64(m.TSC-prev))
+		prev = m.TSC
+		dst = binary.AppendUvarint(dst, m.Item)
+		dst = binary.AppendVarint(dst, int64(m.Core))
+		dst = append(dst, byte(m.Kind))
+	}
+	return dst
+}
+
+// DecodeMarkers parses a TMarkers payload, invoking fn per marker in frame
+// order. A callback error aborts the decode.
+func DecodeMarkers(p []byte, fn func(trace.Marker) error) error {
+	n, p, err := uvarint(p)
+	if err != nil {
+		return errPayload(TMarkers, "count: %w", err)
+	}
+	if n > MaxFrameBytes {
+		return errPayload(TMarkers, "absurd count %d", n)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		var m trace.Marker
+		d, rest, err := varint(p)
+		if err != nil {
+			return errPayload(TMarkers, "marker %d tsc: %w", i, err)
+		}
+		m.TSC = prev + uint64(d)
+		prev = m.TSC
+		m.Item, rest, err = uvarint(rest)
+		if err != nil {
+			return errPayload(TMarkers, "marker %d item: %w", i, err)
+		}
+		c, rest, err := varint(rest)
+		if err != nil {
+			return errPayload(TMarkers, "marker %d core: %w", i, err)
+		}
+		if c < -1<<31 || c > 1<<31-1 {
+			return errPayload(TMarkers, "marker %d core %d out of range", i, c)
+		}
+		m.Core = int32(c)
+		if len(rest) < 1 {
+			return errPayload(TMarkers, "marker %d kind: truncated", i)
+		}
+		if k := trace.Kind(rest[0]); k != trace.ItemBegin && k != trace.ItemEnd {
+			return errPayload(TMarkers, "marker %d has invalid kind %d", i, rest[0])
+		}
+		m.Kind = trace.Kind(rest[0])
+		p = rest[1:]
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+	if len(p) != 0 {
+		return errPayload(TMarkers, "%d trailing bytes", len(p))
+	}
+	return nil
+}
+
+// AppendSamples appends a TSamples payload: a count followed by
+// {ΔTSC varint, ip uvarint, core varint, event byte, hasRegs byte,
+// [16]uvarint regs when hasRegs} per sample — the trace.Encode sample
+// layout with delta timestamps and varint fields.
+func AppendSamples(dst []byte, ss []pmu.Sample) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	prev := uint64(0)
+	for i := range ss {
+		sm := &ss[i]
+		dst = binary.AppendVarint(dst, int64(sm.TSC-prev))
+		prev = sm.TSC
+		dst = binary.AppendUvarint(dst, sm.IP)
+		dst = binary.AppendVarint(dst, int64(sm.Core))
+		dst = append(dst, byte(sm.Event))
+		hasRegs := byte(0)
+		for _, r := range sm.Regs {
+			if r != 0 {
+				hasRegs = 1
+				break
+			}
+		}
+		dst = append(dst, hasRegs)
+		if hasRegs == 1 {
+			for _, r := range sm.Regs {
+				dst = binary.AppendUvarint(dst, r)
+			}
+		}
+	}
+	return dst
+}
+
+// DecodeSamples parses a TSamples payload, invoking fn per sample in frame
+// order. A callback error aborts the decode.
+func DecodeSamples(p []byte, fn func(pmu.Sample) error) error {
+	n, p, err := uvarint(p)
+	if err != nil {
+		return errPayload(TSamples, "count: %w", err)
+	}
+	if n > MaxFrameBytes {
+		return errPayload(TSamples, "absurd count %d", n)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		var sm pmu.Sample
+		d, rest, err := varint(p)
+		if err != nil {
+			return errPayload(TSamples, "sample %d tsc: %w", i, err)
+		}
+		sm.TSC = prev + uint64(d)
+		prev = sm.TSC
+		sm.IP, rest, err = uvarint(rest)
+		if err != nil {
+			return errPayload(TSamples, "sample %d ip: %w", i, err)
+		}
+		c, rest, err := varint(rest)
+		if err != nil {
+			return errPayload(TSamples, "sample %d core: %w", i, err)
+		}
+		if c < -1<<31 || c > 1<<31-1 {
+			return errPayload(TSamples, "sample %d core %d out of range", i, c)
+		}
+		sm.Core = int32(c)
+		if len(rest) < 2 {
+			return errPayload(TSamples, "sample %d event/regs flag: truncated", i)
+		}
+		if pmu.Event(rest[0]) >= pmu.NumEvents {
+			return errPayload(TSamples, "sample %d has invalid event %d", i, rest[0])
+		}
+		sm.Event = pmu.Event(rest[0])
+		hasRegs := rest[1]
+		rest = rest[2:]
+		switch hasRegs {
+		case 0:
+		case 1:
+			for j := range sm.Regs {
+				sm.Regs[j], rest, err = uvarint(rest)
+				if err != nil {
+					return errPayload(TSamples, "sample %d reg %d: %w", i, j, err)
+				}
+			}
+		default:
+			return errPayload(TSamples, "sample %d has invalid regs flag %d", i, hasRegs)
+		}
+		p = rest
+		if err := fn(sm); err != nil {
+			return err
+		}
+	}
+	if len(p) != 0 {
+		return errPayload(TSamples, "%d trailing bytes", len(p))
+	}
+	return nil
+}
+
+// SetEnd declares a finished trace set: how many markers and samples the
+// shipper put on the wire for it. The collector compares against what it
+// received — a shortfall is transport loss, to be surfaced, not hidden.
+type SetEnd struct {
+	Markers uint64
+	Samples uint64
+}
+
+// AppendSetEnd appends a TSetEnd payload.
+func AppendSetEnd(dst []byte, e SetEnd) []byte {
+	dst = binary.AppendUvarint(dst, e.Markers)
+	return binary.AppendUvarint(dst, e.Samples)
+}
+
+// DecodeSetEnd parses a TSetEnd payload.
+func DecodeSetEnd(p []byte) (SetEnd, error) {
+	var e SetEnd
+	var err error
+	e.Markers, p, err = uvarint(p)
+	if err != nil {
+		return SetEnd{}, errPayload(TSetEnd, "markers: %w", err)
+	}
+	e.Samples, p, err = uvarint(p)
+	if err != nil {
+		return SetEnd{}, errPayload(TSetEnd, "samples: %w", err)
+	}
+	if len(p) != 0 {
+		return SetEnd{}, errPayload(TSetEnd, "%d trailing bytes", len(p))
+	}
+	return e, nil
+}
+
+// uvarint consumes one unsigned varint from p.
+func uvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad uvarint")
+	}
+	return v, p[n:], nil
+}
+
+// varint consumes one signed varint from p.
+func varint(p []byte) (int64, []byte, error) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad varint")
+	}
+	return v, p[n:], nil
+}

@@ -1,0 +1,175 @@
+// Package wire is the fleet trace-shipping protocol: a length-prefixed,
+// CRC32C-checked framed binary format carrying symbol-table snapshots,
+// marker batches, and PEBS sample batches over a byte stream (TCP in
+// production, a loopback socket or an in-memory pipe in tests).
+//
+// The paper diagnoses one multi-core host; the ROADMAP's production system
+// runs on many. A trace born on a worker machine must reach the central
+// analyzer while it is still fresh, over links that drop, stall, and cut
+// connections mid-frame — so every frame is independently verifiable
+// (length bound + CRC32C) and the record payloads reuse the offline
+// trace.Encode layouts with one transport-only change: timestamps are
+// varint delta-encoded, because consecutive records on a core are close
+// together and the deltas compress an 8-byte TSC to one or two bytes.
+//
+// Stream grammar (shipper → collector):
+//
+//	Hello frame, then after the HelloAck: (Symtab MarkerBatch|SampleBatch... SetEnd)*
+//
+// Frame layout (little endian):
+//
+//	length  uint32   // covers type byte + payload, ≤ MaxFrameBytes
+//	type    uint8
+//	payload [length-1]byte
+//	crc     uint32   // CRC32C (Castagnoli) over type byte + payload
+//
+// A frame that fails the length bound or the checksum is rejected without
+// being interpreted; a frame cut short by a dying connection surfaces as a
+// %w-wrapped io.ErrUnexpectedEOF so the collector can tell a cut ship from
+// a corrupt one.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Type tags a frame's payload interpretation.
+type Type uint8
+
+const (
+	// THello opens a connection: protocol magic, supported version range,
+	// and the shipper's source ID.
+	THello Type = 1
+	// THelloAck answers a Hello with the negotiated version (or a refusal).
+	THelloAck Type = 2
+	// TSymtab starts a trace set: TSC frequency plus the symbol table, in
+	// the trace.Encode symbol-section layout.
+	TSymtab Type = 3
+	// TMarkers carries a batch of instrumentation markers.
+	TMarkers Type = 4
+	// TSamples carries a batch of PEBS samples.
+	TSamples Type = 5
+	// TSetEnd closes a trace set, declaring how many markers and samples
+	// were sent so the collector can account for loss.
+	TSetEnd Type = 6
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case THello:
+		return "hello"
+	case THelloAck:
+		return "helloack"
+	case TSymtab:
+		return "symtab"
+	case TMarkers:
+		return "markers"
+	case TSamples:
+		return "samples"
+	case TSetEnd:
+		return "setend"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// MaxFrameBytes bounds a frame's length field when decoding untrusted
+// input — large enough for a 64k-symbol snapshot, small enough that a
+// corrupt length cannot make the collector allocate gigabytes.
+const MaxFrameBytes = 1 << 24
+
+// ErrChecksum reports a frame whose CRC32C did not match its contents.
+// The framing itself was intact (the length field was believable), so the
+// reader may choose to drop the frame and keep the connection.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// castagnoli is the CRC32C table; PEBS shipping shares the polynomial
+// every storage and network stack uses for exactly this job.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one unit of the protocol: a type tag and its payload bytes.
+type Frame struct {
+	Type    Type
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w: length, type, payload, CRC32C.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload)+1 > MaxFrameBytes {
+		return fmt.Errorf("wire: frame payload too large (%d bytes)", len(f.Payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(f.Payload)+1))
+	hdr[4] = byte(f.Type)
+	crc := crc32.Update(0, castagnoli, hdr[4:5])
+	crc = crc32.Update(crc, castagnoli, f.Payload)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(f.Payload); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice — the allocation-free path the shipper uses to build its queue
+// entries.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Payload)+1))
+	dst = append(dst, byte(f.Type))
+	dst = append(dst, f.Payload...)
+	crc := crc32.Update(0, castagnoli, dst[len(dst)-len(f.Payload)-1:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// ReadFrame reads one frame from r. The returned payload aliases buf when
+// it fits (pass the previous call's buffer to amortize allocation); the
+// second return is the (possibly grown) buffer to reuse.
+//
+// Truncated input — the connection died mid-frame — returns an error
+// wrapping io.ErrUnexpectedEOF. A checksum mismatch returns an error
+// wrapping ErrChecksum. A clean EOF exactly on a frame boundary returns
+// io.EOF unwrapped.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		if err == io.EOF {
+			return Frame{}, buf, io.EOF // clean boundary
+		}
+		return Frame{}, buf, fmt.Errorf("wire: frame length: %w", io.ErrUnexpectedEOF)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	if length == 0 || length > MaxFrameBytes {
+		return Frame{}, buf, fmt.Errorf("wire: absurd frame length %d", length)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return Frame{}, buf, fmt.Errorf("wire: frame type: %w", io.ErrUnexpectedEOF)
+	}
+	n := int(length) - 1
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, buf, fmt.Errorf("wire: frame payload (%d bytes): %w", n, io.ErrUnexpectedEOF)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return Frame{}, buf, fmt.Errorf("wire: frame checksum: %w", io.ErrUnexpectedEOF)
+	}
+	crc := crc32.Update(0, castagnoli, hdr[4:5])
+	crc = crc32.Update(crc, castagnoli, buf)
+	if got := binary.LittleEndian.Uint32(tail[:]); got != crc {
+		return Frame{}, buf, fmt.Errorf("wire: %s frame: %w (stored %#x, computed %#x)",
+			Type(hdr[4]), ErrChecksum, got, crc)
+	}
+	return Frame{Type: Type(hdr[4]), Payload: buf}, buf, nil
+}
