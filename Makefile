@@ -6,11 +6,14 @@
 # symbol-cache (internal/symtab) and the self-telemetry layer
 # (internal/obs, vetted and raced explicitly) are exercised under
 # -race by their tests — a short fuzz smoke of the trace decoder, the
-# integrator, and the wire-frame decoder (see the Fuzz targets for the
-# long-running form), the `fluct -serve` smoke test (ephemeral port,
-# scrapes /metrics and /healthz), and the fleet loopback smoke: a set
-# shipped over real TCP must integrate byte-identically to a local
-# Integrate, including under injected mid-frame connection cuts.
+# integrator, the wire-frame decoder, and the spool recovery scan (see
+# the Fuzz targets for the long-running form), the `fluct -serve` smoke
+# test (ephemeral port, scrapes /metrics and /healthz), the fleet
+# loopback smoke: a set shipped over real TCP must integrate
+# byte-identically to a local Integrate, including under injected
+# mid-frame connection cuts — and the crash-recovery harness: collector
+# killed mid-set and restarted from its checkpoint, shipper killed with
+# a torn spool segment, and the final reports must still be exact.
 # bench runs the hot-path micro/ablation benchmarks with allocation stats.
 # bench-gate enforces two budgets: BenchmarkMicroIntegrate must land
 # within 15% of the absolute baseline recorded in EXPERIMENTS.md, and
@@ -30,9 +33,11 @@ tier2:
 	$(GO) vet ./internal/obs && $(GO) test -race -count 1 ./internal/obs
 	$(GO) test -race -count 1 -run '^TestServe' ./internal/experiments
 	$(GO) test -race -count 1 -run '^TestLoopback' ./internal/collector
+	$(GO) test -race -count 1 -run '^(TestCrashRecoveryEquivalence|TestCheckpointRestartKeepsFleetView)$$' ./internal/collector
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzIntegrate$$' -fuzztime=10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime=10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzSpoolRecover$$' -fuzztime=10s ./internal/spool
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkInstrumentedIntegrate|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .
@@ -41,3 +46,4 @@ bench-gate:
 	$(GO) run ./cmd/benchgate
 	$(GO) run ./cmd/benchgate -bench BenchmarkInstrumentedIntegrate -against BenchmarkMicroIntegrate -threshold 0.03 -count 5
 	$(GO) run ./cmd/benchgate -bench BenchmarkWireEncodeDecode -pkg ./internal/wire -threshold 0.30
+	$(GO) run ./cmd/benchgate -bench BenchmarkSpoolAppend -pkg ./internal/spool -threshold 0.30

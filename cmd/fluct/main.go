@@ -20,6 +20,9 @@
 // locally. -source names this worker in the collector's fleet view,
 // -rounds bounds the run (0 runs until interrupted), and -ship-faults
 // injects network damage (e.g. 'net=cutframe,netrate=0.2') into the link.
+// Add -spool <dir> to make delivery durable: frames are written through a
+// disk-backed spool and retransmitted after crashes or restarts until the
+// collector acknowledges them.
 package main
 
 import (
@@ -50,6 +53,7 @@ func main() {
 		source   = flag.String("source", "", "source ID for -ship (default: hostname-pid)")
 		rounds   = flag.Int("rounds", 0, "rounds to ship with -ship (0: until interrupted)")
 		shpFault = flag.String("ship-faults", "", "network fault spec for the -ship link (e.g. 'net=cutframe,netrate=0.2')")
+		spool    = flag.String("spool", "", "spool -ship frames through this directory for durable at-least-once delivery (empty: in-memory queue only)")
 	)
 	flag.Parse()
 
@@ -60,7 +64,7 @@ func main() {
 				reqs = *requests
 			}
 		})
-		if err := runShip(*shipAddr, *source, *rounds, reqs, *shpFault); err != nil {
+		if err := runShip(*shipAddr, *source, *rounds, reqs, *shpFault, *spool); err != nil {
 			fatal(err)
 		}
 		return
@@ -178,6 +182,12 @@ func main() {
 		}
 		n.Render(w)
 		fmt.Fprintln(w)
+		cr, err := experiments.CrashSweep(nil)
+		if err != nil {
+			fatal(err)
+		}
+		cr.Render(w)
+		fmt.Fprintln(w)
 	}
 	if want("secvc") {
 		ran = true
@@ -196,7 +206,7 @@ func main() {
 // runShip runs the fleet-worker loop: generate rounds, ship each round's
 // trace set to the collector, print the delivery stats. Ctrl-C ends the run
 // gracefully (queued frames drain before exit).
-func runShip(addr, source string, rounds, requests int, faultSpec string) error {
+func runShip(addr, source string, rounds, requests int, faultSpec, spoolDir string) error {
 	if source == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -213,6 +223,7 @@ func runShip(addr, source string, rounds, requests int, faultSpec string) error 
 		Rounds:   rounds,
 		Requests: requests,
 		Faults:   faultSpec,
+		SpoolDir: spoolDir,
 	})
 	st.Render(os.Stdout)
 	if err != nil && ctx.Err() != nil {

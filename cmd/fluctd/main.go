@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	fluctd -listen 127.0.0.1:9000 -http 127.0.0.1:9001
+//	fluctd -listen 127.0.0.1:9000 -http 127.0.0.1:9001 \
+//	       -checkpoint /var/lib/fluctd/checkpoint.json
 //
 // Shippers connect to -listen; operators scrape -http:
 //
@@ -13,8 +14,14 @@
 //	/fleet       the merged cross-host view as JSON
 //	/debug/...   expvar + pprof
 //
-// On SIGINT/SIGTERM the daemon prints a final fleet report to stdout and
-// exits.
+// With -checkpoint set, delivery acknowledgements become durable: the
+// per-source state is checkpointed (atomic rename) before every ack, on
+// the -checkpoint-interval timer, and once more on shutdown, and the next
+// start restores from the file — a daemon bounce keeps /fleet populated
+// and never re-integrates an acknowledged set.
+//
+// On SIGINT/SIGTERM the daemon writes a final checkpoint (when
+// configured), prints a final fleet report to stdout, and exits.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/collector"
 )
@@ -34,10 +42,20 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:9000", "accept fluct -ship connections on this address")
 		httpAd = flag.String("http", "", "serve /metrics /healthz /fleet on this address (empty: no HTTP)")
 		topK   = flag.Int("topk", 10, "how many fleet-wide slowest items the fleet view carries")
+		ckpt   = flag.String("checkpoint", "", "checkpoint per-source state to this file (empty: acks are process-lifetime only)")
+		ckptIv = flag.Duration("checkpoint-interval", 30*time.Second, "also checkpoint on this timer (0: only on acks and shutdown)")
+		idle   = flag.Duration("idle-timeout", 2*time.Minute, "disconnect shippers idle this long (0: never)")
 	)
 	flag.Parse()
 
-	c := collector.New(collector.Config{TopK: *topK})
+	c, err := collector.New(collector.Config{
+		TopK:           *topK,
+		CheckpointPath: *ckpt,
+		IdleTimeout:    *idle,
+	})
+	if err != nil {
+		fatal(err)
+	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
@@ -49,6 +67,17 @@ func main() {
 	if *httpAd != "" {
 		fmt.Fprintf(os.Stderr, "fluctd: serving /metrics /healthz /fleet on http://%s\n", *httpAd)
 		go func() { errc <- http.ListenAndServe(*httpAd, c.Handler()) }()
+	}
+	if *ckpt != "" && *ckptIv > 0 {
+		go func() {
+			t := time.NewTicker(*ckptIv)
+			defer t.Stop()
+			for range t.C {
+				if err := c.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "fluctd:", err)
+				}
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -62,6 +91,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fluctd: %v — final fleet report:\n", s)
 	}
 	l.Close()
+	if err := c.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "fluctd:", err)
+	}
 	c.Fleet().Render(os.Stdout)
 }
 

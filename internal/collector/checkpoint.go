@@ -1,0 +1,206 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// The checkpoint is the collector's restart story: everything a daemon
+// bounce must not forget, serialized per source — the acked-delivery
+// watermarks (so dedup survives and acked sets are never re-integrated),
+// the last completed set's results (so /fleet and /healthz resume
+// populated), and the cumulative accounting. Mid-set integrator state is
+// deliberately absent: acks only ever land on SetEnd frames, so after a
+// restart the shipper replays any partial set from its spool in full and
+// the integrator rebuilds from the replayed TSymtab.
+//
+// The file is written to a temp file in the same directory, fsynced, then
+// renamed over the target — a crash mid-write leaves the previous
+// checkpoint intact, never a torn one.
+
+// checkpointVersion guards the file layout.
+const checkpointVersion = 1
+
+type checkpointFile struct {
+	Version int                `json:"version"`
+	Sources []checkpointSource `json:"sources"`
+}
+
+type checkpointSymbol struct {
+	Name string `json:"name"`
+	Size uint64 `json:"size"`
+}
+
+type checkpointSource struct {
+	ID        string `json:"id"`
+	Epoch     uint64 `json:"epoch"`
+	LastAcked uint64 `json:"last_acked"`
+
+	FreqHz uint64 `json:"freq_hz,omitempty"`
+	// Symbols is the last symbol table in registration order; re-registering
+	// in the same order reproduces the identical deterministic base layout.
+	Symbols []checkpointSymbol `json:"symbols,omitempty"`
+
+	Items []core.Item      `json:"items,omitempty"`
+	Gaps  trace.Gaps       `json:"gaps"`
+	Diag  core.Diagnostics `json:"diag"`
+
+	Sets          uint64  `json:"sets"`
+	AbortedSets   uint64  `json:"aborted_sets"`
+	Frames        uint64  `json:"frames"`
+	CRCErrors     uint64  `json:"crc_errors"`
+	Disconnects   uint64  `json:"disconnects"`
+	LostMarkers   uint64  `json:"lost_markers"`
+	LostSamples   uint64  `json:"lost_samples"`
+	ConfSum       float64 `json:"conf_sum"`
+	ConfN         int     `json:"conf_n"`
+	LastMeanConf  float64 `json:"last_mean_conf"`
+	LastDegraded  bool    `json:"last_degraded"`
+	EverConnected bool    `json:"ever_connected"`
+}
+
+// Checkpoint writes the collector's durable state to cfg.CheckpointPath
+// atomically. It is called before every ack (see HandleConn), on daemon
+// shutdown, and on the daemon's periodic timer.
+func (c *Collector) Checkpoint() error {
+	if c.cfg.CheckpointPath == "" {
+		return fmt.Errorf("collector: no checkpoint path configured")
+	}
+	c.mu.Lock()
+	srcs := make([]*Source, 0, len(c.sources))
+	for _, s := range c.sources {
+		srcs = append(srcs, s)
+	}
+	c.mu.Unlock()
+
+	file := checkpointFile{Version: checkpointVersion}
+	for _, s := range srcs {
+		s.mu.Lock()
+		cs := checkpointSource{
+			ID:            s.ID,
+			Epoch:         s.epoch,
+			LastAcked:     s.lastAcked,
+			FreqHz:        s.freq,
+			Items:         append([]core.Item(nil), s.items...),
+			Gaps:          s.gaps,
+			Diag:          s.diag,
+			Sets:          s.sets,
+			AbortedSets:   s.abortedSets,
+			Frames:        s.frames,
+			CRCErrors:     s.crcErrors,
+			Disconnects:   s.disconnects,
+			LostMarkers:   s.lostMarkers,
+			LostSamples:   s.lostSamples,
+			ConfSum:       s.confSum,
+			ConfN:         s.confN,
+			LastMeanConf:  s.lastMeanConf,
+			LastDegraded:  s.lastDegraded,
+			EverConnected: s.everConnected,
+		}
+		for i := range cs.Items {
+			cs.Items[i].Funcs = append([]core.FuncSpan(nil), cs.Items[i].Funcs...)
+		}
+		if s.syms != nil {
+			for _, fn := range s.syms.Fns() {
+				cs.Symbols = append(cs.Symbols, checkpointSymbol{Name: fn.Name, Size: fn.Size})
+			}
+		}
+		s.mu.Unlock()
+		file.Sources = append(file.Sources, cs)
+	}
+
+	// Serialize writers: two connections acking concurrently must not
+	// interleave temp files.
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	data, err := json.Marshal(file)
+	if err != nil {
+		return fmt.Errorf("collector: checkpoint encode: %w", err)
+	}
+	path := c.cfg.CheckpointPath
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("collector: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("collector: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("collector: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("collector: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("collector: checkpoint rename: %w", err)
+	}
+	c.metCkpts.Inc()
+	return nil
+}
+
+// restoreCheckpoint loads path into the sources map. Called from New
+// before any connection is accepted, so no locking discipline applies yet.
+func (c *Collector) restoreCheckpoint(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file checkpointFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("collector: checkpoint %s: %w", path, err)
+	}
+	if file.Version != checkpointVersion {
+		return fmt.Errorf("collector: checkpoint %s: unsupported version %d", path, file.Version)
+	}
+	for _, cs := range file.Sources {
+		src := &Source{
+			ID:        cs.ID,
+			epoch:     cs.Epoch,
+			lastAcked: cs.LastAcked,
+			// Mid-set progress is never checkpointed: the dedup watermark
+			// resumes at the acked set boundary and the shipper replays
+			// the partial set in full.
+			appliedSeq:    cs.LastAcked,
+			freq:          cs.FreqHz,
+			items:         cs.Items,
+			gaps:          cs.Gaps,
+			diag:          cs.Diag,
+			sets:          cs.Sets,
+			abortedSets:   cs.AbortedSets,
+			frames:        cs.Frames,
+			crcErrors:     cs.CRCErrors,
+			disconnects:   cs.Disconnects,
+			lostMarkers:   cs.LostMarkers,
+			lostSamples:   cs.LostSamples,
+			confSum:       cs.ConfSum,
+			confN:         cs.ConfN,
+			lastMeanConf:  cs.LastMeanConf,
+			lastDegraded:  cs.LastDegraded,
+			everConnected: cs.EverConnected,
+		}
+		if len(cs.Symbols) > 0 {
+			tab := symtab.NewTable()
+			for _, sym := range cs.Symbols {
+				if _, err := tab.Register(sym.Name, sym.Size); err != nil {
+					return fmt.Errorf("collector: checkpoint %s: symbol %q: %w", path, sym.Name, err)
+				}
+			}
+			src.syms = tab
+		}
+		c.sources[cs.ID] = src
+	}
+	c.metSources.SetInt(len(c.sources))
+	return nil
+}

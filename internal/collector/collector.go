@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -36,6 +38,16 @@ type Config struct {
 	// Event selects which hardware event the per-source integrators and
 	// gap scans inspect (default UopsRetired, the paper's workhorse).
 	Event pmu.Event
+	// CheckpointPath, when set, makes delivery acknowledgements durable:
+	// per-source state is checkpointed to this file (atomic tmp + rename)
+	// before every ack, and New restores from it so a collector restart
+	// resumes the fleet view and the dedup watermarks. Empty means acks
+	// only promise process-lifetime durability.
+	CheckpointPath string
+	// IdleTimeout closes a shipper connection that delivers no frame for
+	// this long, freeing collector state from half-dead links (≤ 0
+	// disables; the fluctd daemon defaults it to 2 minutes).
+	IdleTimeout time.Duration
 	// Registry receives the collector's self-telemetry (nil: obs.Default()).
 	Registry *obs.Registry
 }
@@ -46,12 +58,20 @@ type Collector struct {
 
 	mu      sync.Mutex
 	sources map[string]*Source
+	conns   map[net.Conn]struct{}
+
+	ckptMu sync.Mutex // serializes checkpoint file writes
 
 	metConns    *obs.Counter
 	metFrames   *obs.Counter
 	metBytes    *obs.Counter
 	metCRCErrs  *obs.Counter
 	metDiscon   *obs.Counter
+	metIdleDisc *obs.Counter
+	metDups     *obs.Counter
+	metAcks     *obs.Counter
+	metCkpts    *obs.Counter
+	metCkptErrs *obs.Counter
 	metItems    *obs.Counter
 	metSets     *obs.Counter
 	metSources  *obs.Gauge
@@ -66,6 +86,17 @@ type Source struct {
 	ID string
 
 	mu sync.Mutex
+
+	// Acked-delivery state (v2 connections). epoch is the shipper's spool
+	// numbering generation; appliedSeq is the highest sequence number
+	// whose frame has been applied (the dedup watermark); lastAcked is
+	// the highest acknowledged sequence number — it only ever lands on a
+	// SetEnd frame, after the checkpoint write, so retransmission always
+	// restarts at a set boundary and mid-set integrator state never needs
+	// to be serialized.
+	epoch      uint64
+	appliedSeq uint64
+	lastAcked  uint64
 
 	// Current-set decoding state.
 	freq    uint64
@@ -94,8 +125,11 @@ type Source struct {
 	everConnected bool
 }
 
-// New builds a collector.
-func New(cfg Config) *Collector {
+// New builds a collector, restoring per-source state from
+// cfg.CheckpointPath when the file exists. A checkpoint that cannot be
+// read or parsed returns an error rather than silently starting empty —
+// an operator who configured durability should never lose it to a typo.
+func New(cfg Config) (*Collector, error) {
 	if cfg.TopK <= 0 {
 		cfg.TopK = 10
 	}
@@ -106,17 +140,28 @@ func New(cfg Config) *Collector {
 	c := &Collector{
 		cfg:         cfg,
 		sources:     map[string]*Source{},
+		conns:       map[net.Conn]struct{}{},
 		metConns:    reg.Counter("fluct_collector_connections_total"),
 		metFrames:   reg.Counter("fluct_collector_frames_total"),
 		metBytes:    reg.Counter("fluct_collector_bytes_total"),
 		metCRCErrs:  reg.Counter("fluct_collector_crc_errors_total"),
 		metDiscon:   reg.Counter("fluct_collector_disconnects_total"),
+		metIdleDisc: reg.Counter("fluct_collector_idle_disconnects_total"),
+		metDups:     reg.Counter("fluct_collector_duplicate_frames_total"),
+		metAcks:     reg.Counter("fluct_collector_acks_total"),
+		metCkpts:    reg.Counter("fluct_collector_checkpoints_total"),
+		metCkptErrs: reg.Counter("fluct_collector_checkpoint_errors_total"),
 		metItems:    reg.Counter("fluct_collector_items_total"),
 		metSets:     reg.Counter("fluct_collector_sets_total"),
 		metSources:  reg.Gauge("fluct_collector_sources"),
 		metConfHist: reg.Histogram("fluct_collector_item_confidence_x1000"),
 	}
-	return c
+	if cfg.CheckpointPath != "" {
+		if err := c.restoreCheckpoint(cfg.CheckpointPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Serve accepts shipper connections on l until the listener closes. Each
@@ -152,11 +197,57 @@ func (c *Collector) Source(id string) *Source {
 	return c.sources[id]
 }
 
+// CloseConns severs every live shipper connection. The crash-recovery
+// harness uses it (with the listener closed) to kill a collector mid-set;
+// the daemon uses it on shutdown.
+func (c *Collector) CloseConns() {
+	c.mu.Lock()
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}
+
+// Close severs every connection and, when checkpointing is configured,
+// writes a final checkpoint so nothing acknowledged outlives the process
+// only in memory.
+func (c *Collector) Close() error {
+	c.CloseConns()
+	if c.cfg.CheckpointPath == "" {
+		return nil
+	}
+	return c.Checkpoint()
+}
+
+func (c *Collector) trackConn(conn net.Conn, add bool) {
+	c.mu.Lock()
+	if add {
+		c.conns[conn] = struct{}{}
+	} else {
+		delete(c.conns, conn)
+	}
+	c.mu.Unlock()
+}
+
+// connSeq is one connection's sequence-numbering state: data frames after
+// a TSeqStart are implicitly numbered consecutively from it.
+type connSeq struct {
+	active bool
+	epoch  uint64
+	next   uint64
+}
+
 // HandleConn runs one shipper connection to completion: handshake, then
 // frames until the connection dies. Exported so tests and in-process
 // transports can drive the collector without a listener.
 func (c *Collector) HandleConn(conn net.Conn) {
 	defer conn.Close()
+	c.trackConn(conn, true)
+	defer c.trackConn(conn, false)
 	c.metConns.Inc()
 	srcID, _, err := wire.ServerHandshake(conn)
 	if err != nil {
@@ -167,15 +258,38 @@ func (c *Collector) HandleConn(conn net.Conn) {
 	src.everConnected = true
 	src.mu.Unlock()
 
+	var cs connSeq
 	var buf []byte
 	for {
+		if c.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(c.cfg.IdleTimeout))
+		}
 		var f wire.Frame
 		f, buf, err = wire.ReadFrame(conn, buf)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// Nothing arrived for a full IdleTimeout: reclaim the
+				// connection. The shipper redials when it has work.
+				c.metIdleDisc.Inc()
+				return
+			}
 			if errors.Is(err, wire.ErrChecksum) {
-				// Framing survived, the payload did not: drop the frame,
-				// keep the connection. The set-total reconciliation at
-				// SetEnd will surface the hole.
+				if cs.active {
+					// The damaged frame consumed a sequence number whose
+					// contents we cannot account for. Unlike v1 this loss
+					// is recoverable: drop the link and the spool
+					// retransmits everything past the acked watermark.
+					c.metCRCErrs.Inc()
+					c.metDiscon.Inc()
+					src.mu.Lock()
+					src.crcErrors++
+					src.disconnects++
+					src.mu.Unlock()
+					return
+				}
+				// v1: framing survived, the payload did not. Drop the
+				// frame, keep the connection; the set-total reconciliation
+				// at SetEnd will surface the hole.
 				c.metCRCErrs.Inc()
 				src.mu.Lock()
 				src.crcErrors++
@@ -194,14 +308,125 @@ func (c *Collector) HandleConn(conn net.Conn) {
 		}
 		c.metFrames.Inc()
 		c.metBytes.Add(uint64(len(f.Payload)) + 9)
-		if err := c.frame(src, f); err != nil {
-			// A well-framed but uninterpretable payload: count and drop.
+
+		if f.Type == wire.TSeqStart {
+			ss, err := wire.DecodeSeqStart(f.Payload)
+			if err != nil {
+				// A malformed SeqStart leaves the numbering undefined;
+				// nothing on this connection can be trusted to a sequence.
+				c.metCRCErrs.Inc()
+				return
+			}
+			ackSeq := c.seqStart(src, ss)
+			cs = connSeq{active: true, epoch: ss.Epoch, next: ss.FirstSeq}
+			if writeAck(conn, cs.epoch, ackSeq) != nil {
+				return
+			}
+			c.metAcks.Inc()
+			continue
+		}
+		if !cs.active {
+			if err := c.frame(src, f); err != nil {
+				// A well-framed but uninterpretable payload: count and drop.
+				c.metCRCErrs.Inc()
+				src.mu.Lock()
+				src.crcErrors++
+				src.mu.Unlock()
+			}
+			continue
+		}
+
+		// Sequenced path: every data frame consumes the next number.
+		seq := cs.next
+		cs.next++
+		src.mu.Lock()
+		dup := seq <= src.appliedSeq
+		src.mu.Unlock()
+		if dup {
+			// Retransmission of a frame already applied (the ack for it
+			// was lost, or the replay overlaps the watermark): skip it
+			// without touching the integrator.
+			c.metDups.Inc()
+			continue
+		}
+		ferr := c.frame(src, f)
+		src.mu.Lock()
+		src.appliedSeq = seq
+		src.mu.Unlock()
+		if ferr != nil {
+			// The frame arrived intact (CRC passed) but its payload is
+			// undecodable; retransmitting identical bytes cannot help, so
+			// the sequence number is consumed and the frame dropped.
 			c.metCRCErrs.Inc()
 			src.mu.Lock()
 			src.crcErrors++
 			src.mu.Unlock()
+			continue
+		}
+		if f.Type == wire.TSetEnd {
+			// Ack-after-durability: the set is applied; persist before
+			// acknowledging so a crash between the two costs the shipper
+			// only a retransmission, never us an acked-but-lost set.
+			src.mu.Lock()
+			src.lastAcked = seq
+			src.mu.Unlock()
+			if c.cfg.CheckpointPath != "" {
+				if err := c.Checkpoint(); err != nil {
+					// Without durability the ack would lie; withhold it.
+					// The shipper keeps the set spooled and retransmits;
+					// dedup absorbs the replay once checkpointing heals.
+					c.metCkptErrs.Inc()
+					continue
+				}
+			}
+			if writeAck(conn, cs.epoch, seq) != nil {
+				return
+			}
+			c.metAcks.Inc()
 		}
 	}
+}
+
+// writeAck sends a cumulative delivery acknowledgement.
+func writeAck(conn net.Conn, epoch, seq uint64) error {
+	return wire.WriteFrame(conn, wire.Frame{Type: wire.TAck,
+		Payload: wire.AppendAck(nil, wire.Ack{Epoch: epoch, Seq: seq})})
+}
+
+// seqStart applies a connection's TSeqStart to the source's acked-delivery
+// state and returns the watermark to advertise back.
+func (c *Collector) seqStart(src *Source, ss wire.SeqStart) uint64 {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if src.epoch != ss.Epoch {
+		// A new spool generation (wiped spool directory, or first contact
+		// from this source): old sequence numbers mean nothing anymore,
+		// and an in-flight set from the old generation will never see its
+		// SetEnd.
+		if src.integ != nil {
+			src.abortedSets++
+			c.finishSetLocked(src, wire.SetEnd{})
+		}
+		src.epoch = ss.Epoch
+		src.appliedSeq = 0
+		src.lastAcked = 0
+	}
+	if ss.FirstSeq > src.appliedSeq+1 {
+		// The shipper resumes past our watermark — we lost state it was
+		// told we had (restart without a checkpoint), or its spool
+		// truncated frames we never saw. Those frames are gone for good;
+		// resync forward rather than wedge waiting for them.
+		src.appliedSeq = ss.FirstSeq - 1
+		if src.lastAcked < src.appliedSeq {
+			src.lastAcked = src.appliedSeq
+		}
+		if src.integ != nil {
+			// The in-flight set straddles the gap and cannot complete.
+			src.abortedSets++
+			c.finishSetLocked(src, wire.SetEnd{})
+		}
+	}
+	return src.lastAcked
 }
 
 // frame applies one verified frame to the source's state.
@@ -306,6 +531,21 @@ func (c *Collector) finishSetLocked(src *Source, declared wire.SetEnd) {
 
 	c.metSets.Inc()
 	c.metItems.Add(uint64(len(src.items)))
+}
+
+// Epoch returns the source's spool numbering epoch (0 before any v2
+// connection).
+func (s *Source) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// LastAcked returns the highest sequence number acknowledged to the source.
+func (s *Source) LastAcked() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAcked
 }
 
 // Sets returns how many complete trace sets the source has delivered.

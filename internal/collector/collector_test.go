@@ -64,7 +64,10 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // TestFleetTopK: items from several sources merge into one slowest-first
 // list with source tags, cross-host comparable in microseconds.
 func TestFleetTopK(t *testing.T) {
-	c := New(Config{TopK: 2, Registry: obs.NewRegistry()})
+	c, err := New(Config{TopK: 2, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, spec := range []struct {
 		source  string
 		elapsed uint64
@@ -106,7 +109,10 @@ func TestFleetTopK(t *testing.T) {
 // symtab is counted, not crashed, and the connection survives for the
 // retry.
 func TestProtocolErrorsTolerated(t *testing.T) {
-	c := New(Config{Registry: obs.NewRegistry()})
+	c, err := New(Config{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	conn := pipeSource(t, c, "confused")
 	ms := []trace.Marker{{Item: 1, TSC: 10, Kind: trace.ItemBegin}}
 	sendFrame(t, conn, wire.Frame{Type: wire.TMarkers, Payload: wire.AppendMarkers(nil, ms)})
@@ -130,7 +136,10 @@ func TestProtocolErrorsTolerated(t *testing.T) {
 // set is open) finalizes the half-delivered set as aborted instead of
 // wedging or leaking the integrator.
 func TestSymtabMidSetFinalizesPrevious(t *testing.T) {
-	c := New(Config{Registry: obs.NewRegistry()})
+	c, err := New(Config{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	conn := pipeSource(t, c, "restarter")
 	tab := symtab.NewTable()
 	tab.MustRegister("f", 256)
@@ -160,7 +169,10 @@ func TestSymtabMidSetFinalizesPrevious(t *testing.T) {
 // TestHealthDegradedOnTransportLoss: a SetEnd declaring more records than
 // arrived flips the source and the fleet /healthz verdict to degraded.
 func TestHealthDegradedOnTransportLoss(t *testing.T) {
-	c := New(Config{Registry: obs.NewRegistry()})
+	c, err := New(Config{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	conn := pipeSource(t, c, "lossy")
 	tab := symtab.NewTable()
 	tab.MustRegister("f", 256)

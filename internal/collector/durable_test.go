@@ -1,0 +1,270 @@
+package collector
+
+import (
+	"bytes"
+	"cmp"
+	"net"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pmu"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// rawSetFrames encodes one trace set as the frame sequence ShipSet would
+// produce: symtab, then marker/sample runs in per-core timestamp order
+// (markers before samples at equal timestamps), then SetEnd.
+func rawSetFrames(t testing.TB, set *trace.Set) []wire.Frame {
+	t.Helper()
+	symPayload, err := wire.AppendSymtab(nil, set.FreqHz, set.Syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []wire.Frame{{Type: wire.TSymtab, Payload: symPayload}}
+
+	type ev struct {
+		tsc    uint64
+		core   int32
+		marker int32
+		sample int32
+	}
+	evs := make([]ev, 0, len(set.Markers)+len(set.Samples))
+	for i := range set.Markers {
+		evs = append(evs, ev{tsc: set.Markers[i].TSC, core: set.Markers[i].Core, marker: int32(i), sample: -1})
+	}
+	for i := range set.Samples {
+		evs = append(evs, ev{tsc: set.Samples[i].TSC, core: set.Samples[i].Core, marker: -1, sample: int32(i)})
+	}
+	slices.SortStableFunc(evs, func(a, b ev) int {
+		if c := cmp.Compare(a.core, b.core); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.tsc, b.tsc)
+	})
+	var markerRun []trace.Marker
+	var sampleRun []pmu.Sample
+	flush := func() {
+		if len(markerRun) > 0 {
+			frames = append(frames, wire.Frame{Type: wire.TMarkers, Payload: wire.AppendMarkers(nil, markerRun)})
+			markerRun = nil
+		}
+		if len(sampleRun) > 0 {
+			frames = append(frames, wire.Frame{Type: wire.TSamples, Payload: wire.AppendSamples(nil, sampleRun)})
+			sampleRun = nil
+		}
+	}
+	for _, e := range evs {
+		if e.marker >= 0 {
+			if len(sampleRun) > 0 {
+				flush()
+			}
+			markerRun = append(markerRun, set.Markers[e.marker])
+		} else {
+			if len(markerRun) > 0 {
+				flush()
+			}
+			sampleRun = append(sampleRun, set.Samples[e.sample])
+		}
+	}
+	flush()
+	return append(frames, wire.Frame{Type: wire.TSetEnd, Payload: wire.AppendSetEnd(nil, wire.SetEnd{
+		Markers: uint64(len(set.Markers)), Samples: uint64(len(set.Samples)),
+	})})
+}
+
+// TestIdleTimeout: a connection that handshakes and then goes silent must
+// be disconnected after IdleTimeout and counted, so half-dead links cannot
+// pin collector state forever.
+func TestIdleTimeout(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr := startCollector(t, Config{Registry: reg, IdleTimeout: 50 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := wire.ClientHandshake(conn, "idler"); err != nil {
+		t.Fatal(err)
+	}
+	// Sit silent. The collector must hang up on us.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Fatal("collector sent unexpected bytes to an idle v1 connection")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("collector never disconnected the idle connection")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("fluct_collector_idle_disconnects_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle disconnect not counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestV1RawInterop: a hand-rolled version-1 shipper — no TSeqStart, no ack
+// expectations — must still integrate, and the collector must never send
+// it a single byte after the HelloAck: v1 peers cannot be shown v2 frames.
+func TestV1RawInterop(t *testing.T) {
+	set := workloadSet(t, 40)
+	coll, addr := startCollector(t, Config{})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Hand-rolled v1-only handshake.
+	hello, err := wire.AppendHello(nil, wire.Hello{MinVersion: 1, MaxVersion: 1, Source: "legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, wire.Frame{Type: wire.THello, Payload: hello}); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := wire.DecodeHelloAck(f.Payload)
+	if err != nil || !ack.OK {
+		t.Fatalf("helloack %+v, err %v", ack, err)
+	}
+	if ack.Version != 1 {
+		t.Fatalf("negotiated version %d with a v1-only shipper, want 1", ack.Version)
+	}
+
+	// Ship one set as raw v1 frames, in the per-core timestamp order the
+	// StreamIntegrator requires (the order ShipSet produces).
+	for _, fr := range rawSetFrames(t, set) {
+		if err := wire.WriteFrame(conn, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src := waitSets(t, coll, "legacy", 1, 10*time.Second)
+	if src.LastAcked() != 0 || src.Epoch() != 0 {
+		t.Fatalf("v1 connection moved seq state: epoch %d, lastAcked %d", src.Epoch(), src.LastAcked())
+	}
+
+	// The collector must have written nothing since the HelloAck.
+	_ = conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	var one [1]byte
+	if n, err := conn.Read(one[:]); err == nil || n > 0 {
+		t.Fatalf("collector sent %d unsolicited byte(s) to a v1 peer", n)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("expected a read timeout (silence), got %v", err)
+	}
+
+	// And the integration must match a local pass exactly.
+	local, err := core.Integrate(set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	RenderItems(&got, src.FreqHz(), src.Items())
+	RenderItems(&want, local.FreqHz, local.Items)
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("v1 raw ship differs from local Integrate: %s", firstDiff(got.String(), want.String()))
+	}
+}
+
+// TestSeqStartResync: a shipper resuming past the collector's watermark
+// (the collector lost unreplayable state) must resync forward instead of
+// wedging, and duplicate frames below the watermark must be skipped.
+func TestSeqStartResync(t *testing.T) {
+	reg := obs.NewRegistry()
+	coll, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := coll.source("s")
+
+	// First contact at epoch 9, resuming from seq 41.
+	if got := coll.seqStart(src, wire.SeqStart{Epoch: 9, FirstSeq: 41}); got != 40 {
+		t.Fatalf("advertised watermark %d, want 40 (resynced to FirstSeq-1)", got)
+	}
+	if src.Epoch() != 9 || src.LastAcked() != 40 {
+		t.Fatalf("state epoch=%d lastAcked=%d, want 9/40", src.Epoch(), src.LastAcked())
+	}
+
+	// Same epoch, overlap replay: watermark must not move backward.
+	if got := coll.seqStart(src, wire.SeqStart{Epoch: 9, FirstSeq: 30}); got != 40 {
+		t.Fatalf("advertised watermark %d after overlap replay, want 40", got)
+	}
+
+	// New epoch: the numbering resets.
+	if got := coll.seqStart(src, wire.SeqStart{Epoch: 10, FirstSeq: 1}); got != 0 {
+		t.Fatalf("advertised watermark %d after epoch change, want 0", got)
+	}
+}
+
+// TestCheckpointRoundTrip: Checkpoint → New must reproduce the fleet view
+// and the acked-delivery watermarks bit-for-bit at the rendered-report
+// level, with the symbol table rebuilt on the same deterministic bases.
+func TestCheckpointRoundTrip(t *testing.T) {
+	set := workloadSet(t, 40)
+	path := t.TempDir() + "/checkpoint.json"
+	a, err := New(Config{CheckpointPath: path, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := a.source("w1")
+	src.mu.Lock()
+	src.everConnected = true
+	src.mu.Unlock()
+	for _, fr := range rawSetFrames(t, set) {
+		if err := a.frame(src, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.mu.Lock()
+	src.epoch, src.appliedSeq, src.lastAcked = 77, 5, 5
+	src.mu.Unlock()
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := New(Config{CheckpointPath: path, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrc := b.Source("w1")
+	if rsrc == nil {
+		t.Fatal("source not restored")
+	}
+	if rsrc.Epoch() != 77 || rsrc.LastAcked() != 5 || rsrc.Sets() != 1 {
+		t.Fatalf("restored epoch=%d lastAcked=%d sets=%d, want 77/5/1",
+			rsrc.Epoch(), rsrc.LastAcked(), rsrc.Sets())
+	}
+	var before, after bytes.Buffer
+	RenderItems(&before, src.FreqHz(), src.Items())
+	RenderItems(&after, rsrc.FreqHz(), rsrc.Items())
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("restored items differ: %s", firstDiff(after.String(), before.String()))
+	}
+	// The rebuilt symbol table must land on identical deterministic bases.
+	rsrc.mu.Lock()
+	fns, rfns := src.syms.Fns(), rsrc.syms.Fns()
+	rsrc.mu.Unlock()
+	if len(fns) != len(rfns) {
+		t.Fatalf("symbols %d vs %d", len(fns), len(rfns))
+	}
+	for i := range fns {
+		if fns[i].Name != rfns[i].Name || fns[i].Base != rfns[i].Base || fns[i].Size != rfns[i].Size {
+			t.Fatalf("symbol %d: %+v vs %+v", i, fns[i], rfns[i])
+		}
+	}
+	// The fleet views agree.
+	av, bv := a.Fleet(), b.Fleet()
+	if len(bv.Sources) != 1 || bv.Sources[0] != av.Sources[0] {
+		t.Fatalf("fleet summary drifted: %+v vs %+v", av.Sources, bv.Sources)
+	}
+}

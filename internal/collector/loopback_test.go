@@ -64,7 +64,10 @@ func startCollector(t testing.TB, cfg Config) (*Collector, string) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
-	c := New(cfg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -342,3 +342,34 @@ func TestFaultSweepShape(t *testing.T) {
 		t.Error("render missing columns")
 	}
 }
+
+func TestCrashSweepShape(t *testing.T) {
+	r, err := CrashSweep([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	// The durability contract: the crashed rung's final accounting is
+	// indistinguishable from the crash-free rung's.
+	for _, row := range r.Rows {
+		if row.SetsDelivered != uint64(row.SetsGenerated) {
+			t.Errorf("kills=%d: delivered %d of %d sets", row.Kills, row.SetsDelivered, row.SetsGenerated)
+		}
+		if row.ItemsDelivered != row.ItemsGenerated {
+			t.Errorf("kills=%d: delivered %d of %d items", row.Kills, row.ItemsDelivered, row.ItemsGenerated)
+		}
+		if row.LostRecords != 0 || row.AbortedSets != 0 {
+			t.Errorf("kills=%d: lost=%d aborted=%d", row.Kills, row.LostRecords, row.AbortedSets)
+		}
+		if !row.ReportExact {
+			t.Errorf("kills=%d: final report differs from local Integrate", row.Kills)
+		}
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "kills") || !strings.Contains(sb.String(), "exact") {
+		t.Error("render missing columns")
+	}
+}

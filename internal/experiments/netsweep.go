@@ -70,7 +70,10 @@ func netSweepOne(rate float64, requests int) (NetSweepRow, error) {
 	row := NetSweepRow{CutRate: rate}
 
 	collReg := obs.NewRegistry()
-	coll := collector.New(collector.Config{Registry: collReg})
+	coll, err := collector.New(collector.Config{Registry: collReg})
+	if err != nil {
+		return row, err
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return row, err

@@ -31,6 +31,10 @@ type ShipConfig struct {
 	// plan (faults.ParsePlan syntax, net= keys) so shipping can be exercised
 	// over a damaged link.
 	Faults string
+	// SpoolDir makes delivery durable: frames are written through a
+	// disk-backed spool and retransmitted until acked, surviving worker
+	// restarts. Empty keeps the in-memory drop-oldest queue only.
+	SpoolDir string
 	// Registry receives the shipper's self-telemetry (nil: obs.Default()).
 	Registry *obs.Registry
 }
@@ -42,8 +46,10 @@ type ShipStats struct {
 	Bytes      uint64
 	Dropped    uint64
 	Reconnects uint64
-	// Undelivered counts frames still queued when the final drain deadline
-	// expired — nonzero means the collector did not receive the whole run.
+	// Undelivered counts frames not yet delivered (spooled runs: not yet
+	// acked) when the final drain deadline expired — nonzero means the
+	// collector did not confirm the whole run. With a spool those frames
+	// survive on disk and a restarted worker retransmits them.
 	Undelivered uint64
 }
 
@@ -81,6 +87,7 @@ func ShipRounds(ctx context.Context, cfg ShipConfig) (ShipStats, error) {
 		Addr:       cfg.Addr,
 		Source:     cfg.Source,
 		Registry:   reg,
+		SpoolDir:   cfg.SpoolDir,
 		BackoffMin: 10 * time.Millisecond,
 		BackoffMax: time.Second,
 	}
@@ -139,7 +146,7 @@ func ShipRounds(ctx context.Context, cfg ShipConfig) (ShipStats, error) {
 	drainCtx, drainCancel := context.WithTimeout(context.Background(), 30*time.Second)
 	_ = s.Drain(drainCtx)
 	drainCancel()
-	st.Undelivered = uint64(s.QueueDepth())
+	st.Undelivered = s.PendingFrames()
 	cancel()
 	<-done
 

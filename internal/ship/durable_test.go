@@ -1,0 +1,419 @@
+package ship
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// setEndFrame builds a small distinguishable data frame for queue tests.
+func setEndFrame(n uint64) wire.Frame {
+	return wire.Frame{Type: wire.TSetEnd, Payload: wire.AppendSetEnd(nil, wire.SetEnd{Markers: n})}
+}
+
+// ackRec records what a test collector observed.
+type ackRec struct {
+	mu     sync.Mutex
+	starts []wire.SeqStart
+	nData  int
+}
+
+func (r *ackRec) dataFrames() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nData
+}
+
+func (r *ackRec) seqStarts() []wire.SeqStart {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]wire.SeqStart(nil), r.starts...)
+}
+
+// serveAcks plays a v2 collector: handshake, then acknowledge every data
+// frame cumulatively. ackAfter bounds how many data frames it acks before
+// hanging up (< 0: serve until the connection dies).
+func serveAcks(conn net.Conn, rec *ackRec, ackAfter int) {
+	defer conn.Close()
+	if _, _, err := wire.ServerHandshake(conn); err != nil {
+		return
+	}
+	var buf []byte
+	var epoch, seq uint64
+	acked := 0
+	for {
+		f, b, err := wire.ReadFrame(conn, buf)
+		if err != nil {
+			return
+		}
+		buf = b
+		if f.Type == wire.TSeqStart {
+			ss, err := wire.DecodeSeqStart(f.Payload)
+			if err != nil {
+				return
+			}
+			rec.mu.Lock()
+			rec.starts = append(rec.starts, ss)
+			rec.mu.Unlock()
+			epoch, seq = ss.Epoch, ss.FirstSeq-1
+			if err := wire.WriteFrame(conn, wire.Frame{Type: wire.TAck,
+				Payload: wire.AppendAck(nil, wire.Ack{Epoch: epoch, Seq: seq})}); err != nil {
+				return
+			}
+			continue
+		}
+		seq++
+		rec.mu.Lock()
+		rec.nData++
+		rec.mu.Unlock()
+		if err := wire.WriteFrame(conn, wire.Frame{Type: wire.TAck,
+			Payload: wire.AppendAck(nil, wire.Ack{Epoch: epoch, Seq: seq})}); err != nil {
+			return
+		}
+		acked++
+		if ackAfter >= 0 && acked >= ackAfter {
+			return
+		}
+	}
+}
+
+// serveV1 plays an old collector: it forces version 1 in the handshake and
+// never acknowledges anything, recording every frame type it sees.
+func serveV1(conn net.Conn, rec *ackRec) {
+	defer conn.Close()
+	f, _, err := wire.ReadFrame(conn, nil)
+	if err != nil || f.Type != wire.THello {
+		return
+	}
+	if _, err := wire.DecodeHello(f.Payload); err != nil {
+		return
+	}
+	if err := wire.WriteFrame(conn, wire.Frame{Type: wire.THelloAck,
+		Payload: wire.AppendHelloAck(nil, wire.HelloAck{OK: true, Version: 1})}); err != nil {
+		return
+	}
+	var buf []byte
+	for {
+		f, b, err := wire.ReadFrame(conn, buf)
+		if err != nil {
+			return
+		}
+		buf = b
+		rec.mu.Lock()
+		if f.Type == wire.TSeqStart {
+			rec.starts = append(rec.starts, wire.SeqStart{})
+		} else {
+			rec.nData++
+		}
+		rec.mu.Unlock()
+	}
+}
+
+// TestBackoffNotResetByAcceptAndClose: a listener that completes the
+// handshake and immediately hangs up must NOT collapse the reconnect
+// backoff — the reset requires a first successful frame write. The old
+// behavior (reset on any successful handshake) turned such a listener
+// into a hot reconnect loop at BackoffMin.
+func TestBackoffNotResetByAcceptAndClose(t *testing.T) {
+	var dials int32
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		atomic.AddInt32(&dials, 1)
+		server, client := net.Pipe()
+		go func() {
+			// Malicious/broken far end: handshake, then drop the line
+			// before a single frame can land.
+			_, _, _ = wire.ServerHandshake(server)
+			server.Close()
+		}()
+		return client, nil
+	}
+	s, err := New(Config{
+		Addr: "x", Source: "hostA", Dial: dial,
+		BackoffMin: 10 * time.Millisecond, BackoffMax: time.Second,
+		JitterSeed: 99, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnqueueFrame(setEndFrame(1))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_ = s.Run(ctx)
+
+	// With exponential growth from 10ms (jitter ≥ 0.5×), the waits sum
+	// past the 200ms window within ~6 attempts. The regression resets to
+	// BackoffMin on every handshake, yielding ≥ 13 dials here.
+	if n := atomic.LoadInt32(&dials); n > 9 {
+		t.Fatalf("%d dials in 200ms window: backoff was reset by a connection that never carried a frame", n)
+	}
+}
+
+// TestJitteredWaitBounds: 10k seeded draws per nominal step — every wait
+// stays within ±50% of nominal and never exceeds BackoffMax.
+func TestJitteredWaitBounds(t *testing.T) {
+	s, err := New(Config{
+		Addr: "x", Source: "hostA",
+		BackoffMin: 50 * time.Millisecond, BackoffMax: 5 * time.Second,
+		JitterSeed: 12345, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nominal := range []time.Duration{
+		50 * time.Millisecond, 200 * time.Millisecond, time.Second, 4 * time.Second,
+	} {
+		lo, hi := nominal/2, nominal+nominal/2
+		if hi > s.cfg.BackoffMax {
+			hi = s.cfg.BackoffMax
+		}
+		for i := 0; i < 10_000; i++ {
+			w := s.jitteredWait(nominal)
+			if w < lo || w > hi {
+				t.Fatalf("draw %d at nominal %v: wait %v outside [%v, %v]", i, nominal, w, lo, hi)
+			}
+		}
+	}
+}
+
+// TestSpoolWriteThroughEviction: with a spool, queue overflow evicts only
+// the in-memory cache copy — nothing is dropped, every frame stays
+// replayable from disk.
+func TestSpoolWriteThroughEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		Addr: "x", Source: "hostA", QueueFrames: 3,
+		SpoolDir: t.TempDir(), SpoolEpoch: 7, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !s.EnqueueFrame(setEndFrame(uint64(i))) {
+			t.Fatal("enqueue refused")
+		}
+	}
+	if depth := s.QueueDepth(); depth != 3 {
+		t.Fatalf("cache depth %d, want 3", depth)
+	}
+	if got := s.PendingFrames(); got != 5 {
+		t.Fatalf("pending %d, want 5 (evicted frames must stay spooled)", got)
+	}
+	if drops := reg.Counter("fluct_ship_dropped_frames_total").Value(); drops != 0 {
+		t.Fatalf("dropped %d, want 0: spooled overflow is eviction, not loss", drops)
+	}
+	if ev := reg.Counter("fluct_ship_cache_evictions_total").Value(); ev != 2 {
+		t.Fatalf("evictions %d, want 2", ev)
+	}
+}
+
+// TestSpooledAckedDelivery: against a v2 collector every spooled frame is
+// delivered, acknowledged, and reclaimed from disk — including cache-
+// evicted frames, which must be replayed from the spool.
+func TestSpooledAckedDelivery(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := &ackRec{}
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		server, client := net.Pipe()
+		go serveAcks(server, rec, -1)
+		return client, nil
+	}
+	s, err := New(Config{
+		Addr: "x", Source: "hostA", Dial: dial, QueueFrames: 2,
+		SpoolDir: t.TempDir(), SpoolEpoch: 7,
+		BackoffMin: time.Millisecond, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s.EnqueueFrame(setEndFrame(uint64(i)))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+
+	if got := rec.dataFrames(); got != 6 {
+		t.Fatalf("collector saw %d data frames, want 6", got)
+	}
+	starts := rec.seqStarts()
+	if len(starts) != 1 || starts[0].Epoch != 7 || starts[0].FirstSeq != 1 {
+		t.Fatalf("seqstarts %+v, want one {epoch 7, first 1}", starts)
+	}
+	if got := s.PendingFrames(); got != 0 {
+		t.Fatalf("pending %d after drain, want 0", got)
+	}
+	if got := reg.Gauge("fluct_ship_acked_seq").Value(); got != 6 {
+		t.Fatalf("acked seq gauge %v, want 6", got)
+	}
+}
+
+// TestSpooledResumeAfterReconnect: when the collector dies after acking a
+// prefix, the next connection must announce resumption exactly at the
+// acked watermark and retransmit only the unacked tail.
+func TestSpooledResumeAfterReconnect(t *testing.T) {
+	rec := &ackRec{}
+	var s *Shipper
+	var dialN int32
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		server, client := net.Pipe()
+		if atomic.AddInt32(&dialN, 1) == 1 {
+			go serveAcks(server, rec, 2) // ack frames 1–2, then hang up
+			return client, nil
+		}
+		// Make the resume point deterministic: wait for both acks from
+		// the first connection to be applied before offering the second.
+		deadline := time.Now().Add(5 * time.Second)
+		for s.PendingFrames() != 3 {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("first connection's acks never applied")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		go serveAcks(server, rec, -1)
+		return client, nil
+	}
+	s, err := New(Config{
+		Addr: "x", Source: "hostA", Dial: dial,
+		SpoolDir: t.TempDir(), SpoolEpoch: 7,
+		BackoffMin: time.Millisecond, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.EnqueueFrame(setEndFrame(uint64(i)))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+
+	starts := rec.seqStarts()
+	if len(starts) != 2 {
+		t.Fatalf("%d seqstarts, want 2 (one per connection): %+v", len(starts), starts)
+	}
+	if starts[0].FirstSeq != 1 || starts[1].FirstSeq != 3 {
+		t.Fatalf("resume points %+v, want first 1 then 3 (acked watermark + 1)", starts)
+	}
+	if got := s.PendingFrames(); got != 0 {
+		t.Fatalf("pending %d after drain, want 0", got)
+	}
+}
+
+// TestShipperRestartResume: a shipper that crashes before ever connecting
+// (no Close, no Run) must leave its frames on disk; a new shipper over
+// the same spool directory inherits the epoch and delivers everything.
+func TestShipperRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	a, err := New(Config{Addr: "x", Source: "hostA", SpoolDir: dir, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a.EnqueueFrame(setEndFrame(uint64(i)))
+	}
+	epoch := a.Epoch()
+	// Crash: a is abandoned — no Close, no Drain, its spool never
+	// finalized. Append's flush-per-frame is what makes this safe.
+
+	rec := &ackRec{}
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		server, client := net.Pipe()
+		go serveAcks(server, rec, -1)
+		return client, nil
+	}
+	b, err := New(Config{
+		Addr: "x", Source: "hostA", Dial: dial, SpoolDir: dir,
+		BackoffMin: time.Millisecond, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch() != epoch {
+		t.Fatalf("epoch changed across restart: %d → %d", epoch, b.Epoch())
+	}
+	if got := b.PendingFrames(); got != 3 {
+		t.Fatalf("pending after restart %d, want 3", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- b.Run(ctx) }()
+	if err := b.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+
+	if got := rec.dataFrames(); got != 3 {
+		t.Fatalf("collector saw %d data frames, want 3", got)
+	}
+	if starts := rec.seqStarts(); len(starts) != 1 || starts[0].FirstSeq != 1 || starts[0].Epoch != epoch {
+		t.Fatalf("seqstarts %+v, want one {epoch %d, first 1}", starts, epoch)
+	}
+}
+
+// TestV1PeerSelfAck: a spooled shipper talking to a v1 collector must
+// never emit TSeqStart, must reclaim disk on successful writes (the only
+// delivery signal v1 has), and must still drain.
+func TestV1PeerSelfAck(t *testing.T) {
+	rec := &ackRec{}
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		server, client := net.Pipe()
+		go serveV1(server, rec)
+		return client, nil
+	}
+	s, err := New(Config{
+		Addr: "x", Source: "hostA", Dial: dial,
+		SpoolDir: t.TempDir(), SpoolEpoch: 7,
+		BackoffMin: time.Millisecond, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.EnqueueFrame(setEndFrame(uint64(i)))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+
+	if got := rec.dataFrames(); got != 4 {
+		t.Fatalf("v1 collector saw %d data frames, want 4", got)
+	}
+	if starts := rec.seqStarts(); len(starts) != 0 {
+		t.Fatalf("v1 collector saw %d seqstart frames, want 0 — v1 peers must never see v2 frame types", len(starts))
+	}
+	if got := s.PendingFrames(); got != 0 {
+		t.Fatalf("pending %d after drain against v1, want 0", got)
+	}
+}

@@ -1,7 +1,7 @@
 // Package ship is the worker-side trace shipping agent: it turns finished
 // (or live) trace sets into wire frames, queues them behind a bounded
-// drop-oldest buffer, and pushes them to the central collector over TCP,
-// reconnecting with jittered exponential backoff when the link dies.
+// buffer, and pushes them to the central collector over TCP, reconnecting
+// with jittered exponential backoff when the link dies.
 //
 // The queue policy is the paper's own collection philosophy applied to the
 // network: never stall the instrumented workload. When the collector is
@@ -9,6 +9,17 @@
 // telemetry is the cheapest telemetry to lose — and counts every drop in
 // the obs registry (fluct_ship_dropped_frames_total), so degradation is
 // visible, never silent.
+//
+// With Config.SpoolDir set the shipper is additionally durable: every
+// frame is written through to a disk-backed segment log (internal/spool)
+// before it is eligible for transmission, the in-memory queue becomes a
+// cache over the spool, and against a v2 collector frames are deleted
+// from disk only once the collector acknowledges them as durably applied.
+// A shipper restart retransmits everything unacknowledged — delivery
+// becomes at-least-once, with the collector deduplicating by
+// (source, epoch, seq). Against a v1 collector the spool still protects
+// frames never yet written to a socket, but delivery degrades to the
+// fire-and-forget contract v1 always had.
 package ship
 
 import (
@@ -19,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/spool"
 	"repro/internal/wire"
 )
 
@@ -38,14 +50,30 @@ type Config struct {
 	// cheaper.
 	BatchRecords int
 	// QueueFrames bounds the outbound frame queue (default 1024). When
-	// full, the oldest queued frame is dropped and counted.
+	// full without a spool, the oldest queued frame is dropped and
+	// counted; with a spool the queue is only a cache, so overflow evicts
+	// the oldest cache entry while the frame stays replayable from disk.
 	QueueFrames int
+	// SpoolDir enables durable at-least-once shipping: frames are written
+	// through to a disk spool here before transmission and deleted only
+	// once acknowledged (see the package comment). Empty disables
+	// spooling and keeps the v1 fire-and-forget behavior.
+	SpoolDir string
+	// SpoolSegmentBytes is the spool's segment rotation bound
+	// (default 1 MiB).
+	SpoolSegmentBytes int
+	// SpoolEpoch pins a fresh spool's numbering epoch (tests only;
+	// default: time-derived, unique per spool generation).
+	SpoolEpoch uint64
 	// Dial opens the connection (default net.Dialer over TCP).
 	Dial DialFunc
 	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 50ms
 	// and 5s). Each failed attempt doubles the wait up to BackoffMax,
 	// with ±50% deterministic jitter so a fleet of shippers restarting
-	// together does not reconnect in lockstep.
+	// together does not reconnect in lockstep. The backoff resets only
+	// after a connection proves useful — handshake completed AND a first
+	// frame written — so a listener that accepts and drops connections
+	// cannot collapse the backoff and induce a hot reconnect loop.
 	BackoffMin, BackoffMax time.Duration
 	// JitterSeed seeds the backoff jitter (default: derived from Source),
 	// keeping reconnect schedules deterministic per shipper.
@@ -60,27 +88,40 @@ type Config struct {
 type Shipper struct {
 	cfg Config
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []queued // FIFO: queue[0] is oldest
-	closed bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []queued // FIFO: queue[0] is oldest; contiguous by seq when spooled
+	closed    bool
+	nextSend  uint64 // spool mode: seq of the next frame to transmit
+	lastAcked uint64 // spool mode: highest acked seq (v2: by collector, v1: by write)
+	highSent  uint64 // spool mode: highest seq ever written to a socket
+
+	spl *spool.Spool
+	rec spool.Recovery
 
 	metQueue      *obs.Gauge
 	metDropped    *obs.Counter
+	metEvicted    *obs.Counter
 	metReconnects *obs.Counter
 	metFrames     *obs.Counter
 	metBytes      *obs.Counter
 	metSets       *obs.Counter
+	metRetrans    *obs.Counter
+	metAcked      *obs.Gauge
+	metSpoolErrs  *obs.Counter
 
 	rng splitmix64
 }
 
-// queued is one encoded frame awaiting transmission.
+// queued is one encoded frame awaiting transmission. seq is 0 when the
+// shipper runs without a spool.
 type queued struct {
+	seq   uint64
 	bytes []byte
 }
 
-// New validates cfg and builds a shipper.
+// New validates cfg and builds a shipper, opening (and recovering) the
+// spool when cfg.SpoolDir is set.
 func New(cfg Config) (*Shipper, error) {
 	if cfg.Source == "" || len(cfg.Source) > 255 {
 		return nil, fmt.Errorf("ship: source ID must be 1–255 bytes")
@@ -117,25 +158,81 @@ func New(cfg Config) (*Shipper, error) {
 		cfg:           cfg,
 		metQueue:      reg.Gauge("fluct_ship_queue_depth"),
 		metDropped:    reg.Counter("fluct_ship_dropped_frames_total"),
+		metEvicted:    reg.Counter("fluct_ship_cache_evictions_total"),
 		metReconnects: reg.Counter("fluct_ship_reconnects_total"),
 		metFrames:     reg.Counter("fluct_ship_frames_sent_total"),
 		metBytes:      reg.Counter("fluct_ship_bytes_sent_total"),
 		metSets:       reg.Counter("fluct_ship_sets_total"),
+		metRetrans:    reg.Counter("fluct_ship_retransmitted_frames_total"),
+		metAcked:      reg.Gauge("fluct_ship_acked_seq"),
+		metSpoolErrs:  reg.Counter("fluct_ship_spool_errors_total"),
 		rng:           splitmix64{state: cfg.JitterSeed},
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.SpoolDir != "" {
+		spl, rec, err := spool.Open(spool.Config{
+			Dir:          cfg.SpoolDir,
+			SegmentBytes: cfg.SpoolSegmentBytes,
+			Epoch:        cfg.SpoolEpoch,
+			Registry:     reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.spl = spl
+		s.rec = rec
+		s.lastAcked = spl.AckedSeq()
+		s.highSent = s.lastAcked
+		s.nextSend = s.lastAcked + 1
+		s.metAcked.SetInt(int(s.lastAcked))
+	}
 	return s, nil
 }
 
-// EnqueueFrame queues one frame for shipping, dropping the oldest queued
-// frame when the queue is full (drop-oldest backpressure). It never
-// blocks. Returns false if the shipper is closed.
+// Recovery reports what the spool found on disk at New (zero value when
+// spooling is disabled or the spool was clean).
+func (s *Shipper) Recovery() spool.Recovery { return s.rec }
+
+// Epoch returns the spool numbering epoch (0 without a spool).
+func (s *Shipper) Epoch() uint64 {
+	if s.spl == nil {
+		return 0
+	}
+	return s.spl.Epoch()
+}
+
+// EnqueueFrame queues one frame for shipping. It never blocks. Without a
+// spool, a full queue drops the oldest queued frame (drop-oldest
+// backpressure, counted). With a spool the frame is written through to
+// disk first; queue overflow then only evicts the in-memory cache copy —
+// the frame remains replayable — and a frame that cannot be spooled
+// (disk failure) is shed and counted rather than allowed to stall the
+// workload. Returns false if the shipper is closed.
 func (s *Shipper) EnqueueFrame(f wire.Frame) bool {
 	enc := wire.AppendFrame(nil, f)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
+	}
+	if s.spl != nil {
+		seq, err := s.spl.Append(enc)
+		if err != nil {
+			// The disk failed, not the collector: shed this frame
+			// visibly. The in-memory queue must stay contiguous by seq,
+			// so an unspooled frame cannot ride along.
+			s.metSpoolErrs.Inc()
+			s.metDropped.Inc()
+			return true
+		}
+		s.queue = append(s.queue, queued{seq: seq, bytes: enc})
+		if over := len(s.queue) - s.cfg.QueueFrames; over > 0 {
+			s.queue = s.queue[over:]
+			s.metEvicted.Add(uint64(over))
+		}
+		s.metQueue.SetInt(len(s.queue))
+		s.cond.Signal()
+		return true
 	}
 	if len(s.queue) >= s.cfg.QueueFrames {
 		n := len(s.queue) - s.cfg.QueueFrames + 1
@@ -148,16 +245,28 @@ func (s *Shipper) EnqueueFrame(f wire.Frame) bool {
 	return true
 }
 
-// QueueDepth returns the number of frames currently queued.
+// QueueDepth returns the number of frames currently held in memory.
 func (s *Shipper) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
 }
 
+// PendingFrames returns how many frames are not yet delivered: unacked
+// spooled frames when spooling, queued frames otherwise.
+func (s *Shipper) PendingFrames() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spl != nil {
+		return s.spl.NextSeq() - 1 - s.lastAcked
+	}
+	return uint64(len(s.queue))
+}
+
 // Close marks the shipper closed: further enqueues are refused and Run
-// returns once the queue drains (or immediately if disconnected and the
-// queue is already empty).
+// returns once everything pending is shipped (or immediately if
+// disconnected with nothing pending). The spool itself is closed when Run
+// exits.
 func (s *Shipper) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -165,15 +274,13 @@ func (s *Shipper) Close() {
 	s.mu.Unlock()
 }
 
-// Drain blocks until the queue is empty or ctx is cancelled.
+// Drain blocks until nothing is pending — with a spool, until every
+// spooled frame is acknowledged — or ctx is cancelled.
 func (s *Shipper) Drain(ctx context.Context) error {
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
 	for {
-		s.mu.Lock()
-		empty := len(s.queue) == 0
-		s.mu.Unlock()
-		if empty {
+		if s.PendingFrames() == 0 {
 			return nil
 		}
 		select {
@@ -213,11 +320,37 @@ func (s *Shipper) popFront() {
 	s.mu.Unlock()
 }
 
+// waitWork blocks until there is something to ship (or to collect acks
+// for), returning false when the shipper is done.
+func (s *Shipper) waitWork(ctx context.Context) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return false
+		}
+		if s.spl != nil {
+			if s.spl.NextSeq()-1 > s.lastAcked {
+				return true
+			}
+		} else if len(s.queue) > 0 {
+			return true
+		}
+		if s.closed {
+			return false
+		}
+		s.cond.Wait()
+	}
+}
+
 // Run connects, handshakes, and drains the queue to the collector until
-// ctx is cancelled or Close is called and the queue is empty. Connection
-// failures are retried forever with jittered exponential backoff; Run only
-// returns an error for unrecoverable configuration problems (a refused
-// handshake on a healthy link, e.g. a version mismatch).
+// ctx is cancelled or Close is called and everything pending has shipped.
+// Connection failures are retried forever with jittered exponential
+// backoff; Run only returns an error for unrecoverable configuration
+// problems (a refused handshake on a healthy link, e.g. a version
+// mismatch). The backoff resets only once a connection has completed the
+// handshake and carried at least one frame — a successful dial alone
+// proves nothing when the far end accepts and immediately drops.
 func (s *Shipper) Run(ctx context.Context) error {
 	// Wake any cond.Wait when the context dies.
 	stop := context.AfterFunc(ctx, func() {
@@ -226,11 +359,14 @@ func (s *Shipper) Run(ctx context.Context) error {
 		s.mu.Unlock()
 	})
 	defer stop()
+	if s.spl != nil {
+		defer s.spl.Close()
+	}
 
 	backoff := s.cfg.BackoffMin
 	for {
 		// Wait for work before dialing: an idle shipper holds no socket.
-		if _, ok := s.next(ctx); !ok {
+		if !s.waitWork(ctx) {
 			return ctx.Err()
 		}
 		conn, err := s.cfg.Dial(ctx, s.cfg.Addr)
@@ -242,7 +378,7 @@ func (s *Shipper) Run(ctx context.Context) error {
 			s.metReconnects.Inc()
 			continue
 		}
-		_, err = wire.ClientHandshake(conn, s.cfg.Source)
+		version, err := wire.ClientHandshake(conn, s.cfg.Source)
 		if err != nil {
 			conn.Close()
 			if !s.sleep(ctx, backoff) {
@@ -252,8 +388,7 @@ func (s *Shipper) Run(ctx context.Context) error {
 			s.metReconnects.Inc()
 			continue
 		}
-		backoff = s.cfg.BackoffMin // healthy link: reset
-		err = s.pump(ctx, conn)
+		err = s.pump(ctx, conn, version, func() { backoff = s.cfg.BackoffMin })
 		conn.Close()
 		if err == nil {
 			return ctx.Err() // clean shutdown: closed + drained, or ctx done
@@ -266,9 +401,15 @@ func (s *Shipper) Run(ctx context.Context) error {
 	}
 }
 
-// pump writes queued frames to conn until the queue closes cleanly (nil)
-// or the connection fails (non-nil).
-func (s *Shipper) pump(ctx context.Context, conn net.Conn) error {
+// pump writes pending frames to conn until everything closes cleanly (nil)
+// or the connection fails (non-nil). onFirstWrite runs after the first
+// frame lands on the socket — the proof of a useful connection that
+// resets the reconnect backoff.
+func (s *Shipper) pump(ctx context.Context, conn net.Conn, version uint16, onFirstWrite func()) error {
+	if s.spl != nil {
+		return s.pumpSpool(ctx, conn, version, onFirstWrite)
+	}
+	wrote := false
 	for {
 		frame, ok := s.next(ctx)
 		if !ok {
@@ -277,13 +418,218 @@ func (s *Shipper) pump(ctx context.Context, conn net.Conn) error {
 		if _, err := conn.Write(frame); err != nil {
 			return err
 		}
+		if !wrote {
+			wrote = true
+			onFirstWrite()
+		}
 		s.popFront()
 		s.metFrames.Inc()
 		s.metBytes.Add(uint64(len(frame)))
 	}
 }
 
-// bump doubles the backoff up to the max, with ±50% deterministic jitter.
+// errConnDead reports the ack reader observing the connection die while
+// the pump was waiting for acknowledgements.
+var errConnDead = fmt.Errorf("ship: connection died awaiting acks")
+
+// connState is the per-connection flag the ack reader uses to wake a pump
+// blocked with nothing to send.
+type connState struct{ dead bool }
+
+// pumpSpool is the durable pump: transmit spooled frames in sequence
+// order starting just past the acked watermark, retransmitting whatever a
+// previous connection (or process) left unacknowledged. Against a v2
+// collector a SeqStart frame opens acked delivery and an ack-reader
+// goroutine advances the watermark; against v1 a successful write is the
+// only delivery signal there will ever be, so it acks locally.
+func (s *Shipper) pumpSpool(ctx context.Context, conn net.Conn, version uint16, onFirstWrite func()) error {
+	sp := s.spl
+	ackMode := version >= 2
+	s.mu.Lock()
+	s.nextSend = s.lastAcked + 1
+	first := s.nextSend
+	s.mu.Unlock()
+	cs := &connState{}
+	if ackMode {
+		payload := wire.AppendSeqStart(nil, wire.SeqStart{Epoch: sp.Epoch(), FirstSeq: first})
+		if err := wire.WriteFrame(conn, wire.Frame{Type: wire.TSeqStart, Payload: payload}); err != nil {
+			return err
+		}
+		go s.readAcks(conn, cs)
+	}
+	wrote := false
+	for {
+		frames, seqs, err := s.nextBatch(ctx, cs)
+		if err != nil {
+			return err
+		}
+		if frames == nil {
+			return nil // clean shutdown
+		}
+		for i, fb := range frames {
+			if _, err := conn.Write(fb); err != nil {
+				return err
+			}
+			if !wrote {
+				wrote = true
+				onFirstWrite()
+			}
+			s.metFrames.Inc()
+			s.metBytes.Add(uint64(len(fb)))
+			seq := seqs[i]
+			s.mu.Lock()
+			if seq <= s.highSent {
+				s.metRetrans.Inc()
+			} else {
+				s.highSent = seq
+			}
+			s.nextSend = seq + 1
+			s.mu.Unlock()
+			if !ackMode {
+				// Fire-and-forget peer: a completed write is the only
+				// delivery there is; reclaim the disk immediately.
+				if err := sp.Ack(seq); err != nil {
+					s.metSpoolErrs.Inc()
+				}
+				s.applyAck(seq)
+			}
+		}
+	}
+}
+
+// nextBatch blocks until frames are transmittable and returns them in
+// sequence order — from the in-memory cache when it still holds the next
+// needed sequence, replayed from the spool otherwise (after a restart or
+// a cache eviction). A nil, nil, nil return means clean shutdown; an
+// errConnDead error means the connection died while waiting.
+func (s *Shipper) nextBatch(ctx context.Context, cs *connState) ([][]byte, []uint64, error) {
+	s.mu.Lock()
+	for {
+		if ctx.Err() != nil {
+			s.mu.Unlock()
+			return nil, nil, nil
+		}
+		if cs.dead {
+			s.mu.Unlock()
+			return nil, nil, errConnDead
+		}
+		if s.nextSend <= s.lastAcked {
+			// The collector told us (via the SeqStart ack) that it
+			// already has these; skip ahead.
+			s.nextSend = s.lastAcked + 1
+		}
+		top := s.spl.NextSeq()
+		if s.nextSend < top {
+			if len(s.queue) > 0 && s.queue[0].seq <= s.nextSend {
+				idx := int(s.nextSend - s.queue[0].seq)
+				frames := make([][]byte, 0, len(s.queue)-idx)
+				seqs := make([]uint64, 0, len(s.queue)-idx)
+				for ; idx < len(s.queue); idx++ {
+					frames = append(frames, s.queue[idx].bytes)
+					seqs = append(seqs, s.queue[idx].seq)
+				}
+				s.mu.Unlock()
+				return frames, seqs, nil
+			}
+			// Cache miss: the frames live only on disk. Replay up to the
+			// cache's start (or a bounded batch) without holding the lock.
+			from := s.nextSend
+			to := top
+			if len(s.queue) > 0 && s.queue[0].seq < to {
+				to = s.queue[0].seq
+			}
+			if to > from+replayBatch {
+				to = from + replayBatch
+			}
+			s.mu.Unlock()
+			frames, seqs, err := s.replay(from, to)
+			if err != nil {
+				return nil, nil, err
+			}
+			return frames, seqs, nil
+		}
+		if s.closed && s.lastAcked >= top-1 {
+			s.mu.Unlock()
+			return nil, nil, nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// replayBatch bounds how many frames one spool replay pass loads into
+// memory.
+const replayBatch = 256
+
+// replay copies frames [from, to) out of the spool.
+func (s *Shipper) replay(from, to uint64) ([][]byte, []uint64, error) {
+	var frames [][]byte
+	var seqs []uint64
+	err := s.spl.Frames(from, func(seq uint64, raw []byte) error {
+		if seq >= to {
+			return errReplayDone
+		}
+		frames = append(frames, append([]byte(nil), raw...))
+		seqs = append(seqs, seq)
+		return nil
+	})
+	if err != nil && err != errReplayDone {
+		return nil, nil, fmt.Errorf("ship: spool replay: %w", err)
+	}
+	return frames, seqs, nil
+}
+
+// errReplayDone stops a spool replay early once the batch is full.
+var errReplayDone = fmt.Errorf("ship: replay batch done")
+
+// readAcks consumes collector frames on a v2 connection — TAck advances
+// the watermark, reclaims spool segments, and trims the cache — until the
+// connection dies, then wakes the pump so it can reconnect.
+func (s *Shipper) readAcks(conn net.Conn, cs *connState) {
+	var buf []byte
+	for {
+		f, b, err := wire.ReadFrame(conn, buf)
+		if err != nil {
+			break
+		}
+		buf = b
+		if f.Type != wire.TAck {
+			continue
+		}
+		a, err := wire.DecodeAck(f.Payload)
+		if err != nil || a.Epoch != s.spl.Epoch() {
+			continue
+		}
+		if err := s.spl.Ack(a.Seq); err != nil {
+			s.metSpoolErrs.Inc()
+		}
+		s.applyAck(a.Seq)
+	}
+	s.mu.Lock()
+	cs.dead = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// applyAck advances the in-memory acked watermark and trims the cache.
+func (s *Shipper) applyAck(seq uint64) {
+	s.mu.Lock()
+	if seq > s.lastAcked {
+		s.lastAcked = seq
+		s.metAcked.SetInt(int(seq))
+	}
+	trim := 0
+	for trim < len(s.queue) && s.queue[trim].seq <= s.lastAcked {
+		trim++
+	}
+	if trim > 0 {
+		s.queue = s.queue[trim:]
+		s.metQueue.SetInt(len(s.queue))
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// bump doubles the backoff up to the max.
 func (s *Shipper) bump(d time.Duration) time.Duration {
 	d *= 2
 	if d > s.cfg.BackoffMax {
@@ -292,12 +638,21 @@ func (s *Shipper) bump(d time.Duration) time.Duration {
 	return d
 }
 
-// sleep waits d scaled by the jitter factor, returning false when ctx dies
-// first.
-func (s *Shipper) sleep(ctx context.Context, d time.Duration) bool {
-	// Jitter in [0.5, 1.5): fleet-wide reconnect storms decorrelate.
+// jitteredWait scales d by the deterministic jitter factor in [0.5, 1.5)
+// and clamps the result to BackoffMax: every wait stays within ±50% of
+// its nominal exponential step and never exceeds the configured ceiling.
+func (s *Shipper) jitteredWait(d time.Duration) time.Duration {
 	j := 0.5 + float64(s.rng.next()%1024)/1024.0
-	t := time.NewTimer(time.Duration(float64(d) * j))
+	w := time.Duration(float64(d) * j)
+	if w > s.cfg.BackoffMax {
+		w = s.cfg.BackoffMax
+	}
+	return w
+}
+
+// sleep waits the jittered form of d, returning false when ctx dies first.
+func (s *Shipper) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(s.jitteredWait(d))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

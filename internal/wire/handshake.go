@@ -15,7 +15,11 @@ const (
 	// MinVersion is the oldest protocol version this build still accepts.
 	MinVersion uint16 = 1
 	// MaxVersion is the newest protocol version this build speaks.
-	MaxVersion uint16 = 1
+	// Version 2 adds per-source frame sequence numbers and cumulative
+	// delivery acknowledgements (TSeqStart/TAck, see seq.go); the data
+	// frames themselves are unchanged, so v1 peers interoperate with the
+	// seq/ack machinery simply switched off.
+	MaxVersion uint16 = 2
 )
 
 // helloMagic opens every connection inside the Hello payload, so a

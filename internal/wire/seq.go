@@ -1,0 +1,106 @@
+package wire
+
+import "encoding/binary"
+
+// Protocol version 2: durable at-least-once delivery.
+//
+// Version 1 shipping is fire-and-forget — a frame written to a healthy
+// socket is gone from the shipper, and a collector restart loses whatever
+// it had integrated. Version 2 adds per-source frame sequence numbers and
+// cumulative acknowledgements on top of the unchanged v1 data frames:
+//
+//   - After the handshake negotiates version ≥ 2, a shipper that wants
+//     acked delivery opens its stream with one SeqStart frame declaring
+//     its numbering epoch and the sequence number of the next data frame.
+//     Every subsequent data frame (symtab/markers/samples/setend) is
+//     implicitly numbered consecutively from there — the transport is
+//     ordered, the shipper transmits in sequence order, so the numbers
+//     never need to ride on the frames themselves and the data frames
+//     stay byte-identical to version 1 (a spooled frame is shipped
+//     verbatim to either peer version).
+//
+//   - The collector answers SeqStart with an Ack carrying the highest
+//     sequence it has durably applied for that (source, epoch), and sends
+//     a further Ack every time its durable watermark advances. Acks are
+//     cumulative: Ack{Seq: n} covers every frame numbered ≤ n.
+//
+//   - The epoch distinguishes numbering generations. A shipper whose
+//     spool survived a restart resumes its old epoch and numbering; a
+//     shipper that lost its spool starts a fresh epoch, telling the
+//     collector that any remembered watermark is void. Dedup is by
+//     (source, epoch, seq).
+//
+// A v2 connection that never sends SeqStart behaves exactly like v1 —
+// that is how a shipper without a spool, or a v1 shipper against a v2
+// collector, keeps working fire-and-forget.
+
+// SeqStart opens acked delivery on a v2 connection: it declares the
+// shipper's numbering epoch and the sequence number of the first data
+// frame that will follow.
+type SeqStart struct {
+	// Epoch is the shipper's spool numbering generation.
+	Epoch uint64
+	// FirstSeq numbers the next data frame on this connection; subsequent
+	// data frames count up from it.
+	FirstSeq uint64
+}
+
+// AppendSeqStart appends a TSeqStart payload.
+func AppendSeqStart(dst []byte, s SeqStart) []byte {
+	dst = binary.AppendUvarint(dst, s.Epoch)
+	return binary.AppendUvarint(dst, s.FirstSeq)
+}
+
+// DecodeSeqStart parses a TSeqStart payload.
+func DecodeSeqStart(p []byte) (SeqStart, error) {
+	var s SeqStart
+	var err error
+	s.Epoch, p, err = uvarint(p)
+	if err != nil {
+		return SeqStart{}, errPayload(TSeqStart, "epoch: %w", err)
+	}
+	s.FirstSeq, p, err = uvarint(p)
+	if err != nil {
+		return SeqStart{}, errPayload(TSeqStart, "first seq: %w", err)
+	}
+	if len(p) != 0 {
+		return SeqStart{}, errPayload(TSeqStart, "%d trailing bytes", len(p))
+	}
+	return s, nil
+}
+
+// Ack is the collector's cumulative delivery acknowledgement: every data
+// frame of the epoch numbered ≤ Seq has been applied and made durable
+// (checkpointed when the collector checkpoints; see internal/collector).
+// The shipper may delete spooled frames the ack covers. Seq 0 means
+// nothing is acked yet.
+type Ack struct {
+	// Epoch echoes the shipper's numbering generation.
+	Epoch uint64
+	// Seq is the highest durably applied sequence number.
+	Seq uint64
+}
+
+// AppendAck appends a TAck payload.
+func AppendAck(dst []byte, a Ack) []byte {
+	dst = binary.AppendUvarint(dst, a.Epoch)
+	return binary.AppendUvarint(dst, a.Seq)
+}
+
+// DecodeAck parses a TAck payload.
+func DecodeAck(p []byte) (Ack, error) {
+	var a Ack
+	var err error
+	a.Epoch, p, err = uvarint(p)
+	if err != nil {
+		return Ack{}, errPayload(TAck, "epoch: %w", err)
+	}
+	a.Seq, p, err = uvarint(p)
+	if err != nil {
+		return Ack{}, errPayload(TAck, "seq: %w", err)
+	}
+	if len(p) != 0 {
+		return Ack{}, errPayload(TAck, "%d trailing bytes", len(p))
+	}
+	return a, nil
+}

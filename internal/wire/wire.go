@@ -56,6 +56,11 @@ const (
 	// TSetEnd closes a trace set, declaring how many markers and samples
 	// were sent so the collector can account for loss.
 	TSetEnd Type = 6
+	// TSeqStart (v2) opens acked delivery: the shipper's numbering epoch
+	// and the sequence number of the next data frame (see seq.go).
+	TSeqStart Type = 7
+	// TAck (v2) is the collector's cumulative delivery acknowledgement.
+	TAck Type = 8
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +78,10 @@ func (t Type) String() string {
 		return "samples"
 	case TSetEnd:
 		return "setend"
+	case TSeqStart:
+		return "seqstart"
+	case TAck:
+		return "ack"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -144,14 +153,14 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 		if err == io.EOF {
 			return Frame{}, buf, io.EOF // clean boundary
 		}
-		return Frame{}, buf, fmt.Errorf("wire: frame length: %w", io.ErrUnexpectedEOF)
+		return Frame{}, buf, fmt.Errorf("wire: frame length: %w (%w)", io.ErrUnexpectedEOF, err)
 	}
 	length := binary.LittleEndian.Uint32(hdr[:4])
 	if length == 0 || length > MaxFrameBytes {
 		return Frame{}, buf, fmt.Errorf("wire: absurd frame length %d", length)
 	}
 	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
-		return Frame{}, buf, fmt.Errorf("wire: frame type: %w", io.ErrUnexpectedEOF)
+		return Frame{}, buf, fmt.Errorf("wire: frame type: %w (%w)", io.ErrUnexpectedEOF, err)
 	}
 	n := int(length) - 1
 	if cap(buf) < n {
@@ -159,11 +168,11 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return Frame{}, buf, fmt.Errorf("wire: frame payload (%d bytes): %w", n, io.ErrUnexpectedEOF)
+		return Frame{}, buf, fmt.Errorf("wire: frame payload (%d bytes): %w (%w)", n, io.ErrUnexpectedEOF, err)
 	}
 	var tail [4]byte
 	if _, err := io.ReadFull(r, tail[:]); err != nil {
-		return Frame{}, buf, fmt.Errorf("wire: frame checksum: %w", io.ErrUnexpectedEOF)
+		return Frame{}, buf, fmt.Errorf("wire: frame checksum: %w (%w)", io.ErrUnexpectedEOF, err)
 	}
 	crc := crc32.Update(0, castagnoli, hdr[4:5])
 	crc = crc32.Update(crc, castagnoli, buf)
@@ -172,4 +181,44 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 			Type(hdr[4]), ErrChecksum, got, crc)
 	}
 	return Frame{Type: Type(hdr[4]), Payload: buf}, buf, nil
+}
+
+// ReadRawFrame reads one frame from r and returns its complete encoding —
+// length, type, payload, CRC — after verifying the length bound and the
+// checksum. This is the spool's replay path: a stored frame is forwarded
+// to the collector verbatim, so re-encoding (and trusting the re-encoder)
+// is unnecessary. The returned slice aliases buf when it fits; pass the
+// previous call's second return to amortize allocation.
+//
+// The error contract matches ReadFrame: truncation wraps
+// io.ErrUnexpectedEOF, corruption wraps ErrChecksum, a clean EOF exactly
+// on a frame boundary is io.EOF unwrapped.
+func ReadRawFrame(r io.Reader, buf []byte) (raw []byte, bufOut []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, buf, io.EOF // clean boundary
+		}
+		return nil, buf, fmt.Errorf("wire: frame length: %w (%w)", io.ErrUnexpectedEOF, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length == 0 || length > MaxFrameBytes {
+		return nil, buf, fmt.Errorf("wire: absurd frame length %d", length)
+	}
+	total := 4 + int(length) + 4 // length prefix + type/payload + crc
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	buf = buf[:total]
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return nil, buf, fmt.Errorf("wire: frame body (%d bytes): %w (%w)", total-4, io.ErrUnexpectedEOF, err)
+	}
+	body := buf[4 : 4+length]
+	crc := crc32.Update(0, castagnoli, body)
+	if got := binary.LittleEndian.Uint32(buf[total-4:]); got != crc {
+		return nil, buf, fmt.Errorf("wire: %s frame: %w (stored %#x, computed %#x)",
+			Type(body[0]), ErrChecksum, got, crc)
+	}
+	return buf, buf, nil
 }

@@ -250,3 +250,50 @@ func TestVarintDeltaCompression(t *testing.T) {
 		t.Fatalf("delta-encoded marker costs %.1f bytes, want ≤ 8 (offline layout is 21)", perRec)
 	}
 }
+
+// TestSeqStartAckRoundTrip pins the v2 seq/ack payloads: encode/decode
+// identity, trailing-byte rejection, and truncation rejection.
+func TestSeqStartAckRoundTrip(t *testing.T) {
+	s := SeqStart{Epoch: 0xdeadbeef12345678, FirstSeq: 42}
+	got, err := DecodeSeqStart(AppendSeqStart(nil, s))
+	if err != nil || got != s {
+		t.Fatalf("seqstart round trip: %+v, %v", got, err)
+	}
+	a := Ack{Epoch: 7, Seq: 1 << 40}
+	ga, err := DecodeAck(AppendAck(nil, a))
+	if err != nil || ga != a {
+		t.Fatalf("ack round trip: %+v, %v", ga, err)
+	}
+	if _, err := DecodeSeqStart(append(AppendSeqStart(nil, s), 0)); err == nil {
+		t.Fatal("seqstart accepted trailing bytes")
+	}
+	if _, err := DecodeAck(append(AppendAck(nil, a), 1)); err == nil {
+		t.Fatal("ack accepted trailing bytes")
+	}
+	if _, err := DecodeSeqStart(nil); err == nil {
+		t.Fatal("seqstart accepted empty payload")
+	}
+	if _, err := DecodeAck([]byte{0x80}); err == nil {
+		t.Fatal("ack accepted truncated varint")
+	}
+}
+
+// TestV1V2Negotiation pins the compatibility matrix: a v1 peer against a
+// v2 peer lands on version 1 in both directions; two v2 peers land on 2.
+func TestV1V2Negotiation(t *testing.T) {
+	cases := []struct {
+		lmin, lmax, pmin, pmax uint16
+		want                   uint16
+	}{
+		{1, 2, 1, 1, 1}, // v2 collector, v1 shipper
+		{1, 1, 1, 2, 1}, // v1 collector, v2 shipper
+		{1, 2, 1, 2, 2}, // both v2
+	}
+	for _, c := range cases {
+		v, ok := Negotiate(c.lmin, c.lmax, c.pmin, c.pmax)
+		if !ok || v != c.want {
+			t.Fatalf("Negotiate(%d-%d, %d-%d) = %d,%v want %d",
+				c.lmin, c.lmax, c.pmin, c.pmax, v, ok, c.want)
+		}
+	}
+}
