@@ -69,9 +69,25 @@ type checkpointSource struct {
 // atomically. It is called before every ack (see HandleConn), on daemon
 // shutdown, and on the daemon's periodic timer.
 func (c *Collector) Checkpoint() error {
+	return c.checkpoint(nil, 0, 0)
+}
+
+// checkpoint is Checkpoint with an optional staged ack: when staged is
+// non-nil, the snapshot records max(staged.lastAcked, stagedSeq) as that
+// source's watermark (provided its epoch still equals stagedEpoch), so an
+// acknowledgement can be made durable on disk *before* it is committed to
+// memory — an un-checkpointed watermark must never be advertised to a
+// shipper (see the SetEnd path in HandleConn).
+func (c *Collector) checkpoint(staged *Source, stagedEpoch, stagedSeq uint64) error {
 	if c.cfg.CheckpointPath == "" {
 		return fmt.Errorf("collector: no checkpoint path configured")
 	}
+	// Serialize writers end to end: the snapshot and the rename must be one
+	// atomic unit, or a writer holding an older snapshot could rename it
+	// over a newer checkpoint and un-persist state another connection
+	// already acked against.
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
 	c.mu.Lock()
 	srcs := make([]*Source, 0, len(c.sources))
 	for _, s := range c.sources {
@@ -82,10 +98,14 @@ func (c *Collector) Checkpoint() error {
 	file := checkpointFile{Version: checkpointVersion}
 	for _, s := range srcs {
 		s.mu.Lock()
+		lastAcked := s.lastAcked
+		if s == staged && s.epoch == stagedEpoch && stagedSeq > lastAcked {
+			lastAcked = stagedSeq
+		}
 		cs := checkpointSource{
 			ID:            s.ID,
 			Epoch:         s.epoch,
-			LastAcked:     s.lastAcked,
+			LastAcked:     lastAcked,
 			FreqHz:        s.freq,
 			Items:         append([]core.Item(nil), s.items...),
 			Gaps:          s.gaps,
@@ -115,10 +135,6 @@ func (c *Collector) Checkpoint() error {
 		file.Sources = append(file.Sources, cs)
 	}
 
-	// Serialize writers: two connections acking concurrently must not
-	// interleave temp files.
-	c.ckptMu.Lock()
-	defer c.ckptMu.Unlock()
 	data, err := json.Marshal(file)
 	if err != nil {
 		return fmt.Errorf("collector: checkpoint encode: %w", err)

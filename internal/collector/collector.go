@@ -336,24 +336,42 @@ func (c *Collector) HandleConn(conn net.Conn) {
 			continue
 		}
 
-		// Sequenced path: every data frame consumes the next number.
+		// Sequenced path: every data frame consumes the next number. The
+		// dedup check and the application happen under one src.mu hold —
+		// two live connections for the same source (a stale link draining
+		// kernel-buffered frames while the reconnected shipper replays)
+		// must never both pass the check and double-apply a frame.
 		seq := cs.next
 		cs.next++
 		src.mu.Lock()
+		if src.epoch != cs.epoch {
+			// Another connection opened a newer spool generation for this
+			// source; this link's numbering is obsolete and applying its
+			// frames would corrupt the new generation's dedup watermark.
+			src.mu.Unlock()
+			c.metDiscon.Inc()
+			return
+		}
 		dup := seq <= src.appliedSeq
+		var ferr error
+		if !dup {
+			ferr = c.frameLocked(src, f)
+			if seq > src.appliedSeq {
+				src.appliedSeq = seq
+			}
+		}
 		src.mu.Unlock()
 		if dup {
 			// Retransmission of a frame already applied (the ack for it
-			// was lost, or the replay overlaps the watermark): skip it
-			// without touching the integrator.
+			// was lost, or a checkpoint failure withheld it): skip the
+			// integrator, but a SetEnd still falls through to the
+			// durability+ack path below — the shipper is replaying the
+			// set precisely because it never saw that ack.
 			c.metDups.Inc()
-			continue
-		}
-		ferr := c.frame(src, f)
-		src.mu.Lock()
-		src.appliedSeq = seq
-		src.mu.Unlock()
-		if ferr != nil {
+			if f.Type != wire.TSetEnd {
+				continue
+			}
+		} else if ferr != nil {
 			// The frame arrived intact (CRC passed) but its payload is
 			// undecodable; retransmitting identical bytes cannot help, so
 			// the sequence number is consumed and the frame dropped.
@@ -366,18 +384,31 @@ func (c *Collector) HandleConn(conn net.Conn) {
 		if f.Type == wire.TSetEnd {
 			// Ack-after-durability: the set is applied; persist before
 			// acknowledging so a crash between the two costs the shipper
-			// only a retransmission, never us an acked-but-lost set.
+			// only a retransmission, never us an acked-but-lost set. The
+			// watermark is staged into the checkpoint and committed to
+			// memory only once the file is durably renamed — an
+			// in-memory-only watermark would be advertised by seqStart on
+			// reconnect and the shipper would reclaim spool segments that
+			// could still be lost with the collector.
 			src.mu.Lock()
-			src.lastAcked = seq
+			durable := seq <= src.lastAcked
 			src.mu.Unlock()
-			if c.cfg.CheckpointPath != "" {
-				if err := c.Checkpoint(); err != nil {
-					// Without durability the ack would lie; withhold it.
-					// The shipper keeps the set spooled and retransmits;
-					// dedup absorbs the replay once checkpointing heals.
-					c.metCkptErrs.Inc()
-					continue
+			if !durable {
+				if c.cfg.CheckpointPath != "" {
+					if err := c.checkpoint(src, cs.epoch, seq); err != nil {
+						// Without durability the ack would lie; withhold
+						// it. The shipper keeps the set spooled and
+						// retransmits; the dup path above re-attempts the
+						// checkpoint once it heals.
+						c.metCkptErrs.Inc()
+						continue
+					}
 				}
+				src.mu.Lock()
+				if src.epoch == cs.epoch && seq > src.lastAcked {
+					src.lastAcked = seq
+				}
+				src.mu.Unlock()
 			}
 			if writeAck(conn, cs.epoch, seq) != nil {
 				return
@@ -433,6 +464,13 @@ func (c *Collector) seqStart(src *Source, ss wire.SeqStart) uint64 {
 func (c *Collector) frame(src *Source, f wire.Frame) error {
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	return c.frameLocked(src, f)
+}
+
+// frameLocked is frame with src.mu already held — the sequenced path holds
+// the lock across the dedup check and the application so two live
+// connections for one source cannot both pass the check and double-apply.
+func (c *Collector) frameLocked(src *Source, f wire.Frame) error {
 	src.frames++
 	switch f.Type {
 	case wire.TSymtab:

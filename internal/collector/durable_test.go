@@ -3,7 +3,9 @@ package collector
 import (
 	"bytes"
 	"cmp"
+	"errors"
 	"net"
+	"os"
 	"slices"
 	"testing"
 	"time"
@@ -266,5 +268,205 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	av, bv := a.Fleet(), b.Fleet()
 	if len(bv.Sources) != 1 || bv.Sources[0] != av.Sources[0] {
 		t.Fatalf("fleet summary drifted: %+v vs %+v", av.Sources, bv.Sources)
+	}
+}
+
+// TestCheckpointStagedAck: checkpoint(src, epoch, seq) must record the
+// staged watermark durably in the file while leaving the in-memory
+// watermark untouched — committing it is the caller's job, and only after
+// the checkpoint succeeded. A staged ack from a stale epoch must not land.
+func TestCheckpointStagedAck(t *testing.T) {
+	set := workloadSet(t, 40)
+	path := t.TempDir() + "/checkpoint.json"
+	a, err := New(Config{CheckpointPath: path, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := a.source("w1")
+	for _, fr := range rawSetFrames(t, set) {
+		if err := a.frame(src, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.mu.Lock()
+	src.epoch, src.appliedSeq, src.lastAcked = 7, 9, 4
+	src.mu.Unlock()
+
+	if err := a.checkpoint(src, 7, 9); err != nil {
+		t.Fatal(err)
+	}
+	if src.LastAcked() != 4 {
+		t.Fatalf("checkpoint committed the staged ack to memory: lastAcked %d, want 4", src.LastAcked())
+	}
+	b, err := New(Config{CheckpointPath: path, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Source("w1").LastAcked(); got != 9 {
+		t.Fatalf("restored staged watermark %d, want 9", got)
+	}
+
+	// Stale epoch: the staged seq belongs to a generation the source left.
+	if err := a.checkpoint(src, 6, 30); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(Config{CheckpointPath: path, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Source("w1").LastAcked(); got != 4 {
+		t.Fatalf("stale-epoch staged ack landed: watermark %d, want 4", got)
+	}
+}
+
+// shipV2Set hand-rolls a v2 shipper turn on conn: SeqStart at (epoch,
+// firstSeq), then the set's frames. Returns the watermark advertised in
+// the SeqStart reply ack.
+func shipV2Set(t testing.TB, conn net.Conn, frames []wire.Frame, epoch, firstSeq uint64) uint64 {
+	t.Helper()
+	payload := wire.AppendSeqStart(nil, wire.SeqStart{Epoch: epoch, FirstSeq: firstSeq})
+	if err := wire.WriteFrame(conn, wire.Frame{Type: wire.TSeqStart, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.TAck {
+		t.Fatalf("SeqStart reply type %s, want ack", f.Type)
+	}
+	a, err := wire.DecodeAck(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frames {
+		if err := wire.WriteFrame(conn, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a.Seq
+}
+
+// TestCheckpointFailureWithholdsAck: when the checkpoint write fails, the
+// SetEnd ack must be withheld AND the in-memory watermark must not move —
+// otherwise a reconnect's SeqStart reply would advertise an un-persisted
+// watermark and the shipper would reclaim spool segments a collector crash
+// could still lose. Once the disk heals, a retransmission of the same set
+// must be deduplicated (not double-integrated) yet still re-run the
+// checkpoint and deliver the ack.
+func TestCheckpointFailureWithholdsAck(t *testing.T) {
+	set := workloadSet(t, 40)
+	frames := rawSetFrames(t, set)
+	reg := obs.NewRegistry()
+	ckptDir := t.TempDir() + "/sub" // deliberately absent: checkpoints fail
+	coll, addr := startCollector(t, Config{Registry: reg, CheckpointPath: ckptDir + "/checkpoint.json"})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	version, err := wire.ClientHandshake(conn, "w1")
+	if err != nil || version < 2 {
+		t.Fatalf("handshake version %d, err %v", version, err)
+	}
+	if got := shipV2Set(t, conn, frames, 5, 1); got != 0 {
+		t.Fatalf("fresh source advertised watermark %d, want 0", got)
+	}
+
+	src := waitSets(t, coll, "w1", 1, 10*time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("fluct_collector_checkpoint_errors_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint failure never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := src.LastAcked(); got != 0 {
+		t.Fatalf("watermark advanced to %d despite checkpoint failure, want 0", got)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if f, _, err := wire.ReadFrame(conn, nil); err == nil {
+		t.Fatalf("got a %s frame after a failed checkpoint; the ack must be withheld", f.Type)
+	} else if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expected a read timeout (withheld ack), got %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	// Heal the disk, then retransmit the whole set — what a shipper that
+	// never saw its ack does after reconnecting.
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got := shipV2Set(t, conn, frames, 5, 1); got != 0 {
+		t.Fatalf("reconnect advertised un-checkpointed watermark %d, want 0", got)
+	}
+	f, _, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := wire.DecodeAck(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(len(frames)); a.Seq != want || a.Epoch != 5 {
+		t.Fatalf("post-heal ack %+v, want epoch 5 seq %d", a, want)
+	}
+	if got := src.LastAcked(); got != uint64(len(frames)) {
+		t.Fatalf("committed watermark %d, want %d", got, len(frames))
+	}
+	if got := src.Sets(); got != 1 {
+		t.Fatalf("retransmission double-integrated: %d sets, want 1", got)
+	}
+	if reg.Counter("fluct_collector_duplicate_frames_total").Value() == 0 {
+		t.Fatal("retransmitted frames were not counted as duplicates")
+	}
+}
+
+// TestStaleEpochConnRejected: once a newer spool generation opens for a
+// source, a lingering connection from the old generation must be dropped —
+// its sequence numbers would otherwise race the new generation's dedup
+// watermark and could regress it.
+func TestStaleEpochConnRejected(t *testing.T) {
+	set := workloadSet(t, 40)
+	frames := rawSetFrames(t, set)
+	coll, addr := startCollector(t, Config{Registry: obs.NewRegistry()})
+
+	dial := func() net.Conn {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wire.ClientHandshake(conn, "w1"); err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	oldConn := dial()
+	defer oldConn.Close()
+	// Old generation ships its symtab, then stalls.
+	shipV2Set(t, oldConn, frames[:1], 1, 1)
+
+	newConn := dial()
+	defer newConn.Close()
+	shipV2Set(t, newConn, frames, 2, 1)
+
+	// The old connection wakes up and ships another frame; the collector
+	// must hang up rather than apply it against the new generation.
+	if err := wire.WriteFrame(oldConn, frames[1]); err == nil {
+		_ = oldConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, _, err := wire.ReadFrame(oldConn, nil); err == nil {
+			t.Fatal("stale-epoch connection got a frame back, want disconnect")
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("stale-epoch connection was never disconnected")
+		}
+	}
+
+	src := waitSets(t, coll, "w1", 1, 10*time.Second)
+	if got := src.Epoch(); got != 2 {
+		t.Fatalf("source epoch %d, want 2", got)
+	}
+	if got := src.LastAcked(); got != uint64(len(frames)) {
+		t.Fatalf("new generation watermark %d, want %d", got, len(frames))
 	}
 }

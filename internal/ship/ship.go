@@ -455,7 +455,19 @@ func (s *Shipper) pumpSpool(ctx context.Context, conn net.Conn, version uint16, 
 		if err := wire.WriteFrame(conn, wire.Frame{Type: wire.TSeqStart, Payload: payload}); err != nil {
 			return err
 		}
-		go s.readAcks(conn, cs)
+		ackDone := make(chan struct{})
+		go func() {
+			defer close(ackDone)
+			s.readAcks(conn, cs)
+		}()
+		// Join the ack reader before returning: Run closes the spool after
+		// the pump exits, and a still-running reader must not Ack into a
+		// closed spool. Closing conn here unblocks its ReadFrame (Run's own
+		// Close afterwards is then a no-op).
+		defer func() {
+			conn.Close()
+			<-ackDone
+		}()
 	}
 	wrote := false
 	for {
@@ -543,9 +555,22 @@ func (s *Shipper) nextBatch(ctx context.Context, cs *connState) ([][]byte, []uin
 			}
 			s.mu.Unlock()
 			frames, seqs, err := s.replay(from, to)
-			if err != nil {
+			s.mu.Lock()
+			if err != nil || len(frames) == 0 {
+				// The replay raced the ack reader: an ack can delete the
+				// very segment being read. If the watermark moved past the
+				// batch start, nothing was lost — recompute from the new
+				// watermark instead of tearing down the connection.
+				if s.lastAcked >= from {
+					continue
+				}
+				s.mu.Unlock()
+				if err == nil {
+					err = fmt.Errorf("ship: spool replay [%d,%d): no frames", from, to)
+				}
 				return nil, nil, err
 			}
+			s.mu.Unlock()
 			return frames, seqs, nil
 		}
 		if s.closed && s.lastAcked >= top-1 {

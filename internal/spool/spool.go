@@ -258,6 +258,11 @@ func (s *Spool) Append(frame []byte) (uint64, error) {
 func (s *Spool) Ack(seq uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		// Close already persisted the final metadata; a late ack must not
+		// delete segments or rewrite it behind the closed spool's back.
+		return fmt.Errorf("spool: closed")
+	}
 	if seq <= s.acked {
 		return nil
 	}

@@ -362,3 +362,33 @@ func FuzzSpoolRecover(f *testing.F) {
 		s2.Close()
 	})
 }
+
+// TestAckAfterCloseRefused: Close persists the final metadata; a late ack
+// (a straggling reader goroutine at shipper shutdown) must not delete
+// segments or rewrite metadata behind the closed spool's back.
+func TestAckAfterCloseRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openSpool(t, dir, 1<<20)
+	if _, err := s.Append(frame(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ack(1); err == nil {
+		t.Fatal("Ack after Close succeeded; want an error")
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("closed spool lost its segment: %v", segs)
+	}
+	// Reopen: the unacked frame must still be replayable.
+	s2, rec := openSpool(t, dir, 1<<20)
+	defer s2.Close()
+	if rec.Frames != 1 {
+		t.Fatalf("recovered %d frames, want 1", rec.Frames)
+	}
+}
