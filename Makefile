@@ -36,14 +36,19 @@ tier2:
 	$(GO) test -race -count 1 -run '^(TestCrashRecoveryEquivalence|TestCheckpointRestartKeepsFleetView)$$' ./internal/collector
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzIntegrate$$' -fuzztime=10s ./internal/core
+	$(GO) test -race -count 1 ./internal/wire ./internal/ship
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime=10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameIter$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzSpoolRecover$$' -fuzztime=10s ./internal/spool
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkInstrumentedIntegrate|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkWireEncodeDecode' -benchmem -count 1 ./internal/wire
+	$(GO) test -run '^$$' -bench 'BenchmarkCollectorIngest' -benchmem -count 1 ./internal/collector
 
 bench-gate:
 	$(GO) run ./cmd/benchgate
 	$(GO) run ./cmd/benchgate -bench BenchmarkInstrumentedIntegrate -against BenchmarkMicroIntegrate -threshold 0.03 -count 5
-	$(GO) run ./cmd/benchgate -bench BenchmarkWireEncodeDecode -pkg ./internal/wire -threshold 0.30
+	$(GO) run ./cmd/benchgate -bench BenchmarkWireEncodeDecode -pkg ./internal/wire -threshold 0.30 -allocs 0
+	$(GO) run ./cmd/benchgate -bench BenchmarkCollectorIngest -pkg ./internal/collector -threshold 0.50 -count 3
 	$(GO) run ./cmd/benchgate -bench BenchmarkSpoolAppend -pkg ./internal/spool -threshold 0.30 -count 5

@@ -40,6 +40,7 @@ func main() {
 		threshold    = flag.Float64("threshold", 0.15, "max allowed slowdown vs baseline (0.15 = +15%)")
 		count        = flag.Int("count", 3, "benchmark repetitions; the fastest run is gated")
 		against      = flag.String("against", "", "gate -bench relative to this benchmark instead of the recorded baseline")
+		allocs       = flag.Int("allocs", -1, "when >= 0, run with -benchmem and fail if the best run allocates more than this many allocs/op")
 	)
 	flag.Parse()
 
@@ -61,8 +62,13 @@ func main() {
 		fatal(err)
 	}
 
-	cmd := exec.Command(goBin, "test", "-run", "^$",
-		"-bench", "^"+*bench+"$", "-count", strconv.Itoa(*count), *pkg)
+	args := []string{"test", "-run", "^$",
+		"-bench", "^" + *bench + "$", "-count", strconv.Itoa(*count)}
+	if *allocs >= 0 {
+		args = append(args, "-benchmem")
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command(goBin, args...)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		fatal(fmt.Errorf("benchmark run failed: %w\n%s", err, out))
@@ -70,6 +76,19 @@ func main() {
 	best, runs, err := fastestRun(string(out), *bench)
 	if err != nil {
 		fatal(fmt.Errorf("%w\n%s", err, out))
+	}
+	if *allocs >= 0 {
+		// Allocation counts are deterministic where times are not: gate the
+		// minimum across runs, so a one-off (a lazily grown map, say) in one
+		// repetition does not fail an amortized-zero benchmark.
+		got, err := fewestAllocs(string(out), *bench)
+		if err != nil {
+			fatal(fmt.Errorf("%w\n%s", err, out))
+		}
+		fmt.Printf("bench-gate: %s best allocations: %d allocs/op (limit %d)\n", *bench, got, *allocs)
+		if got > *allocs {
+			fatal(fmt.Errorf("%s allocates: %d allocs/op, limit %d", *bench, got, *allocs))
+		}
 	}
 
 	limit := baseline * (1 + *threshold)
@@ -133,6 +152,27 @@ func readBaseline(path, bench string) (float64, error) {
 		return 0, fmt.Errorf("no 'bench-gate baseline: %s <ns> ns/op' line in %s", bench, path)
 	}
 	return strconv.ParseFloat(strings.ReplaceAll(string(m[1]), ",", ""), 64)
+}
+
+// fewestAllocs parses `go test -bench -benchmem` output and returns the
+// minimum allocs/op across the repeated runs of bench.
+func fewestAllocs(out, bench string) (int, error) {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(bench) + `(?:-\d+)?\s.*\s(\d+) allocs/op`)
+	best, runs := 0, 0
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		v, err := strconv.Atoi(m[1])
+		if err != nil {
+			return 0, err
+		}
+		if runs == 0 || v < best {
+			best = v
+		}
+		runs++
+	}
+	if runs == 0 {
+		return 0, fmt.Errorf("no %s allocs/op results in benchmark output (is -benchmem set?)", bench)
+	}
+	return best, nil
 }
 
 // fastestRun parses `go test -bench` output and returns the minimum ns/op

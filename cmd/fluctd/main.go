@@ -45,6 +45,7 @@ func main() {
 		ckpt   = flag.String("checkpoint", "", "checkpoint per-source state to this file (empty: acks are process-lifetime only)")
 		ckptIv = flag.Duration("checkpoint-interval", 30*time.Second, "also checkpoint on this timer (0: only on acks and shutdown)")
 		idle   = flag.Duration("idle-timeout", 2*time.Minute, "disconnect shippers idle this long (0: never)")
+		shards = flag.Int("shards", 0, "ingest shard goroutines; sources pin to shards by ID hash (0: min(GOMAXPROCS, 8))")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		TopK:           *topK,
 		CheckpointPath: *ckpt,
 		IdleTimeout:    *idle,
+		IngestShards:   *shards,
 	})
 	if err != nil {
 		fatal(err)

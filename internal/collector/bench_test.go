@@ -1,0 +1,64 @@
+package collector
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// BenchmarkCollectorIngest measures the live ingest path end to end: N
+// concurrent sources stream pre-encoded trace sets over real TCP loopback
+// connections into one collector, and an iteration is one complete set
+// delivered and integrated per source. This is the number the zero-copy
+// work exists to move — pooled frame reads, lock-free per-shard decode and
+// integration, and the per-source dedup bookkeeping, all under concurrent
+// load. Gated against the baseline in EXPERIMENTS.md via make bench-gate.
+func BenchmarkCollectorIngest(b *testing.B) {
+	const nSources = 4
+	set := workloadSet(b, 120)
+	var blob []byte
+	for _, f := range rawSetFrames(b, set) {
+		blob = wire.AppendFrame(blob, f)
+	}
+
+	coll, addr := startCollector(b, Config{Registry: obs.NewRegistry()})
+	defer coll.Close()
+	conns := make([]net.Conn, nSources)
+	for i := range conns {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := wire.ClientHandshake(conn, fmt.Sprintf("bench-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+		conns[i] = conn
+	}
+
+	b.SetBytes(int64(len(blob)) * nSources)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, conn := range conns {
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Write(blob); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(conn)
+	}
+	wg.Wait()
+	for i := 0; i < nSources; i++ {
+		waitSets(b, coll, fmt.Sprintf("bench-%d", i), uint64(b.N), 5*time.Minute)
+	}
+	b.StopTimer()
+}

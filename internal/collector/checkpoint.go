@@ -215,6 +215,7 @@ func (c *Collector) restoreCheckpoint(path string) error {
 			}
 			src.syms = tab
 		}
+		c.initSource(src)
 		c.sources[cs.ID] = src
 	}
 	c.metSources.SetInt(len(c.sources))

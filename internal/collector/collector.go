@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -48,34 +49,48 @@ type Config struct {
 	// this long, freeing collector state from half-dead links (≤ 0
 	// disables; the fluctd daemon defaults it to 2 minutes).
 	IdleTimeout time.Duration
+	// IngestShards is how many ingest goroutines decode frames and feed
+	// integrators. Each source is pinned to one shard by ID hash, so a
+	// source's frames always apply in arrival order; across sources the
+	// shards run independently, keeping one slow or huge stream from
+	// stalling every other shipper behind a lock. Default:
+	// min(GOMAXPROCS, 8).
+	IngestShards int
 	// Registry receives the collector's self-telemetry (nil: obs.Default()).
 	Registry *obs.Registry
 }
 
 // Collector accepts shipper connections and maintains the fleet state.
 type Collector struct {
-	cfg Config
+	cfg  Config
+	pool *wire.FramePool // connection reads land in pooled frame buffers
 
 	mu      sync.Mutex
 	sources map[string]*Source
 	conns   map[net.Conn]struct{}
 
+	shards    []*shard
+	shutShard sync.Once
+
 	ckptMu sync.Mutex // serializes checkpoint file writes
 
-	metConns    *obs.Counter
-	metFrames   *obs.Counter
-	metBytes    *obs.Counter
-	metCRCErrs  *obs.Counter
-	metDiscon   *obs.Counter
-	metIdleDisc *obs.Counter
-	metDups     *obs.Counter
-	metAcks     *obs.Counter
-	metCkpts    *obs.Counter
-	metCkptErrs *obs.Counter
-	metItems    *obs.Counter
-	metSets     *obs.Counter
-	metSources  *obs.Gauge
-	metConfHist *obs.Histogram
+	metConns       *obs.Counter
+	metFrames      *obs.Counter
+	metBytes       *obs.Counter
+	metCRCErrs     *obs.Counter
+	metDiscon      *obs.Counter
+	metIdleDisc    *obs.Counter
+	metDups        *obs.Counter
+	metAcks        *obs.Counter
+	metCkpts       *obs.Counter
+	metCkptErrs    *obs.Counter
+	metItems       *obs.Counter
+	metSets        *obs.Counter
+	metSources     *obs.Gauge
+	metConfHist    *obs.Histogram
+	metShardFrames *obs.Counter
+	metShardDepth  *obs.Gauge
+	metShardImbal  *obs.Gauge
 }
 
 // Source is the per-shipper state. It survives reconnects: a shipper that
@@ -85,7 +100,25 @@ type Source struct {
 	// ID is the source tag from the handshake.
 	ID string
 
+	// shard is the source's home ingest shard (assigned by ID hash, fixed
+	// for the source's lifetime): all of this source's frames decode and
+	// integrate on that shard's goroutine, which is what lets the in-set
+	// state below run without a lock.
+	shard *shard
+
 	mu sync.Mutex
+
+	// Ingest ordering. Every frame enqueued to the shard takes the next
+	// tick; the shard publishes applyTick (and wakes applyCond) as it
+	// finishes each one, so a waiter can block until everything enqueued up
+	// to a point has been applied — the SetEnd checkpoint/ack path needs
+	// exactly that. setOpen mirrors "a set is in flight" at enqueue time
+	// (the connection goroutine cannot look at integ, which belongs to the
+	// shard), so seqStart can decide whether an epoch change must abort one.
+	enqTick   uint64
+	applyTick uint64
+	applyCond *sync.Cond
+	setOpen   bool
 
 	// Acked-delivery state (v2 connections). epoch is the shipper's spool
 	// numbering generation; appliedSeq is the highest sequence number
@@ -98,7 +131,10 @@ type Source struct {
 	appliedSeq uint64
 	lastAcked  uint64
 
-	// Current-set decoding state.
+	// Current-set decoding state. freq and syms are written by the shard
+	// under mu (checkpoint and the fleet view read them); integ, cur, and
+	// curItem are touched ONLY by the home shard's goroutine — the hot
+	// decode + integrate path holds no lock at all.
 	freq    uint64
 	syms    *symtab.Table
 	integ   *core.StreamIntegrator
@@ -137,25 +173,33 @@ func New(cfg Config) (*Collector, error) {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	c := &Collector{
-		cfg:         cfg,
-		sources:     map[string]*Source{},
-		conns:       map[net.Conn]struct{}{},
-		metConns:    reg.Counter("fluct_collector_connections_total"),
-		metFrames:   reg.Counter("fluct_collector_frames_total"),
-		metBytes:    reg.Counter("fluct_collector_bytes_total"),
-		metCRCErrs:  reg.Counter("fluct_collector_crc_errors_total"),
-		metDiscon:   reg.Counter("fluct_collector_disconnects_total"),
-		metIdleDisc: reg.Counter("fluct_collector_idle_disconnects_total"),
-		metDups:     reg.Counter("fluct_collector_duplicate_frames_total"),
-		metAcks:     reg.Counter("fluct_collector_acks_total"),
-		metCkpts:    reg.Counter("fluct_collector_checkpoints_total"),
-		metCkptErrs: reg.Counter("fluct_collector_checkpoint_errors_total"),
-		metItems:    reg.Counter("fluct_collector_items_total"),
-		metSets:     reg.Counter("fluct_collector_sets_total"),
-		metSources:  reg.Gauge("fluct_collector_sources"),
-		metConfHist: reg.Histogram("fluct_collector_item_confidence_x1000"),
+	if cfg.IngestShards <= 0 {
+		cfg.IngestShards = min(runtime.GOMAXPROCS(0), 8)
 	}
+	c := &Collector{
+		cfg:            cfg,
+		pool:           wire.NewFramePool(reg),
+		sources:        map[string]*Source{},
+		conns:          map[net.Conn]struct{}{},
+		metConns:       reg.Counter("fluct_collector_connections_total"),
+		metFrames:      reg.Counter("fluct_collector_frames_total"),
+		metBytes:       reg.Counter("fluct_collector_bytes_total"),
+		metCRCErrs:     reg.Counter("fluct_collector_crc_errors_total"),
+		metDiscon:      reg.Counter("fluct_collector_disconnects_total"),
+		metIdleDisc:    reg.Counter("fluct_collector_idle_disconnects_total"),
+		metDups:        reg.Counter("fluct_collector_duplicate_frames_total"),
+		metAcks:        reg.Counter("fluct_collector_acks_total"),
+		metCkpts:       reg.Counter("fluct_collector_checkpoints_total"),
+		metCkptErrs:    reg.Counter("fluct_collector_checkpoint_errors_total"),
+		metItems:       reg.Counter("fluct_collector_items_total"),
+		metSets:        reg.Counter("fluct_collector_sets_total"),
+		metSources:     reg.Gauge("fluct_collector_sources"),
+		metConfHist:    reg.Histogram("fluct_collector_item_confidence_x1000"),
+		metShardFrames: reg.Counter("fluct_collector_shard_frames_total"),
+		metShardDepth:  reg.Gauge("fluct_collector_shard_queue_depth"),
+		metShardImbal:  reg.Gauge("fluct_collector_shard_imbalance_x1000"),
+	}
+	c.startShards(cfg.IngestShards)
 	if cfg.CheckpointPath != "" {
 		if err := c.restoreCheckpoint(cfg.CheckpointPath); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return nil, err
@@ -184,10 +228,22 @@ func (c *Collector) source(id string) *Source {
 	s := c.sources[id]
 	if s == nil {
 		s = &Source{ID: id}
+		c.initSource(s)
 		c.sources[id] = s
 		c.metSources.SetInt(len(c.sources))
 	}
 	return s
+}
+
+// initSource wires a source into the ingest machinery: its home shard
+// (stable FNV-1a hash of the ID) and the apply-tick condition.
+func (c *Collector) initSource(s *Source) {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s.ID); i++ {
+		h = (h ^ uint64(s.ID[i])) * 1099511628211
+	}
+	s.shard = c.shards[h%uint64(len(c.shards))]
+	s.applyCond = sync.NewCond(&s.mu)
 }
 
 // Source returns the state for id, or nil if the source never connected.
@@ -212,11 +268,13 @@ func (c *Collector) CloseConns() {
 	}
 }
 
-// Close severs every connection and, when checkpointing is configured,
-// writes a final checkpoint so nothing acknowledged outlives the process
-// only in memory.
+// Close severs every connection, drains the ingest shards (everything
+// already enqueued is applied, nothing new is accepted), and, when
+// checkpointing is configured, writes a final checkpoint so nothing
+// acknowledged outlives the process only in memory.
 func (c *Collector) Close() error {
 	c.CloseConns()
+	c.stopShards()
 	if c.cfg.CheckpointPath == "" {
 		return nil
 	}
@@ -244,6 +302,10 @@ type connSeq struct {
 // HandleConn runs one shipper connection to completion: handshake, then
 // frames until the connection dies. Exported so tests and in-process
 // transports can drive the collector without a listener.
+//
+// The connection goroutine only reads frames (each into a pooled buffer)
+// and runs the sequenced dedup/ack bookkeeping under src.mu; decoding and
+// integrating happen on the source's home ingest shard (see shard.go).
 func (c *Collector) HandleConn(conn net.Conn) {
 	defer conn.Close()
 	c.trackConn(conn, true)
@@ -259,13 +321,13 @@ func (c *Collector) HandleConn(conn net.Conn) {
 	src.mu.Unlock()
 
 	var cs connSeq
-	var buf []byte
+	rd := c.pool.NewReader(conn)
 	for {
 		if c.cfg.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(c.cfg.IdleTimeout))
 		}
-		var f wire.Frame
-		f, buf, err = wire.ReadFrame(conn, buf)
+		var f wire.FrameView
+		f, err = rd.Next()
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				// Nothing arrived for a full IdleTimeout: reclaim the
@@ -310,8 +372,9 @@ func (c *Collector) HandleConn(conn net.Conn) {
 		c.metBytes.Add(uint64(len(f.Payload)) + 9)
 
 		if f.Type == wire.TSeqStart {
-			ss, err := wire.DecodeSeqStart(f.Payload)
-			if err != nil {
+			ss, derr := wire.DecodeSeqStart(f.Payload)
+			f.Release()
+			if derr != nil {
 				// A malformed SeqStart leaves the numbering undefined;
 				// nothing on this connection can be trusted to a sequence.
 				c.metCRCErrs.Inc()
@@ -326,21 +389,21 @@ func (c *Collector) HandleConn(conn net.Conn) {
 			continue
 		}
 		if !cs.active {
-			if err := c.frame(src, f); err != nil {
-				// A well-framed but uninterpretable payload: count and drop.
-				c.metCRCErrs.Inc()
-				src.mu.Lock()
-				src.crcErrors++
-				src.mu.Unlock()
-			}
+			// v1 path: no numbering, every frame goes straight to the shard
+			// (which counts any decode failure).
+			src.mu.Lock()
+			c.enqueueFrameLocked(src, f, false, nil)
+			src.mu.Unlock()
 			continue
 		}
 
 		// Sequenced path: every data frame consumes the next number. The
-		// dedup check and the application happen under one src.mu hold —
+		// dedup check and the shard enqueue happen under one src.mu hold —
 		// two live connections for the same source (a stale link draining
 		// kernel-buffered frames while the reconnected shipper replays)
-		// must never both pass the check and double-apply a frame.
+		// must never both pass the check and double-apply a frame. Passing
+		// the check claims the sequence number; the ordered shard queue
+		// then applies the admitted frames in admission order.
 		seq := cs.next
 		cs.next++
 		src.mu.Lock()
@@ -349,19 +412,31 @@ func (c *Collector) HandleConn(conn net.Conn) {
 			// source; this link's numbering is obsolete and applying its
 			// frames would corrupt the new generation's dedup watermark.
 			src.mu.Unlock()
+			f.Release()
 			c.metDiscon.Inc()
 			return
 		}
 		dup := seq <= src.appliedSeq
-		var ferr error
+		var tick uint64
+		var res chan error
 		if !dup {
-			ferr = c.frameLocked(src, f)
 			if seq > src.appliedSeq {
 				src.appliedSeq = seq
 			}
+			if f.Type == wire.TSetEnd {
+				// The ack path below must know the apply outcome.
+				res = make(chan error, 1)
+			}
+			c.enqueueFrameLocked(src, f, false, res)
+		} else {
+			// Snapshot: everything enqueued so far (including, on a
+			// reconnect race, the original of this duplicate) must be
+			// applied before a SetEnd below may checkpoint and ack.
+			tick = src.enqTick
 		}
 		src.mu.Unlock()
 		if dup {
+			f.Release()
 			// Retransmission of a frame already applied (the ack for it
 			// was lost, or a checkpoint failure withheld it): skip the
 			// integrator, but a SetEnd still falls through to the
@@ -371,17 +446,20 @@ func (c *Collector) HandleConn(conn net.Conn) {
 			if f.Type != wire.TSetEnd {
 				continue
 			}
-		} else if ferr != nil {
-			// The frame arrived intact (CRC passed) but its payload is
-			// undecodable; retransmitting identical bytes cannot help, so
-			// the sequence number is consumed and the frame dropped.
-			c.metCRCErrs.Inc()
-			src.mu.Lock()
-			src.crcErrors++
-			src.mu.Unlock()
-			continue
+			waitApplied(src, tick)
+		} else {
+			if f.Type != wire.TSetEnd {
+				continue
+			}
+			if ferr := <-res; ferr != nil {
+				// The SetEnd arrived intact (CRC passed) but its payload is
+				// undecodable; retransmitting identical bytes cannot help,
+				// so the sequence number is consumed, the frame dropped
+				// (and counted by the shard), and no ack sent.
+				continue
+			}
 		}
-		if f.Type == wire.TSetEnd {
+		{
 			// Ack-after-durability: the set is applied; persist before
 			// acknowledging so a crash between the two costs the shipper
 			// only a retransmission, never us an acked-but-lost set. The
@@ -425,7 +503,11 @@ func writeAck(conn net.Conn, epoch, seq uint64) error {
 }
 
 // seqStart applies a connection's TSeqStart to the source's acked-delivery
-// state and returns the watermark to advertise back.
+// state and returns the watermark to advertise back. Set aborts are routed
+// through the home shard (as abort entries) so they stay ordered with the
+// frames already queued; the setOpen flag is the connection-side mirror of
+// "a set is in flight" that makes the decision possible without touching
+// shard-owned state.
 func (c *Collector) seqStart(src *Source, ss wire.SeqStart) uint64 {
 	src.mu.Lock()
 	defer src.mu.Unlock()
@@ -434,9 +516,8 @@ func (c *Collector) seqStart(src *Source, ss wire.SeqStart) uint64 {
 		// from this source): old sequence numbers mean nothing anymore,
 		// and an in-flight set from the old generation will never see its
 		// SetEnd.
-		if src.integ != nil {
-			src.abortedSets++
-			c.finishSetLocked(src, wire.SetEnd{})
+		if src.setOpen {
+			c.enqueueFrameLocked(src, wire.FrameView{}, true, nil)
 		}
 		src.epoch = ss.Epoch
 		src.appliedSeq = 0
@@ -451,27 +532,33 @@ func (c *Collector) seqStart(src *Source, ss wire.SeqStart) uint64 {
 		if src.lastAcked < src.appliedSeq {
 			src.lastAcked = src.appliedSeq
 		}
-		if src.integ != nil {
+		if src.setOpen {
 			// The in-flight set straddles the gap and cannot complete.
-			src.abortedSets++
-			c.finishSetLocked(src, wire.SetEnd{})
+			c.enqueueFrameLocked(src, wire.FrameView{}, true, nil)
 		}
 	}
 	return src.lastAcked
 }
 
-// frame applies one verified frame to the source's state.
+// frame applies one verified frame to the source's state, synchronously:
+// it is routed through the home shard (so direct callers — tests,
+// in-process feeds — stay ordered with connection ingest) and waits for
+// the apply result.
 func (c *Collector) frame(src *Source, f wire.Frame) error {
+	res := make(chan error, 1)
 	src.mu.Lock()
-	defer src.mu.Unlock()
-	return c.frameLocked(src, f)
+	c.enqueueFrameLocked(src, wire.FrameView{Type: f.Type, Payload: f.Payload}, false, res)
+	src.mu.Unlock()
+	return <-res
 }
 
-// frameLocked is frame with src.mu already held — the sequenced path holds
-// the lock across the dedup check and the application so two live
-// connections for one source cannot both pass the check and double-apply.
-func (c *Collector) frameLocked(src *Source, f wire.Frame) error {
-	src.frames++
+// applyFrame applies one verified frame to the source's in-set state. It
+// runs ONLY on the source's home-shard goroutine, which owns integ/cur/
+// curItem outright — the decode (zero-copy record iterators over the
+// pooled frame bytes) and the integrator push take no lock; only the
+// fields the checkpoint and fleet view read (freq, syms, and the
+// finishSet publication) are written under src.mu.
+func (c *Collector) applyFrame(src *Source, f wire.Frame) error {
 	switch f.Type {
 	case wire.TSymtab:
 		freq, tab, err := wire.DecodeSymtab(f.Payload)
@@ -481,10 +568,11 @@ func (c *Collector) frameLocked(src *Source, f wire.Frame) error {
 		if src.integ != nil {
 			// The previous set never saw its SetEnd (dropped frame or a
 			// shipper restart): finalize what arrived rather than wedge.
-			src.abortedSets++
-			c.finishSetLocked(src, wire.SetEnd{})
+			c.finishSet(src, wire.SetEnd{}, true)
 		}
+		src.mu.Lock()
 		src.freq, src.syms = freq, tab
+		src.mu.Unlock()
 		src.cur = &trace.Set{FreqHz: freq, Syms: tab}
 		src.curItem = src.curItem[:0]
 		integ, err := core.NewStreamIntegrator(tab, core.Options{Event: c.cfg.Event}, func(*core.Item) {})
@@ -504,20 +592,24 @@ func (c *Collector) frameLocked(src *Source, f wire.Frame) error {
 		if src.integ == nil {
 			return fmt.Errorf("collector: markers before symtab")
 		}
-		return wire.DecodeMarkers(f.Payload, func(m trace.Marker) error {
+		it := wire.IterMarkers(f.Payload)
+		var m trace.Marker
+		for it.Next(&m) {
 			src.cur.Markers = append(src.cur.Markers, m)
 			src.integ.Marker(m)
-			return nil
-		})
+		}
+		return it.Err()
 	case wire.TSamples:
 		if src.integ == nil {
 			return fmt.Errorf("collector: samples before symtab")
 		}
-		return wire.DecodeSamples(f.Payload, func(sm pmu.Sample) error {
+		it := wire.IterSamples(f.Payload)
+		var sm pmu.Sample
+		for it.Next(&sm) {
 			src.cur.Samples = append(src.cur.Samples, sm)
 			src.integ.Sample(sm)
-			return nil
-		})
+		}
+		return it.Err()
 	case wire.TSetEnd:
 		if src.integ == nil {
 			return fmt.Errorf("collector: setend before symtab")
@@ -526,49 +618,63 @@ func (c *Collector) frameLocked(src *Source, f wire.Frame) error {
 		if err != nil {
 			return err
 		}
-		c.finishSetLocked(src, end)
+		c.finishSet(src, end, false)
 		return nil
 	default:
 		return fmt.Errorf("collector: unexpected %s frame", f.Type)
 	}
 }
 
-// finishSetLocked closes the in-flight set: flush the integrator, run the
-// gap scan, reconcile declared vs received totals, and publish the result
-// as the source's last completed set. Caller holds src.mu.
-func (c *Collector) finishSetLocked(src *Source, declared wire.SetEnd) {
+// finishSet closes the in-flight set: flush the integrator, run the gap
+// scan, reconcile declared vs received totals, and publish the result as
+// the source's last completed set. Runs on the home-shard goroutine; the
+// flush and the gap scan work on shard-owned state without a lock, only
+// the publication takes src.mu.
+func (c *Collector) finishSet(src *Source, declared wire.SetEnd, aborted bool) {
 	src.integ.Close()
-	src.diag = src.integ.Diag()
+	diag := src.integ.Diag()
 	src.integ = nil
 
-	src.items = append(src.items[:0], src.curItem...)
-	src.gaps = src.cur.GapSummary(c.cfg.Event)
+	gaps := src.cur.GapSummary(c.cfg.Event)
+	var lostMarkers, lostSamples uint64
 	if declared.Markers > uint64(len(src.cur.Markers)) {
-		src.lostMarkers += declared.Markers - uint64(len(src.cur.Markers))
+		lostMarkers = declared.Markers - uint64(len(src.cur.Markers))
 	}
 	if declared.Samples > uint64(len(src.cur.Samples)) {
-		src.lostSamples += declared.Samples - uint64(len(src.cur.Samples))
+		lostSamples = declared.Samples - uint64(len(src.cur.Samples))
 	}
-
 	var confSum float64
-	for i := range src.items {
-		confSum += src.items[i].Confidence
-		c.metConfHist.Record(uint64(src.items[i].Confidence * 1000))
+	for i := range src.curItem {
+		confSum += src.curItem[i].Confidence
+		c.metConfHist.Record(uint64(src.curItem[i].Confidence * 1000))
 	}
+	n := len(src.curItem)
+
+	src.mu.Lock()
+	src.diag = diag
+	src.items = append(src.items[:0], src.curItem...)
+	src.gaps = gaps
+	src.lostMarkers += lostMarkers
+	src.lostSamples += lostSamples
 	src.confSum += confSum
-	src.confN += len(src.items)
-	if n := len(src.items); n > 0 {
+	src.confN += n
+	if n > 0 {
 		src.lastMeanConf = confSum / float64(n)
 	} else {
 		src.lastMeanConf = 0
 	}
-	src.lastDegraded = src.gaps.Degraded() || src.lostMarkers+src.lostSamples > 0
+	src.lastDegraded = gaps.Degraded() || src.lostMarkers+src.lostSamples > 0
 	src.sets++
+	if aborted {
+		src.abortedSets++
+	}
+	src.mu.Unlock()
+
 	src.cur = &trace.Set{FreqHz: src.freq, Syms: src.syms}
 	src.curItem = src.curItem[:0]
 
 	c.metSets.Inc()
-	c.metItems.Add(uint64(len(src.items)))
+	c.metItems.Add(uint64(n))
 }
 
 // Epoch returns the source's spool numbering epoch (0 before any v2

@@ -58,6 +58,10 @@ type FleetView struct {
 	// TopSlow holds the K slowest items (by elapsed time) across all
 	// sources' last completed sets, slowest first.
 	TopSlow []FleetItem `json:"top_slow"`
+	// ShardFrames is the cumulative frame count applied by each ingest
+	// shard, in shard order — a skewed distribution means a few hot
+	// sources are pinning their shards while others idle.
+	ShardFrames []uint64 `json:"shard_frames,omitempty"`
 }
 
 // Fleet assembles the current fleet view.
@@ -118,6 +122,7 @@ func (c *Collector) Fleet() FleetView {
 		all = all[:c.cfg.TopK]
 	}
 	v.TopSlow = all
+	v.ShardFrames = c.ShardLoad()
 	return v
 }
 

@@ -3,6 +3,7 @@ package collector
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net"
 	"runtime"
 	"testing"
@@ -99,51 +100,72 @@ func waitSets(t testing.TB, c *Collector, source string, n uint64, timeout time.
 // identical by the core package).
 func TestLoopbackEquivalence(t *testing.T) {
 	set := workloadSet(t, 120)
-	coll, addr := startCollector(t, Config{})
+	// The equivalence must hold regardless of the ingest sharding: a single
+	// shard serializes everything, several shards exercise the handoff
+	// between connection goroutines and shard goroutines.
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			coll, addr := startCollector(t, Config{Registry: reg, IngestShards: shards})
 
-	s, err := ship.New(ship.Config{Addr: addr, Source: "worker-1", Registry: obs.NewRegistry()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- s.Run(ctx) }()
-	if err := s.ShipSet(set); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Drain(ctx); err != nil {
-		t.Fatal(err)
-	}
-	src := waitSets(t, coll, "worker-1", 1, 20*time.Second)
-	cancel()
-	<-done
+			s, err := ship.New(ship.Config{Addr: addr, Source: "worker-1", Registry: obs.NewRegistry()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			done := make(chan error, 1)
+			go func() { done <- s.Run(ctx) }()
+			if err := s.ShipSet(set); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Drain(ctx); err != nil {
+				t.Fatal(err)
+			}
+			src := waitSets(t, coll, "worker-1", 1, 20*time.Second)
+			cancel()
+			<-done
 
-	var shipped bytes.Buffer
-	RenderItems(&shipped, src.FreqHz(), src.Items())
+			var shipped bytes.Buffer
+			RenderItems(&shipped, src.FreqHz(), src.Items())
 
-	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
-		local, err := core.Integrate(set, core.Options{Parallelism: par})
-		if err != nil {
-			t.Fatal(err)
-		}
-		var want bytes.Buffer
-		RenderItems(&want, local.FreqHz, local.Items)
-		if !bytes.Equal(shipped.Bytes(), want.Bytes()) {
-			t.Fatalf("parallelism %d: collector report differs from local Integrate: %s",
-				par, firstDiff(shipped.String(), want.String()))
-		}
-	}
+			for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+				local, err := core.Integrate(set, core.Options{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want bytes.Buffer
+				RenderItems(&want, local.FreqHz, local.Items)
+				if !bytes.Equal(shipped.Bytes(), want.Bytes()) {
+					t.Fatalf("parallelism %d: collector report differs from local Integrate: %s",
+						par, firstDiff(shipped.String(), want.String()))
+				}
+			}
 
-	// The transport lost nothing on a clean link.
-	if src.Diag().UnattributedSamples != 0 {
-		// Unattributed samples exist in any trace (inter-item gaps); just
-		// require agreement with the local pass.
-		local, _ := core.Integrate(set, core.Options{})
-		if src.Diag().UnattributedSamples != local.Diag.UnattributedSamples {
-			t.Fatalf("unattributed: shipped %d, local %d",
-				src.Diag().UnattributedSamples, local.Diag.UnattributedSamples)
-		}
+			// The transport lost nothing on a clean link.
+			if src.Diag().UnattributedSamples != 0 {
+				// Unattributed samples exist in any trace (inter-item gaps); just
+				// require agreement with the local pass.
+				local, _ := core.Integrate(set, core.Options{})
+				if src.Diag().UnattributedSamples != local.Diag.UnattributedSamples {
+					t.Fatalf("unattributed: shipped %d, local %d",
+						src.Diag().UnattributedSamples, local.Diag.UnattributedSamples)
+				}
+			}
+
+			// The zero-copy machinery actually carried the set: frames went
+			// through the ingest shards and the shard load is visible.
+			var shardFrames uint64
+			for _, n := range coll.ShardLoad() {
+				shardFrames += n
+			}
+			if shardFrames == 0 {
+				t.Error("ingest shards applied no frames")
+			}
+			if got := reg.Counter("fluct_collector_shard_frames_total").Value(); got != shardFrames {
+				t.Errorf("shard frame counter %d != shard load sum %d", got, shardFrames)
+			}
+		})
 	}
 }
 

@@ -66,11 +66,15 @@ func (s *Shipper) ShipSet(set *trace.Set) error {
 		markerRun []trace.Marker
 		sampleRun []pmu.Sample
 	)
+	// Each run is encoded straight into a pooled frame buffer (sized for
+	// the run's worst case, so the in-place build cannot outgrow it); the
+	// same bytes then serve the spool append and the socket write.
 	flushMarkers := func() bool {
 		if len(markerRun) == 0 {
 			return true
 		}
-		ok := s.EnqueueFrame(wire.Frame{Type: wire.TMarkers, Payload: wire.AppendMarkers(nil, markerRun)})
+		ok := s.enqueueEncoded(wire.TMarkers, wire.MarkersFrameBound(len(markerRun)),
+			func(dst []byte) []byte { return wire.AppendMarkers(dst, markerRun) })
 		markerRun = markerRun[:0]
 		return ok
 	}
@@ -78,7 +82,8 @@ func (s *Shipper) ShipSet(set *trace.Set) error {
 		if len(sampleRun) == 0 {
 			return true
 		}
-		ok := s.EnqueueFrame(wire.Frame{Type: wire.TSamples, Payload: wire.AppendSamples(nil, sampleRun)})
+		ok := s.enqueueEncoded(wire.TSamples, wire.SamplesFrameBound(len(sampleRun)),
+			func(dst []byte) []byte { return wire.AppendSamples(dst, sampleRun) })
 		sampleRun = sampleRun[:0]
 		return ok
 	}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"slices"
 	"sync"
 	"time"
 
@@ -86,12 +87,14 @@ type Config struct {
 // ShipSet) from any goroutine; one Run loop drains the queue to the
 // network.
 type Shipper struct {
-	cfg Config
+	cfg  Config
+	pool *wire.FramePool // frame encodings are built in (and shipped from) pooled buffers
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	queue     []queued // FIFO: queue[0] is oldest; contiguous by seq when spooled
 	closed    bool
+	memSeq    uint64 // no-spool mode: ordinal of the last enqueued frame
 	nextSend  uint64 // spool mode: seq of the next frame to transmit
 	lastAcked uint64 // spool mode: highest acked seq (v2: by collector, v1: by write)
 	highSent  uint64 // spool mode: highest seq ever written to a socket
@@ -113,11 +116,17 @@ type Shipper struct {
 	rng splitmix64
 }
 
-// queued is one encoded frame awaiting transmission. seq is 0 when the
-// shipper runs without a spool.
+// queued is one encoded frame awaiting transmission: the complete wire
+// encoding, its sequence number (spool seq when spooling, an in-memory
+// ordinal otherwise), and the pooled buffer backing the bytes (nil when the
+// encoding outgrew every pool class). The queue owns one buffer reference
+// per entry; whoever removes an entry — pop, drop, eviction, ack trim —
+// releases it. The pump takes its own reference around each socket write,
+// so a concurrent removal can never recycle bytes mid-write.
 type queued struct {
 	seq   uint64
 	bytes []byte
+	buf   *wire.Buf
 }
 
 // New validates cfg and builds a shipper, opening (and recovering) the
@@ -156,6 +165,7 @@ func New(cfg Config) (*Shipper, error) {
 	}
 	s := &Shipper{
 		cfg:           cfg,
+		pool:          wire.NewFramePool(reg),
 		metQueue:      reg.Gauge("fluct_ship_queue_depth"),
 		metDropped:    reg.Counter("fluct_ship_dropped_frames_total"),
 		metEvicted:    reg.Counter("fluct_ship_cache_evictions_total"),
@@ -209,10 +219,46 @@ func (s *Shipper) Epoch() uint64 {
 // (disk failure) is shed and counted rather than allowed to stall the
 // workload. Returns false if the shipper is closed.
 func (s *Shipper) EnqueueFrame(f wire.Frame) bool {
-	enc := wire.AppendFrame(nil, f)
+	return s.enqueueEncoded(f.Type, len(f.Payload)+wire.FrameOverhead,
+		func(dst []byte) []byte { return append(dst, f.Payload...) })
+}
+
+// enqueueEncoded builds one frame directly inside a pooled buffer —
+// BeginFrame, the caller's payload append, EndFrame — and queues those
+// exact bytes: the spool append and the socket write both consume the one
+// pooled encoding, with no intermediate payload slice. bound is the
+// worst-case encoded frame size the buffer is drawn for; if the encoding
+// somehow outgrows it (append reallocated away from the pooled buffer),
+// the plain slice is queued and the pooled buffer returned.
+func (s *Shipper) enqueueEncoded(t wire.Type, bound int, enc func([]byte) []byte) bool {
+	buf := s.pool.Get(bound)
+	dst := buf.Bytes()[:0]
+	dst, start := wire.BeginFrame(dst, t)
+	dst = enc(dst)
+	dst, err := wire.EndFrame(dst, start)
+	if err != nil {
+		// Oversized payload: unshippable by construction, shed it visibly
+		// rather than poisoning the stream.
+		buf.Release()
+		s.metDropped.Inc()
+		return true
+	}
+	if cap(dst) > buf.Cap() {
+		buf.Release()
+		buf = nil
+	} else {
+		buf.SetLen(len(dst))
+	}
+	return s.enqueue(dst, buf)
+}
+
+// enqueue adds one complete frame encoding (backed by buf when pooled) to
+// the queue, applying the spool write-through and the overflow policy.
+func (s *Shipper) enqueue(enc []byte, buf *wire.Buf) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		buf.Release()
 		return false
 	}
 	if s.spl != nil {
@@ -223,10 +269,14 @@ func (s *Shipper) EnqueueFrame(f wire.Frame) bool {
 			// so an unspooled frame cannot ride along.
 			s.metSpoolErrs.Inc()
 			s.metDropped.Inc()
+			buf.Release()
 			return true
 		}
-		s.queue = append(s.queue, queued{seq: seq, bytes: enc})
+		s.queue = append(s.queue, queued{seq: seq, bytes: enc, buf: buf})
 		if over := len(s.queue) - s.cfg.QueueFrames; over > 0 {
+			for i := 0; i < over; i++ {
+				s.queue[i].buf.Release()
+			}
 			s.queue = s.queue[over:]
 			s.metEvicted.Add(uint64(over))
 		}
@@ -236,10 +286,14 @@ func (s *Shipper) EnqueueFrame(f wire.Frame) bool {
 	}
 	if len(s.queue) >= s.cfg.QueueFrames {
 		n := len(s.queue) - s.cfg.QueueFrames + 1
+		for i := 0; i < n; i++ {
+			s.queue[i].buf.Release()
+		}
 		s.queue = s.queue[n:]
 		s.metDropped.Add(uint64(n))
 	}
-	s.queue = append(s.queue, queued{bytes: enc})
+	s.memSeq++
+	s.queue = append(s.queue, queued{seq: s.memSeq, bytes: enc, buf: buf})
 	s.metQueue.SetInt(len(s.queue))
 	s.cond.Signal()
 	return true
@@ -291,33 +345,85 @@ func (s *Shipper) Drain(ctx context.Context) error {
 	}
 }
 
-// next blocks until a frame is available, the shipper is closed with an
-// empty queue, or ctx is cancelled. It returns the frame's encoded bytes
-// without dequeuing — the caller pops via popFront only after a successful
-// write, so a frame interrupted by a dying connection is retransmitted on
-// the next connection rather than lost (the collector discards the cut
-// half-frame; a duplicate, if the cut landed after delivery, is absorbed
-// by the integrator's marker-repair path and the confidence model).
-func (s *Shipper) next(ctx context.Context) ([]byte, bool) {
+// nextMem blocks until frames are queued (no-spool mode), the shipper is
+// closed with an empty queue, or ctx is cancelled, and snapshots the whole
+// queue for one coalesced write: bytes, seqs, and a retained buffer
+// reference per frame, so a concurrent drop-oldest cannot recycle a pooled
+// buffer while its bytes are on their way into the socket. Entries are
+// dequeued via trimSent only after the write reports them complete; a
+// frame interrupted by a dying connection is retransmitted on the next
+// connection rather than lost (the collector discards the cut half-frame;
+// a duplicate, if the cut landed after delivery, is absorbed by the
+// integrator's marker-repair path and the confidence model).
+func (s *Shipper) nextMem(ctx context.Context) ([][]byte, []uint64, []*wire.Buf, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.queue) == 0 {
 		if s.closed || ctx.Err() != nil {
-			return nil, false
+			return nil, nil, nil, false
 		}
 		s.cond.Wait()
 	}
-	return s.queue[0].bytes, true
+	frames := make([][]byte, len(s.queue))
+	seqs := make([]uint64, len(s.queue))
+	bufs := make([]*wire.Buf, len(s.queue))
+	for i := range s.queue {
+		frames[i] = s.queue[i].bytes
+		seqs[i] = s.queue[i].seq
+		bufs[i] = s.queue[i].buf
+		s.queue[i].buf.Retain()
+	}
+	return frames, seqs, bufs, true
 }
 
-// popFront removes the frame returned by next after it was fully written.
-func (s *Shipper) popFront() {
+// trimSent dequeues (and releases) every frame with seq ≤ upto. Matching
+// by sequence rather than by count keeps the pop correct when drop-oldest
+// removed some of the snapshot's frames while the write was in flight.
+func (s *Shipper) trimSent(upto uint64) {
 	s.mu.Lock()
-	if len(s.queue) > 0 {
-		s.queue = s.queue[1:]
+	trim := 0
+	for trim < len(s.queue) && s.queue[trim].seq <= upto {
+		s.queue[trim].buf.Release()
+		trim++
+	}
+	if trim > 0 {
+		s.queue = s.queue[trim:]
 		s.metQueue.SetInt(len(s.queue))
 	}
 	s.mu.Unlock()
+}
+
+// releaseBufs drops the snapshot references taken by nextMem/nextBatch.
+func releaseBufs(bufs []*wire.Buf) {
+	for _, b := range bufs {
+		b.Release()
+	}
+}
+
+// writeFrames pushes a batch of complete frame encodings with one vectored
+// write: on a TCP connection net.Buffers coalesces the batch into a single
+// writev, on any other conn it degrades to one Write per frame — which
+// keeps per-frame write granularity for fault-injecting test conns (frame
+// cuts land on frame boundaries of the injector's choosing, as before).
+// The outer slice is cloned because WriteTo consumes it. Returns the bytes
+// written and the first error.
+func writeFrames(conn net.Conn, frames [][]byte) (int64, error) {
+	bufs := net.Buffers(slices.Clone(frames))
+	return bufs.WriteTo(conn)
+}
+
+// fullyWritten counts how many leading frames a write of n bytes fully
+// covered, and their total size. A trailing partial frame is not counted:
+// its connection is dying, and the whole frame will be retransmitted.
+func fullyWritten(frames [][]byte, n int64) (full int, bytes uint64) {
+	for _, f := range frames {
+		if int64(bytes)+int64(len(f)) > n {
+			break
+		}
+		bytes += uint64(len(f))
+		full++
+	}
+	return full, bytes
 }
 
 // waitWork blocks until there is something to ship (or to collect acks
@@ -402,29 +508,35 @@ func (s *Shipper) Run(ctx context.Context) error {
 }
 
 // pump writes pending frames to conn until everything closes cleanly (nil)
-// or the connection fails (non-nil). onFirstWrite runs after the first
-// frame lands on the socket — the proof of a useful connection that
-// resets the reconnect backoff.
+// or the connection fails (non-nil). Each pass coalesces everything queued
+// into one vectored write instead of a write per frame. onFirstWrite runs
+// after the first frame lands on the socket — the proof of a useful
+// connection that resets the reconnect backoff.
 func (s *Shipper) pump(ctx context.Context, conn net.Conn, version uint16, onFirstWrite func()) error {
 	if s.spl != nil {
 		return s.pumpSpool(ctx, conn, version, onFirstWrite)
 	}
 	wrote := false
 	for {
-		frame, ok := s.next(ctx)
+		frames, seqs, bufs, ok := s.nextMem(ctx)
 		if !ok {
 			return nil
 		}
-		if _, err := conn.Write(frame); err != nil {
-			return err
+		n, werr := writeFrames(conn, frames)
+		full, bytes := fullyWritten(frames, n)
+		if full > 0 {
+			if !wrote {
+				wrote = true
+				onFirstWrite()
+			}
+			s.metFrames.Add(uint64(full))
+			s.metBytes.Add(bytes)
+			s.trimSent(seqs[full-1])
 		}
-		if !wrote {
-			wrote = true
-			onFirstWrite()
+		releaseBufs(bufs)
+		if werr != nil {
+			return werr
 		}
-		s.popFront()
-		s.metFrames.Inc()
-		s.metBytes.Add(uint64(len(frame)))
 	}
 }
 
@@ -471,40 +583,50 @@ func (s *Shipper) pumpSpool(ctx context.Context, conn net.Conn, version uint16, 
 	}
 	wrote := false
 	for {
-		frames, seqs, err := s.nextBatch(ctx, cs)
+		frames, seqs, bufs, err := s.nextBatch(ctx, cs)
 		if err != nil {
 			return err
 		}
 		if frames == nil {
 			return nil // clean shutdown
 		}
-		for i, fb := range frames {
-			if _, err := conn.Write(fb); err != nil {
-				return err
-			}
+		n, werr := writeFrames(conn, frames)
+		full, bytes := fullyWritten(frames, n)
+		if full > 0 {
 			if !wrote {
 				wrote = true
 				onFirstWrite()
 			}
-			s.metFrames.Inc()
-			s.metBytes.Add(uint64(len(fb)))
-			seq := seqs[i]
+			s.metFrames.Add(uint64(full))
+			s.metBytes.Add(bytes)
+			last := seqs[full-1]
 			s.mu.Lock()
-			if seq <= s.highSent {
-				s.metRetrans.Inc()
-			} else {
-				s.highSent = seq
+			retrans := 0
+			for _, seq := range seqs[:full] {
+				if seq <= s.highSent {
+					retrans++
+				}
 			}
-			s.nextSend = seq + 1
+			if retrans > 0 {
+				s.metRetrans.Add(uint64(retrans))
+			}
+			if last > s.highSent {
+				s.highSent = last
+			}
+			s.nextSend = last + 1
 			s.mu.Unlock()
 			if !ackMode {
 				// Fire-and-forget peer: a completed write is the only
 				// delivery there is; reclaim the disk immediately.
-				if err := sp.Ack(seq); err != nil {
+				if err := sp.Ack(last); err != nil {
 					s.metSpoolErrs.Inc()
 				}
-				s.applyAck(seq)
+				s.applyAck(last)
 			}
+		}
+		releaseBufs(bufs)
+		if werr != nil {
+			return werr
 		}
 	}
 }
@@ -512,18 +634,21 @@ func (s *Shipper) pumpSpool(ctx context.Context, conn net.Conn, version uint16, 
 // nextBatch blocks until frames are transmittable and returns them in
 // sequence order — from the in-memory cache when it still holds the next
 // needed sequence, replayed from the spool otherwise (after a restart or
-// a cache eviction). A nil, nil, nil return means clean shutdown; an
-// errConnDead error means the connection died while waiting.
-func (s *Shipper) nextBatch(ctx context.Context, cs *connState) ([][]byte, []uint64, error) {
+// a cache eviction). Cache-served frames come with a retained buffer
+// reference each (the caller releases after writing); replayed frames are
+// fresh copies with no buffers to release. A nil-frames, nil-error return
+// means clean shutdown; an errConnDead error means the connection died
+// while waiting.
+func (s *Shipper) nextBatch(ctx context.Context, cs *connState) ([][]byte, []uint64, []*wire.Buf, error) {
 	s.mu.Lock()
 	for {
 		if ctx.Err() != nil {
 			s.mu.Unlock()
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
 		if cs.dead {
 			s.mu.Unlock()
-			return nil, nil, errConnDead
+			return nil, nil, nil, errConnDead
 		}
 		if s.nextSend <= s.lastAcked {
 			// The collector told us (via the SeqStart ack) that it
@@ -536,12 +661,15 @@ func (s *Shipper) nextBatch(ctx context.Context, cs *connState) ([][]byte, []uin
 				idx := int(s.nextSend - s.queue[0].seq)
 				frames := make([][]byte, 0, len(s.queue)-idx)
 				seqs := make([]uint64, 0, len(s.queue)-idx)
+				bufs := make([]*wire.Buf, 0, len(s.queue)-idx)
 				for ; idx < len(s.queue); idx++ {
 					frames = append(frames, s.queue[idx].bytes)
 					seqs = append(seqs, s.queue[idx].seq)
+					bufs = append(bufs, s.queue[idx].buf)
+					s.queue[idx].buf.Retain()
 				}
 				s.mu.Unlock()
-				return frames, seqs, nil
+				return frames, seqs, bufs, nil
 			}
 			// Cache miss: the frames live only on disk. Replay up to the
 			// cache's start (or a bounded batch) without holding the lock.
@@ -568,14 +696,14 @@ func (s *Shipper) nextBatch(ctx context.Context, cs *connState) ([][]byte, []uin
 				if err == nil {
 					err = fmt.Errorf("ship: spool replay [%d,%d): no frames", from, to)
 				}
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			s.mu.Unlock()
-			return frames, seqs, nil
+			return frames, seqs, nil, nil
 		}
 		if s.closed && s.lastAcked >= top-1 {
 			s.mu.Unlock()
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
 		s.cond.Wait()
 	}
@@ -608,15 +736,16 @@ var errReplayDone = fmt.Errorf("ship: replay batch done")
 
 // readAcks consumes collector frames on a v2 connection — TAck advances
 // the watermark, reclaims spool segments, and trims the cache — until the
-// connection dies, then wakes the pump so it can reconnect.
+// connection dies, then wakes the pump so it can reconnect. Acks are tiny,
+// so the scanner's shrink-to-watermark buffer stays in the smallest class
+// for the connection's life.
 func (s *Shipper) readAcks(conn net.Conn, cs *connState) {
-	var buf []byte
+	sc := wire.NewFrameScanner(conn)
 	for {
-		f, b, err := wire.ReadFrame(conn, buf)
+		f, err := sc.ReadFrame()
 		if err != nil {
 			break
 		}
-		buf = b
 		if f.Type != wire.TAck {
 			continue
 		}
@@ -635,7 +764,8 @@ func (s *Shipper) readAcks(conn net.Conn, cs *connState) {
 	s.mu.Unlock()
 }
 
-// applyAck advances the in-memory acked watermark and trims the cache.
+// applyAck advances the in-memory acked watermark and trims the cache,
+// releasing the trimmed entries' pooled buffers.
 func (s *Shipper) applyAck(seq uint64) {
 	s.mu.Lock()
 	if seq > s.lastAcked {
@@ -644,6 +774,7 @@ func (s *Shipper) applyAck(seq uint64) {
 	}
 	trim := 0
 	for trim < len(s.queue) && s.queue[trim].seq <= s.lastAcked {
+		s.queue[trim].buf.Release()
 		trim++
 	}
 	if trim > 0 {

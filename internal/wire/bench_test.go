@@ -8,11 +8,7 @@ import (
 	"repro/internal/trace"
 )
 
-// BenchmarkWireEncodeDecode is the shipping-throughput baseline gated by
-// make bench-gate: one 512-marker + 2048-sample batch pair framed,
-// checksummed, read back, and parsed — the per-batch cost a shipper and a
-// collector each pay. The bench-gate baseline line lives in EXPERIMENTS.md.
-func BenchmarkWireEncodeDecode(b *testing.B) {
+func benchRecords() ([]trace.Marker, []pmu.Sample) {
 	markers := make([]trace.Marker, 512)
 	tsc := uint64(1 << 40)
 	for i := range markers {
@@ -29,6 +25,99 @@ func BenchmarkWireEncodeDecode(b *testing.B) {
 		tsc += 500
 		samples[i] = pmu.Sample{TSC: tsc, IP: 0x400000 + uint64(i%4096)*16, Core: int32(i % 4), Event: pmu.UopsRetired}
 	}
+	return markers, samples
+}
+
+// BenchmarkWireEncodeDecode is the shipping-throughput baseline gated by
+// make bench-gate: one 512-marker + 2048-sample batch pair framed,
+// checksummed, read back, and parsed — the per-batch cost a shipper and a
+// collector each pay, on the zero-copy path both now use: frames are built
+// in place with BeginFrame/EndFrame into a pooled buffer, read back into
+// pooled buffers via ReadFrameView, and decoded with the MarkerIter/
+// SampleIter record views. Steady state is allocation-free; the benchgate
+// allocs gate (-allocs 0) pins that. The bench-gate baseline line lives in
+// EXPERIMENTS.md.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	markers, samples := benchRecords()
+	pool := NewFramePool(nil)
+
+	var wireBytes int64
+	var stream bytes.Buffer
+	enc := pool.Get(64 << 10)
+	defer enc.Release()
+	rd := pool.NewReader(&stream)
+	var mbatch [256]trace.Marker
+	var sbatch [256]pmu.Sample
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := enc.Bytes()[:0]
+		dst, start := BeginFrame(dst, TMarkers)
+		dst = AppendMarkers(dst, markers)
+		dst, err := EndFrame(dst, start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, start = BeginFrame(dst, TSamples)
+		dst = AppendSamples(dst, samples)
+		dst, err = EndFrame(dst, start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cap(dst) > enc.Cap() {
+			b.Fatal("encode outgrew pooled buffer") // sizing bug, would alloc
+		}
+		stream.Reset()
+		stream.Write(dst)
+		wireBytes += int64(len(dst))
+
+		var nm, ns int
+		for f := 0; f < 2; f++ {
+			v, err := rd.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch v.Type {
+			case TMarkers:
+				it := IterMarkers(v.Payload)
+				for {
+					n := it.NextBatch(mbatch[:])
+					if n == 0 {
+						break
+					}
+					nm += n
+				}
+				err = it.Err()
+			case TSamples:
+				it := IterSamples(v.Payload)
+				for {
+					n := it.NextBatch(sbatch[:])
+					if n == 0 {
+						break
+					}
+					ns += n
+				}
+				err = it.Err()
+			}
+			v.Release()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if nm != len(markers) || ns != len(samples) {
+			b.Fatalf("lost records: %d/%d markers, %d/%d samples", nm, len(markers), ns, len(samples))
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(wireBytes / int64(b.N))
+	b.ReportMetric(float64(len(markers)+len(samples)), "records/op")
+}
+
+// BenchmarkWireEncodeDecodeV1 is the callback-decoder path the iterators
+// replaced, kept as a reference point for the before/after tables in
+// EXPERIMENTS.md (not gated).
+func BenchmarkWireEncodeDecodeV1(b *testing.B) {
+	markers, samples := benchRecords()
 
 	var wireBytes int64
 	var encBuf []byte

@@ -1,0 +1,358 @@
+package wire
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/trace"
+)
+
+// The zero-copy iterators must be drop-in equivalents of the v1 callback
+// decoders: same records, in the same order, and the same error at the
+// same point on damaged input. These tests pin that equivalence three
+// ways — the Next scalar path, the NextBatch word-packed path at several
+// batch sizes, and a differential fuzz target — over the canonical golden
+// fixtures (clean, bursty sample loss, marker drop) and arbitrary bytes.
+
+// v1Markers decodes payload through the reference callback decoder.
+func v1Markers(payload []byte) ([]trace.Marker, error) {
+	var out []trace.Marker
+	err := DecodeMarkers(payload, func(m trace.Marker) error {
+		out = append(out, m)
+		return nil
+	})
+	return out, err
+}
+
+// iterMarkersNext decodes payload one record at a time via MarkerIter.Next.
+func iterMarkersNext(payload []byte) ([]trace.Marker, error) {
+	it := IterMarkers(payload)
+	var out []trace.Marker
+	var m trace.Marker
+	for it.Next(&m) {
+		out = append(out, m)
+	}
+	return out, it.Err()
+}
+
+// iterMarkersBatch decodes payload via MarkerIter.NextBatch with the given
+// batch size.
+func iterMarkersBatch(payload []byte, batch int) ([]trace.Marker, error) {
+	it := IterMarkers(payload)
+	dst := make([]trace.Marker, batch)
+	var out []trace.Marker
+	for {
+		n := it.NextBatch(dst)
+		if n == 0 {
+			break
+		}
+		out = append(out, dst[:n]...)
+	}
+	return out, it.Err()
+}
+
+func v1Samples(payload []byte) ([]pmu.Sample, error) {
+	var out []pmu.Sample
+	err := DecodeSamples(payload, func(sm pmu.Sample) error {
+		out = append(out, sm)
+		return nil
+	})
+	return out, err
+}
+
+func iterSamplesNext(payload []byte) ([]pmu.Sample, error) {
+	it := IterSamples(payload)
+	var out []pmu.Sample
+	var sm pmu.Sample
+	for it.Next(&sm) {
+		out = append(out, sm)
+	}
+	return out, it.Err()
+}
+
+func iterSamplesBatch(payload []byte, batch int) ([]pmu.Sample, error) {
+	it := IterSamples(payload)
+	dst := make([]pmu.Sample, batch)
+	var out []pmu.Sample
+	for {
+		n := it.NextBatch(dst)
+		if n == 0 {
+			break
+		}
+		out = append(out, dst[:n]...)
+	}
+	return out, it.Err()
+}
+
+// errText canonicalizes an error for comparison: nil stays "", everything
+// else is its message.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// checkMarkerEquivalence runs every decode path over payload and fails the
+// test unless they all agree on both records and error.
+func checkMarkerEquivalence(t *testing.T, payload []byte) {
+	t.Helper()
+	want, wantErr := v1Markers(payload)
+	got, gotErr := iterMarkersNext(payload)
+	if errText(gotErr) != errText(wantErr) {
+		t.Fatalf("Next error diverged: got %q want %q", errText(gotErr), errText(wantErr))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Next record count diverged: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Next record %d diverged:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	for _, batch := range []int{1, 3, 256} {
+		got, gotErr := iterMarkersBatch(payload, batch)
+		if errText(gotErr) != errText(wantErr) {
+			t.Fatalf("NextBatch(%d) error diverged: got %q want %q", batch, errText(gotErr), errText(wantErr))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("NextBatch(%d) record count diverged: got %d want %d", batch, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("NextBatch(%d) record %d diverged:\n got %+v\nwant %+v", batch, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func checkSampleEquivalence(t *testing.T, payload []byte) {
+	t.Helper()
+	want, wantErr := v1Samples(payload)
+	got, gotErr := iterSamplesNext(payload)
+	if errText(gotErr) != errText(wantErr) {
+		t.Fatalf("Next error diverged: got %q want %q", errText(gotErr), errText(wantErr))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Next record count diverged: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Next record %d diverged:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	for _, batch := range []int{1, 3, 256} {
+		got, gotErr := iterSamplesBatch(payload, batch)
+		if errText(gotErr) != errText(wantErr) {
+			t.Fatalf("NextBatch(%d) error diverged: got %q want %q", batch, errText(gotErr), errText(wantErr))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("NextBatch(%d) record count diverged: got %d want %d", batch, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("NextBatch(%d) record %d diverged:\n got %+v\nwant %+v", batch, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// goldenSets loads the canonical fixtures from internal/trace/testdata.
+func goldenSets(t *testing.T) map[string]*trace.Set {
+	t.Helper()
+	sets := make(map[string]*trace.Set)
+	dir := filepath.Join("..", "trace", "testdata")
+	for _, name := range []string{"clean", "loss10", "markerdrop"} {
+		f, err := os.Open(filepath.Join(dir, name+".fltrc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("decode fixture %s: %v", name, err)
+		}
+		sets[name] = set
+	}
+	return sets
+}
+
+// TestIterEquivalenceGolden encodes the golden fixtures' records through
+// the production encoders and checks that every zero-copy decode path
+// reproduces the v1 callback decoder byte for byte — on intact payloads
+// and on truncations at every prefix length (where all paths must agree
+// on both the decoded prefix and the error).
+func TestIterEquivalenceGolden(t *testing.T) {
+	for name, set := range goldenSets(t) {
+		t.Run(name, func(t *testing.T) {
+			// Encode in a few run lengths so delta restarts land at
+			// different offsets, like real batched shipping does.
+			for _, run := range []int{7, 256, len(set.Markers) + 1} {
+				for lo := 0; lo < len(set.Markers); lo += run {
+					hi := min(lo+run, len(set.Markers))
+					payload := AppendMarkers(nil, set.Markers[lo:hi])
+					checkMarkerEquivalence(t, payload)
+				}
+				for lo := 0; lo < len(set.Samples); lo += run {
+					hi := min(lo+run, len(set.Samples))
+					payload := AppendSamples(nil, set.Samples[lo:hi])
+					checkSampleEquivalence(t, payload)
+				}
+			}
+			// Damaged input: all truncation points of one mid-size batch.
+			mEnd := min(64, len(set.Markers))
+			mp := AppendMarkers(nil, set.Markers[:mEnd])
+			for n := 0; n <= len(mp); n++ {
+				checkMarkerEquivalence(t, mp[:n])
+			}
+			sEnd := min(64, len(set.Samples))
+			sp := AppendSamples(nil, set.Samples[:sEnd])
+			for n := 0; n <= len(sp); n++ {
+				checkSampleEquivalence(t, sp[:n])
+			}
+		})
+	}
+}
+
+// TestIterEquivalenceCorrupt flips each byte of a small encoded batch (one
+// at a time, all 256 values at a sample of positions) and checks the decode
+// paths still agree — corruption must fail, or succeed differently, in
+// exactly the same way everywhere.
+func TestIterEquivalenceCorrupt(t *testing.T) {
+	mp := AppendMarkers(nil, testMarkers())
+	for pos := 0; pos < len(mp); pos++ {
+		for _, x := range []byte{0x01, 0x80, 0xff} {
+			cp := append([]byte(nil), mp...)
+			cp[pos] ^= x
+			checkMarkerEquivalence(t, cp)
+		}
+	}
+	sp := AppendSamples(nil, testSamples())
+	for pos := 0; pos < len(sp); pos++ {
+		for _, x := range []byte{0x01, 0x80, 0xff} {
+			cp := append([]byte(nil), sp...)
+			cp[pos] ^= x
+			checkSampleEquivalence(t, cp)
+		}
+	}
+}
+
+// TestIterRejectsTrailingGarbage pins the Err contract: records that decode
+// cleanly followed by undecodable trailing bytes is an error, not a clean
+// stop.
+func TestIterRejectsTrailingGarbage(t *testing.T) {
+	payload := AppendMarkers(nil, testMarkers())
+	payload = append(payload, 0x80) // dangling varint continuation byte
+	if _, err := iterMarkersNext(payload); err == nil {
+		t.Fatal("trailing garbage after markers not rejected")
+	}
+	checkMarkerEquivalence(t, payload)
+}
+
+// FuzzFrameIter is the differential fuzzer behind the handwritten cases
+// above: arbitrary bytes through both record types, v1 callback decode vs
+// Next vs NextBatch, everything must agree.
+//
+//	go test -run '^$' -fuzz '^FuzzFrameIter$' ./internal/wire
+func FuzzFrameIter(f *testing.F) {
+	f.Add(true, AppendMarkers(nil, testMarkers()))
+	f.Add(false, AppendSamples(nil, testSamples()))
+	f.Add(true, []byte{})
+	f.Add(false, []byte{0x02, 0x00, 0x01})
+	mp := AppendMarkers(nil, testMarkers())
+	f.Add(true, mp[:len(mp)-2])
+	f.Add(false, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02})
+	f.Fuzz(func(t *testing.T, samples bool, payload []byte) {
+		if samples {
+			want, wantErr := v1Samples(payload)
+			for path, dec := range map[string]func([]byte) ([]pmu.Sample, error){
+				"next":     iterSamplesNext,
+				"batch4":   func(p []byte) ([]pmu.Sample, error) { return iterSamplesBatch(p, 4) },
+				"batch256": func(p []byte) ([]pmu.Sample, error) { return iterSamplesBatch(p, 256) },
+			} {
+				got, gotErr := dec(payload)
+				if errText(gotErr) != errText(wantErr) {
+					t.Fatalf("%s: error diverged: got %q want %q", path, errText(gotErr), errText(wantErr))
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s: count diverged: got %d want %d", path, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: record %d diverged", path, i)
+					}
+				}
+			}
+			return
+		}
+		want, wantErr := v1Markers(payload)
+		for path, dec := range map[string]func([]byte) ([]trace.Marker, error){
+			"next":     iterMarkersNext,
+			"batch4":   func(p []byte) ([]trace.Marker, error) { return iterMarkersBatch(p, 4) },
+			"batch256": func(p []byte) ([]trace.Marker, error) { return iterMarkersBatch(p, 256) },
+		} {
+			got, gotErr := dec(payload)
+			if errText(gotErr) != errText(wantErr) {
+				t.Fatalf("%s: error diverged: got %q want %q", path, errText(gotErr), errText(wantErr))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: count diverged: got %d want %d", path, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: record %d diverged", path, i)
+				}
+			}
+		}
+	})
+}
+
+// TestIterBatchReuseDirtyDst pins the NextBatch zeroing protocol: a dst
+// batch holding stale register blocks from a previous decode must not leak
+// them into records whose hasRegs flag is clear.
+func TestIterBatchReuseDirtyDst(t *testing.T) {
+	withRegs := testSamples()
+	for i := range withRegs {
+		for r := range withRegs[i].Regs {
+			withRegs[i].Regs[r] = uint64(i*100 + r + 1)
+		}
+	}
+	noRegs := testSamples() // zero Regs → encoded with hasRegs=0
+	for i := range noRegs {
+		noRegs[i].Regs = [pmu.NumRegs]uint64{}
+	}
+
+	dst := make([]pmu.Sample, 8)
+	it := IterSamples(AppendSamples(nil, withRegs))
+	for it.NextBatch(dst) > 0 {
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	it = IterSamples(AppendSamples(nil, noRegs))
+	n := it.NextBatch(dst)
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(noRegs) {
+		t.Fatalf("got %d records, want %d", n, len(noRegs))
+	}
+	for i := 0; i < n; i++ {
+		if dst[i].Regs != ([pmu.NumRegs]uint64{}) {
+			t.Fatalf("record %d leaked stale regs from reused dst: %v", i, dst[i].Regs)
+		}
+	}
+
+	var one pmu.Sample
+	one.Regs[3] = 0xdead
+	it = IterSamples(AppendSamples(nil, noRegs[:1]))
+	if !it.Next(&one) {
+		t.Fatalf("Next failed: %v", it.Err())
+	}
+	if one.Regs != ([pmu.NumRegs]uint64{}) {
+		t.Fatalf("Next leaked stale regs: %v", one.Regs)
+	}
+}

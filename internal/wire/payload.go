@@ -86,19 +86,99 @@ func DecodeSymtab(p []byte) (freqHz uint64, t *symtab.Table, err error) {
 	return freqHz, t, nil
 }
 
+// Worst-case encoded record sizes. The index-based encoders reserve one
+// record's worst case before emitting it, so the per-field stores need no
+// growth checks of their own.
+const (
+	maxMarkerEnc = 10 + 10 + 10 + 1            // ΔTSC, item, core, kind
+	maxSampleEnc = 10 + 10 + 10 + 1 + 1 + 160 // ΔTSC, ip, core, event, flag, regs
+)
+
+// The unrolled register scan in AppendSamples spells out 16 indices.
+var _ = [1]struct{}{}[pmu.NumRegs-16]
+
+// MarkersFrameBound returns a worst-case size for a complete TMarkers
+// frame carrying n markers (framing + count + n max-width records) — the
+// capacity to request when encoding a batch into a pooled buffer so the
+// in-place build can never outgrow it.
+func MarkersFrameBound(n int) int { return FrameOverhead + 10 + n*maxMarkerEnc }
+
+// SamplesFrameBound is MarkersFrameBound for a TSamples frame.
+func SamplesFrameBound(n int) int { return FrameOverhead + 10 + n*maxSampleEnc }
+
+// encReserve guarantees at least need writable bytes past j, growing the
+// buffer if it must, and returns the buffer re-sliced to full capacity.
+func encReserve(b []byte, j, need int) []byte {
+	if len(b)-j >= need {
+		return b
+	}
+	grown := append(b[:j], make([]byte, need)...)
+	return grown[:cap(grown)]
+}
+
 // AppendMarkers appends a TMarkers payload: a count followed by
 // {ΔTSC varint, item uvarint, core varint, kind byte} per marker.
+//
+// The record loop writes by index into reserved capacity rather than
+// appending field-by-field: one headroom check per record, then plain
+// stores. This is the shipper's hot encode loop; see varint.go for why the
+// varint emit is hand-unrolled.
 func AppendMarkers(dst []byte, ms []trace.Marker) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(ms)))
+	dst = appendUvarint(dst, uint64(len(ms)))
 	prev := uint64(0)
-	for _, m := range ms {
-		dst = binary.AppendVarint(dst, int64(m.TSC-prev))
+	j := len(dst)
+	b := dst[:cap(dst)]
+	for i := range ms {
+		b = encReserve(b, j, maxMarkerEnc)
+		m := &ms[i]
+		// Word-compose ΔTSC (≤2 bytes sorted-batch typical) + item
+		// (≤5 bytes) in a register and store once — one 8-byte store with
+		// one bounds check instead of per-byte appends. Wider values take
+		// the generic emit.
+		d := zigzag(int64(m.TSC - prev))
 		prev = m.TSC
-		dst = binary.AppendUvarint(dst, m.Item)
-		dst = binary.AppendVarint(dst, int64(m.Core))
-		dst = append(dst, byte(m.Kind))
+		if item := m.Item; d < 1<<14 && item < 1<<35 {
+			var w uint64
+			var wl int
+			if d < 1<<7 {
+				w, wl = d, 1
+			} else {
+				w, wl = d&0x7f|0x80|(d>>7)<<8, 2
+			}
+			var iw uint64
+			var il int
+			switch {
+			case item < 1<<7:
+				iw, il = item, 1
+			case item < 1<<14:
+				iw, il = item&0x7f|0x80|(item>>7)<<8, 2
+			case item < 1<<21:
+				iw, il = item&0x7f|0x80|(item>>7&0x7f|0x80)<<8|(item>>14)<<16, 3
+			case item < 1<<28:
+				iw, il = item&0x7f|0x80|(item>>7&0x7f|0x80)<<8|(item>>14&0x7f|0x80)<<16|(item>>21)<<24, 4
+			default:
+				iw, il = item&0x7f|0x80|(item>>7&0x7f|0x80)<<8|(item>>14&0x7f|0x80)<<16|(item>>21&0x7f|0x80)<<24|(item>>28)<<32, 5
+			}
+			binary.LittleEndian.PutUint64(b[j:], w|iw<<(8*uint(wl)))
+			j += wl + il
+		} else {
+			j = putUvarint(b, j, d)
+			j = putUvarint(b, j, m.Item)
+		}
+		if u := zigzag(int64(m.Core)); u < 1<<7 {
+			b[j] = byte(u)
+			j++
+		} else if u < 1<<14 {
+			b[j] = byte(u) | 0x80
+			b[j+1] = byte(u >> 7)
+			j += 2
+		} else {
+			j = putUvarintWide(b, j, u)
+		}
+		b[j] = byte(m.Kind)
+		j++
 	}
-	return dst
+	return b[:j]
 }
 
 // DecodeMarkers parses a TMarkers payload, invoking fn per marker in frame
@@ -155,30 +235,84 @@ func DecodeMarkers(p []byte, fn func(trace.Marker) error) error {
 // [16]uvarint regs when hasRegs} per sample — the trace.Encode sample
 // layout with delta timestamps and varint fields.
 func AppendSamples(dst []byte, ss []pmu.Sample) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	dst = appendUvarint(dst, uint64(len(ss)))
 	prev := uint64(0)
+	j := len(dst)
+	b := dst[:cap(dst)]
 	for i := range ss {
+		b = encReserve(b, j, maxSampleEnc)
 		sm := &ss[i]
-		dst = binary.AppendVarint(dst, int64(sm.TSC-prev))
+		// Word-compose ΔTSC (≤2 bytes) + IP (a code address — 3-5 bytes
+		// typical) and store once, as in AppendMarkers.
+		d := zigzag(int64(sm.TSC - prev))
 		prev = sm.TSC
-		dst = binary.AppendUvarint(dst, sm.IP)
-		dst = binary.AppendVarint(dst, int64(sm.Core))
-		dst = append(dst, byte(sm.Event))
-		hasRegs := byte(0)
-		for _, r := range sm.Regs {
-			if r != 0 {
-				hasRegs = 1
-				break
+		if ip := sm.IP; d < 1<<14 && ip < 1<<35 {
+			var w uint64
+			var wl int
+			if d < 1<<7 {
+				w, wl = d, 1
+			} else {
+				w, wl = d&0x7f|0x80|(d>>7)<<8, 2
 			}
+			var iw uint64
+			var il int
+			switch {
+			case ip < 1<<7:
+				iw, il = ip, 1
+			case ip < 1<<14:
+				iw, il = ip&0x7f|0x80|(ip>>7)<<8, 2
+			case ip < 1<<21:
+				iw, il = ip&0x7f|0x80|(ip>>7&0x7f|0x80)<<8|(ip>>14)<<16, 3
+			case ip < 1<<28:
+				iw, il = ip&0x7f|0x80|(ip>>7&0x7f|0x80)<<8|(ip>>14&0x7f|0x80)<<16|(ip>>21)<<24, 4
+			default:
+				iw, il = ip&0x7f|0x80|(ip>>7&0x7f|0x80)<<8|(ip>>14&0x7f|0x80)<<16|(ip>>21&0x7f|0x80)<<24|(ip>>28)<<32, 5
+			}
+			binary.LittleEndian.PutUint64(b[j:], w|iw<<(8*uint(wl)))
+			j += wl + il
+		} else {
+			j = putUvarint(b, j, d)
+			j = putUvarint(b, j, sm.IP)
 		}
-		dst = append(dst, hasRegs)
+		if u := zigzag(int64(sm.Core)); u < 1<<7 {
+			b[j] = byte(u)
+			j++
+		} else if u < 1<<14 {
+			b[j] = byte(u) | 0x80
+			b[j+1] = byte(u >> 7)
+			j += 2
+		} else {
+			j = putUvarintWide(b, j, u)
+		}
+		b[j] = byte(sm.Event)
+		// Branch-free presence check: OR all registers rather than
+		// early-exit scanning — regs are almost always absent, so the
+		// early exit never fires and only adds a branch per register.
+		rg := &sm.Regs
+		or := rg[0] | rg[1] | rg[2] | rg[3] | rg[4] | rg[5] | rg[6] | rg[7] |
+			rg[8] | rg[9] | rg[10] | rg[11] | rg[12] | rg[13] | rg[14] | rg[15]
+		hasRegs := byte(0)
+		if or != 0 {
+			hasRegs = 1
+		}
+		b[j+1] = hasRegs
+		j += 2
 		if hasRegs == 1 {
-			for _, r := range sm.Regs {
-				dst = binary.AppendUvarint(dst, r)
+			for _, r := range rg {
+				if r < 1<<7 {
+					b[j] = byte(r)
+					j++
+				} else if r < 1<<14 {
+					b[j] = byte(r) | 0x80
+					b[j+1] = byte(r >> 7)
+					j += 2
+				} else {
+					j = putUvarintWide(b, j, r)
+				}
 			}
 		}
 	}
-	return dst
+	return b[:j]
 }
 
 // DecodeSamples parses a TSamples payload, invoking fn per sample in frame

@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestFramePoolClasses(t *testing.T) {
+	for _, tc := range []struct {
+		n, wantCap int
+	}{
+		{1, 4 << 10},
+		{4 << 10, 4 << 10},
+		{4<<10 + 1, 64 << 10},
+		{64 << 10, 64 << 10},
+		{64<<10 + 1, 1 << 20},
+		{1 << 20, 1 << 20},
+		{1<<20 + 1, MaxFrameBytes + 8},
+		{MaxFrameBytes + 8, MaxFrameBytes + 8},
+	} {
+		p := NewFramePool(obs.NewRegistry())
+		b := p.Get(tc.n)
+		if b.Cap() != tc.wantCap {
+			t.Errorf("Get(%d): cap %d, want %d", tc.n, b.Cap(), tc.wantCap)
+		}
+		if len(b.Bytes()) != tc.n {
+			t.Errorf("Get(%d): len %d, want %d", tc.n, len(b.Bytes()), tc.n)
+		}
+		b.Release()
+	}
+}
+
+func TestFramePoolReuseAndCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewFramePool(reg)
+	hits := reg.Counter("fluct_wire_pool_hits_total")
+	misses := reg.Counter("fluct_wire_pool_misses_total")
+	steals := reg.Counter("fluct_wire_pool_steals_total")
+
+	// First Get allocates (miss); Release returns it; second Get of the
+	// same class reuses the identical backing array (hit).
+	b1 := p.Get(100)
+	if got := misses.Value(); got != 1 {
+		t.Fatalf("misses after first Get: %d, want 1", got)
+	}
+	first := &b1.Bytes()[0]
+	b1.Release()
+	b2 := p.Get(200)
+	if &b2.Bytes()[0] != first {
+		t.Fatal("pooled buffer not reused after release")
+	}
+	if got := hits.Value(); got != 1 {
+		t.Fatalf("hits after reuse: %d, want 1", got)
+	}
+
+	// With the small class empty and a larger class populated, a small
+	// request steals the big buffer rather than allocating.
+	big := p.Get(64 << 10)
+	big.Release()
+	small := p.Get(10)
+	if small.Cap() != 64<<10 {
+		t.Fatalf("steal returned cap %d, want %d", small.Cap(), 64<<10)
+	}
+	if got := steals.Value(); got != 1 {
+		t.Fatalf("steals: %d, want 1", got)
+	}
+	b2.Release()
+	small.Release()
+
+	// Oversized requests fall back to plain allocation and are not pooled.
+	huge := p.Get(MaxFrameBytes + 9)
+	if huge.Cap() != MaxFrameBytes+9 {
+		t.Fatalf("oversized cap %d", huge.Cap())
+	}
+	huge.Release()
+}
+
+func TestBufRefcount(t *testing.T) {
+	p := NewFramePool(obs.NewRegistry())
+	b := p.Get(10)
+	first := &b.Bytes()[0]
+	b.Retain()
+	b.Release() // back to 1 — must not return to the pool yet
+	if got := p.Get(10); &got.Bytes()[0] == first {
+		t.Fatal("buffer returned to pool while still referenced")
+	}
+	b.Release() // now free
+	got := p.Get(10)
+	if &got.Bytes()[0] != first {
+		t.Fatal("buffer not returned to pool after last release")
+	}
+	got.Release()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	got.Release() // refcount already 0
+}
+
+func TestBufNilSafe(t *testing.T) {
+	var b *Buf
+	b.Retain()
+	b.Release()
+	var p *FramePool
+	nb := p.Get(16)
+	if len(nb.Bytes()) != 16 {
+		t.Fatalf("nil-pool Get len %d", len(nb.Bytes()))
+	}
+	nb.Release()
+}
+
+// TestReadFrameViewContract pins the pooled reader to ReadFrame's exact
+// error contract: same success values, io.EOF on a clean boundary,
+// ErrUnexpectedEOF on truncation, ErrChecksum on corruption, absurd-length
+// rejection.
+func TestReadFrameViewContract(t *testing.T) {
+	p := NewFramePool(obs.NewRegistry())
+	payload := AppendMarkers(nil, testMarkers())
+	enc := AppendFrame(nil, Frame{Type: TMarkers, Payload: payload})
+	enc = AppendFrame(enc, Frame{Type: TSetEnd, Payload: AppendSetEnd(nil, SetEnd{Markers: 3})})
+
+	rd := p.NewReader(bytes.NewReader(enc))
+	v1, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Type != TMarkers || !bytes.Equal(v1.Payload, payload) {
+		t.Fatal("first frame mismatch")
+	}
+	if !bytes.Equal(v1.Raw(), enc[:len(v1.Raw())]) {
+		t.Fatal("Raw() is not the canonical encoding")
+	}
+	v2, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Type != TSetEnd {
+		t.Fatalf("second frame type %v", v2.Type)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("clean boundary: got %v, want io.EOF", err)
+	}
+	v1.Release()
+	v2.Release()
+
+	// Truncation at every prefix must match ReadFrame's classification:
+	// io.EOF exactly on a frame boundary, ErrUnexpectedEOF anywhere inside.
+	one := AppendFrame(nil, Frame{Type: TMarkers, Payload: payload})
+	for n := 0; n < len(one); n++ {
+		_, gotErr := p.ReadFrameView(bytes.NewReader(one[:n]))
+		_, _, wantErr := ReadFrame(bytes.NewReader(one[:n]), nil)
+		if (gotErr == io.EOF) != (wantErr == io.EOF) ||
+			errors.Is(gotErr, io.ErrUnexpectedEOF) != errors.Is(wantErr, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated at %d: got %q want %q", n, errText(gotErr), errText(wantErr))
+		}
+	}
+
+	// Corruption: flip one payload byte → ErrChecksum, buffer returned.
+	bad := append([]byte(nil), one...)
+	bad[6] ^= 0xff
+	if _, err := p.ReadFrameView(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt frame: got %v, want ErrChecksum", err)
+	}
+
+	// Absurd length prefix.
+	absurd := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, err := p.ReadFrameView(bytes.NewReader(absurd)); err == nil || !bytes.Contains([]byte(err.Error()), []byte("absurd frame length")) {
+		t.Fatalf("absurd length: got %v", err)
+	}
+}
+
+func TestParseFrameView(t *testing.T) {
+	payload := AppendMarkers(nil, testMarkers())
+	enc := AppendFrame(nil, Frame{Type: TMarkers, Payload: payload})
+	enc = AppendFrame(enc, Frame{Type: TSetEnd, Payload: AppendSetEnd(nil, SetEnd{})})
+
+	v, rest, err := ParseFrameView(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Type != TMarkers || !bytes.Equal(v.Payload, payload) {
+		t.Fatal("first frame mismatch")
+	}
+	v2, rest, err := ParseFrameView(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Type != TSetEnd {
+		t.Fatalf("second frame type %v", v2.Type)
+	}
+	if _, _, err := ParseFrameView(rest); err != io.EOF {
+		t.Fatalf("end of run: got %v, want io.EOF", err)
+	}
+	one := AppendFrame(nil, Frame{Type: TMarkers, Payload: payload})
+	if _, _, err := ParseFrameView(one[:len(one)-3]); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated run: got %v", err)
+	}
+}
+
+// TestFrameScannerShrink pins the scanner's fix for the grow-only buffer
+// contract: after one oversized frame grows the buffer, a window of small
+// frames shrinks it back to the small frames' size class.
+func TestFrameScannerShrink(t *testing.T) {
+	bigPayload := make([]byte, 300<<10) // forces a ~300 KiB buffer
+	var enc []byte
+	enc = AppendFrame(enc, Frame{Type: TSymtab, Payload: bigPayload})
+	small := Frame{Type: TSetEnd, Payload: AppendSetEnd(nil, SetEnd{Markers: 1, Samples: 2})}
+	for i := 0; i < 2*scannerShrinkAfter; i++ {
+		enc = AppendFrame(enc, small)
+	}
+
+	s := NewFrameScanner(bytes.NewReader(enc))
+	if s.BufCap() != poolClassSizes[0] {
+		t.Fatalf("initial cap %d, want %d", s.BufCap(), poolClassSizes[0])
+	}
+	f, err := s.ReadFrame()
+	if err != nil || len(f.Payload) != len(bigPayload) {
+		t.Fatalf("big frame: %v", err)
+	}
+	grown := s.BufCap()
+	if grown < len(bigPayload) {
+		t.Fatalf("buffer did not grow: %d", grown)
+	}
+	for i := 0; i < 2*scannerShrinkAfter; i++ {
+		if _, err := s.ReadFrame(); err != nil {
+			t.Fatalf("small frame %d: %v", i, err)
+		}
+	}
+	if s.BufCap() != poolClassSizes[0] {
+		t.Fatalf("buffer did not shrink after %d small frames: cap %d, want %d",
+			2*scannerShrinkAfter, s.BufCap(), poolClassSizes[0])
+	}
+	if _, err := s.ReadFrame(); err != io.EOF {
+		t.Fatalf("end: got %v, want io.EOF", err)
+	}
+}
+
+// TestBeginEndFrame pins the in-place frame builder to AppendFrame's exact
+// byte output, including appending after existing bytes and the oversize
+// rejection.
+func TestBeginEndFrame(t *testing.T) {
+	payload := AppendMarkers(nil, testMarkers())
+	want := AppendFrame([]byte("prefix"), Frame{Type: TMarkers, Payload: payload})
+
+	dst := []byte("prefix")
+	dst, start := BeginFrame(dst, TMarkers)
+	dst = append(dst, payload...)
+	dst, err := EndFrame(dst, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Fatal("BeginFrame/EndFrame output differs from AppendFrame")
+	}
+
+	dst, start = BeginFrame(nil, TMarkers)
+	dst = append(dst, make([]byte, MaxFrameBytes)...) // type byte pushes it over
+	if _, err := EndFrame(dst, start); err == nil {
+		t.Fatal("oversized frame not rejected")
+	}
+}

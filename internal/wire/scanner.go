@@ -1,0 +1,77 @@
+package wire
+
+import "io"
+
+// scannerShrinkAfter is the watermark window: after this many frames the
+// scanner compares the window's largest frame against its buffer and
+// shrinks to the watermark's size class if the buffer has outgrown it.
+const scannerShrinkAfter = 64
+
+// FrameScanner reads frames from a stream through an owned, self-managing
+// buffer. The raw ReadFrame/ReadRawFrame buffer contract is grow-only: one
+// oversized frame (a large symtab snapshot, say) grows the caller's buffer
+// to frame size and it stays that big for the life of the connection —
+// across a fleet of long-lived connections that pins max-size buffers
+// everywhere. The scanner fixes this by tracking the largest frame over a
+// window of scannerShrinkAfter reads and, at each window boundary,
+// shrinking its buffer back to the size class of that watermark.
+//
+// The returned Frame payload / raw slice aliases the scanner's buffer and
+// is valid only until the next Read call, exactly like the plain readers.
+// Not safe for concurrent use.
+type FrameScanner struct {
+	r         io.Reader
+	buf       []byte
+	frames    int // reads in the current window
+	watermark int // largest frame (full encoding) in the current window
+}
+
+// NewFrameScanner returns a scanner reading from r, starting with a
+// smallest-class buffer.
+func NewFrameScanner(r io.Reader) *FrameScanner {
+	return &FrameScanner{r: r, buf: make([]byte, 0, poolClassSizes[0])}
+}
+
+// ReadFrame reads and verifies the next frame; error contract as
+// wire.ReadFrame.
+func (s *FrameScanner) ReadFrame() (Frame, error) {
+	f, buf, err := ReadFrame(s.r, s.buf)
+	s.buf = buf
+	if err == nil {
+		s.note(len(f.Payload) + 9) // full encoding: hdr + type + payload + crc
+	}
+	return f, err
+}
+
+// ReadRawFrame reads and verifies the next frame, returning its complete
+// raw encoding; error contract as wire.ReadRawFrame.
+func (s *FrameScanner) ReadRawFrame() ([]byte, error) {
+	raw, buf, err := ReadRawFrame(s.r, s.buf)
+	s.buf = buf
+	if err == nil {
+		s.note(len(raw))
+	}
+	return raw, err
+}
+
+// note records one frame of n encoded bytes and shrinks the buffer at
+// window boundaries. Shrinking allocates a fresh smaller buffer rather
+// than truncating, so a frame slice the caller still holds from the last
+// read stays intact.
+func (s *FrameScanner) note(n int) {
+	if n > s.watermark {
+		s.watermark = n
+	}
+	s.frames++
+	if s.frames < scannerShrinkAfter {
+		return
+	}
+	if c := poolClassFor(s.watermark); c >= 0 && poolClassSizes[c] < cap(s.buf) {
+		s.buf = make([]byte, 0, poolClassSizes[c])
+	}
+	s.frames, s.watermark = 0, 0
+}
+
+// BufCap reports the scanner's current buffer capacity (for tests and
+// diagnostics).
+func (s *FrameScanner) BufCap() int { return cap(s.buf) }

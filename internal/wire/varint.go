@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Error text matches the uvarint/varint helpers in payload.go so both
+// decode paths report a malformed field identically.
+var (
+	errBadUvarint = errors.New("bad uvarint")
+	errBadVarint  = errors.New("bad varint")
+)
+
+// Inlined varint fast paths. The frame payload codecs are the hottest loop
+// in the shipping pipeline — a 512-marker batch is ~2k varints, a
+// 2048-sample batch ~6k — and the CPU profile of the v1 codec showed ~60%
+// of the time inside encoding/binary's generic Uvarint/AppendUvarint call
+// overhead. Record deltas are small by construction (consecutive TSCs on a
+// core, item IDs, core numbers), so nearly every field fits one or two
+// bytes: the helpers below handle those widths branch-cheap and inlinable,
+// and fall back to encoding/binary for the rare wide value. The byte
+// encodings are identical to encoding/binary's in every case — the v1
+// Decode path and the zero-copy iterators are differential-fuzzed against
+// each other to pin that (FuzzFrameIter).
+
+// appendUvarint appends v to dst in uvarint encoding.
+func appendUvarint(dst []byte, v uint64) []byte {
+	if v < 1<<7 {
+		return append(dst, byte(v))
+	}
+	if v < 1<<14 {
+		return append(dst, byte(v)|0x80, byte(v>>7))
+	}
+	return appendUvarintWide(dst, v)
+}
+
+// appendUvarintWide is the ≥3-byte tail of appendUvarint, kept out of the
+// fast path so the 1-2 byte cases stay under the inlining budget.
+func appendUvarintWide(dst []byte, v uint64) []byte {
+	if v < 1<<21 {
+		return append(dst, byte(v)|0x80, byte(v>>7)|0x80, byte(v>>14))
+	}
+	if v < 1<<28 {
+		return append(dst, byte(v)|0x80, byte(v>>7)|0x80, byte(v>>14)|0x80, byte(v>>21))
+	}
+	if v < 1<<35 {
+		return append(dst, byte(v)|0x80, byte(v>>7)|0x80, byte(v>>14)|0x80, byte(v>>21)|0x80, byte(v>>28))
+	}
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendVarint appends v to dst in zigzag varint encoding.
+func appendVarint(dst []byte, v int64) []byte {
+	u := uint64(v)<<1 ^ uint64(v>>63) // zigzag, as encoding/binary does
+	if u < 1<<7 {
+		return append(dst, byte(u))
+	}
+	if u < 1<<14 {
+		return append(dst, byte(u)|0x80, byte(u>>7))
+	}
+	return appendUvarintWide(dst, u)
+}
+
+// getUvarint decodes one uvarint from p at offset i, returning the value
+// and the next offset, or a negative offset when the input is malformed
+// (truncated or overflowing). Accepts exactly the byte strings
+// encoding/binary.Uvarint accepts, with the same values.
+func getUvarint(p []byte, i int) (uint64, int) {
+	if uint(i) < uint(len(p)) {
+		b0 := p[i]
+		if b0 < 0x80 {
+			return uint64(b0), i + 1
+		}
+		if uint(i+1) < uint(len(p)) {
+			if b1 := p[i+1]; b1 < 0x80 {
+				return uint64(b0&0x7f) | uint64(b1)<<7, i + 2
+			}
+		}
+	}
+	return getUvarintSlow(p, i)
+}
+
+// getUvarintSlow is the shared wide/error tail of getUvarint: an unrolled
+// continuation-byte loop with exactly encoding/binary.Uvarint's accept set
+// (≤10 bytes, final byte of a 10-byte encoding ≤1) and values, without the
+// call + re-slice overhead of delegating to it.
+func getUvarintSlow(p []byte, i int) (uint64, int) {
+	if uint(i) >= uint(len(p)) {
+		return 0, -1
+	}
+	v := uint64(p[i] & 0x7f)
+	if p[i] < 0x80 {
+		return v, i + 1
+	}
+	s := uint(7)
+	for j := i + 1; j < len(p); j++ {
+		b := p[j]
+		if b < 0x80 {
+			if j-i == 9 && b > 1 {
+				return 0, -1 // overflows uint64
+			}
+			return v | uint64(b)<<s, j + 1
+		}
+		if j-i == 9 {
+			return 0, -1 // 10 continuation bytes: overflow either way
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, -1 // truncated mid-varint
+}
+
+// getVarint decodes one zigzag varint from p at offset i; same contract as
+// getUvarint.
+func getVarint(p []byte, i int) (int64, int) {
+	u, j := getUvarint(p, i)
+	return int64(u>>1) ^ -int64(u&1), j
+}
+
+// zigzag maps a signed value to the uvarint domain, as encoding/binary's
+// Varint does.
+func zigzag(v int64) uint64 { return uint64(v)<<1 ^ uint64(v>>63) }
+
+// putUvarint writes v at b[j] and returns the next offset. The caller
+// guarantees room (the index-based encoders reserve a worst-case record
+// before each record). 1-2 byte values stay inline; wider ones take the
+// unrolled tail.
+func putUvarint(b []byte, j int, v uint64) int {
+	if v < 1<<7 {
+		b[j] = byte(v)
+		return j + 1
+	}
+	if v < 1<<14 {
+		b[j] = byte(v) | 0x80
+		b[j+1] = byte(v >> 7)
+		return j + 2
+	}
+	return putUvarintWide(b, j, v)
+}
+
+// putUvarintWide is the ≥3-byte tail of putUvarint, unrolled over a
+// fixed-size window so the stores compile without per-byte bounds checks.
+func putUvarintWide(b []byte, j int, v uint64) int {
+	q := b[j : j+10 : j+10]
+	q[0] = byte(v) | 0x80
+	q[1] = byte(v>>7) | 0x80
+	q[2] = byte(v >> 14)
+	if v < 1<<21 {
+		return j + 3
+	}
+	q[2] |= 0x80
+	q[3] = byte(v >> 21)
+	if v < 1<<28 {
+		return j + 4
+	}
+	q[3] |= 0x80
+	q[4] = byte(v >> 28)
+	if v < 1<<35 {
+		return j + 5
+	}
+	q[4] |= 0x80
+	q[5] = byte(v >> 35)
+	if v < 1<<42 {
+		return j + 6
+	}
+	q[5] |= 0x80
+	q[6] = byte(v >> 42)
+	if v < 1<<49 {
+		return j + 7
+	}
+	q[6] |= 0x80
+	q[7] = byte(v >> 49)
+	if v < 1<<56 {
+		return j + 8
+	}
+	q[7] |= 0x80
+	q[8] = byte(v >> 56)
+	if v < 1<<63 {
+		return j + 9
+	}
+	q[8] |= 0x80
+	q[9] = 1
+	return j + 10
+}

@@ -91,6 +91,12 @@ func (t Type) String() string {
 // corrupt length cannot make the collector allocate gigabytes.
 const MaxFrameBytes = 1 << 24
 
+// FrameOverhead is the framing cost around a payload: the length prefix,
+// the type byte, and the trailing CRC32C. A frame's complete encoding is
+// len(payload) + FrameOverhead bytes — what callers sizing a buffer for an
+// in-place BeginFrame/EndFrame build need.
+const FrameOverhead = 4 + 1 + 4
+
 // ErrChecksum reports a frame whose CRC32C did not match its contents.
 // The framing itself was intact (the length field was believable), so the
 // reader may choose to drop the frame and keep the connection.
@@ -137,6 +143,30 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	dst = append(dst, f.Payload...)
 	crc := crc32.Update(0, castagnoli, dst[len(dst)-len(f.Payload)-1:])
 	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// BeginFrame reserves a frame header (length prefix + type byte) at the
+// end of dst and returns the extended slice plus the frame's start offset.
+// The caller appends the payload directly — typically with the Append*
+// payload encoders — and then seals the frame with EndFrame. Together they
+// let an encoder build a frame in its final wire form inside one buffer,
+// with no intermediate payload slice to copy from.
+func BeginFrame(dst []byte, t Type) ([]byte, int) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(t))
+	return dst, start
+}
+
+// EndFrame seals the frame begun at start: patches the length prefix over
+// the payload appended since BeginFrame and appends the CRC32C.
+func EndFrame(dst []byte, start int) ([]byte, error) {
+	length := len(dst) - start - 4 // type byte + payload
+	if length > MaxFrameBytes {
+		return dst, fmt.Errorf("wire: frame payload too large (%d bytes)", length-1)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(length))
+	crc := crc32.Update(0, castagnoli, dst[start+4:])
+	return binary.LittleEndian.AppendUint32(dst, crc), nil
 }
 
 // ReadFrame reads one frame from r. The returned payload aliases buf when
