@@ -14,6 +14,11 @@
 # mid-frame connection cuts — and the crash-recovery harness: collector
 # killed mid-set and restarted from its checkpoint, shipper killed with
 # a torn spool segment, and the final reports must still be exact.
+# The two-tier layer (internal/agg) runs under -race — membership-ring
+# properties, shard→aggregator equivalence, the shard kill+rejoin chaos
+# harness — plus a fleet-summary decode fuzz smoke and the full scale
+# sweep (-tags scale: thousands of shippers, tens of thousands of
+# sources, merged report byte-identical to a single collector).
 # bench runs the hot-path micro/ablation benchmarks with allocation stats.
 # bench-gate enforces two budgets: BenchmarkMicroIntegrate must land
 # within 15% of the absolute baseline recorded in EXPERIMENTS.md, and
@@ -39,12 +44,16 @@ tier2:
 	$(GO) test -race -count 1 ./internal/wire ./internal/ship
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameIter$$' -fuzztime=10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzFleetMerge$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzSpoolRecover$$' -fuzztime=10s ./internal/spool
+	$(GO) test -race -count 1 ./internal/agg
+	$(GO) test -tags scale -count 1 -run '^TestScaleHarness$$' -timeout 900s ./internal/agg
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkInstrumentedIntegrate|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .
 	$(GO) test -run '^$$' -bench 'BenchmarkWireEncodeDecode' -benchmem -count 1 ./internal/wire
 	$(GO) test -run '^$$' -bench 'BenchmarkCollectorIngest' -benchmem -count 1 ./internal/collector
+	$(GO) test -run '^$$' -bench 'BenchmarkAggregatorMerge' -benchmem -count 1 ./internal/agg
 
 bench-gate:
 	$(GO) run ./cmd/benchgate
@@ -52,3 +61,4 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -bench BenchmarkWireEncodeDecode -pkg ./internal/wire -threshold 0.30 -allocs 0
 	$(GO) run ./cmd/benchgate -bench BenchmarkCollectorIngest -pkg ./internal/collector -threshold 0.50 -count 3
 	$(GO) run ./cmd/benchgate -bench BenchmarkSpoolAppend -pkg ./internal/spool -threshold 0.30 -count 5
+	$(GO) run ./cmd/benchgate -bench BenchmarkAggregatorMerge -pkg ./internal/agg -threshold 0.50 -count 3

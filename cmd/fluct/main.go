@@ -23,6 +23,13 @@
 // Add -spool <dir> to make delivery durable: frames are written through a
 // disk-backed spool and retransmitted after crashes or restarts until the
 // collector acknowledges them.
+//
+// Against a two-tier fleet, -ship takes the comma-separated shard
+// collector membership list; the worker consistent-hashes its source ID
+// over the list and ships to the shard that owns it — every worker with
+// the same list picks the same owner, no coordinator involved:
+//
+//	fluct -ship 10.0.0.1:9000,10.0.0.2:9000,10.0.0.3:9000 -source worker-1
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/agg"
 	"repro/internal/experiments"
 )
 
@@ -49,7 +57,7 @@ func main() {
 		out      = flag.String("out", "", "write output to this file instead of stdout")
 		serve    = flag.String("serve", "", "serve self-telemetry on this address (e.g. 127.0.0.1:8080) instead of running experiments")
 		srvFault = flag.String("serve-faults", "", "fault spec injected into every -serve round (e.g. 'loss=0.2,burst=64')")
-		shipAddr = flag.String("ship", "", "ship workload rounds to a fluctd collector at this address instead of running experiments")
+		shipAddr = flag.String("ship", "", "ship workload rounds to a fluctd collector instead of running experiments; a comma-separated list is a shard membership table and the worker ships to the shard owning its source ID")
 		source   = flag.String("source", "", "source ID for -ship (default: hostname-pid)")
 		rounds   = flag.Int("rounds", 0, "rounds to ship with -ship (0: until interrupted)")
 		shpFault = flag.String("ship-faults", "", "network fault spec for the -ship link (e.g. 'net=cutframe,netrate=0.2')")
@@ -213,6 +221,17 @@ func runShip(addr, source string, rounds, requests int, faultSpec, spoolDir stri
 			host = "worker"
 		}
 		source = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if shards := strings.Split(addr, ","); len(shards) > 1 {
+		// Two-tier fleet: the address is the shard membership table. Hash
+		// the source over it so every worker (and the rebalance tooling)
+		// agrees on the owner without a coordinator.
+		for i := range shards {
+			shards[i] = strings.TrimSpace(shards[i])
+		}
+		addr = agg.NewRing(shards...).Owner(source)
+		fmt.Fprintf(os.Stderr, "fluct: %d-shard membership table, %q hashes to %s\n",
+			len(shards), source, addr)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -20,11 +20,35 @@
 // start restores from the file — a daemon bounce keeps /fleet populated
 // and never re-integrates an acknowledged set.
 //
+// # Two-tier mode
+//
+// A fleet too large for one collector splits into shard collectors
+// feeding one global aggregator:
+//
+//	fluctd -aggregate -listen 127.0.0.1:9100 -http 127.0.0.1:9101 \
+//	       -checkpoint /var/lib/fluctd/agg.json
+//
+//	fluctd -listen 127.0.0.1:9000 -shard-id shard-a \
+//	       -upstream 127.0.0.1:9100 -upstream-spool /var/lib/fluctd/uplink \
+//	       -checkpoint /var/lib/fluctd/shard-a.json
+//
+// -aggregate runs the daemon as the global aggregator: -listen accepts
+// shard-collector uplinks (not worker shippers), and /fleet and /metrics
+// serve the merged cross-shard view. With -upstream, a shard collector
+// ships every source's refreshed fleet row to the aggregator over the
+// same sequenced, acked, spool-backed hop workers use — -upstream-spool
+// is mandatory so a summary survives a shard bounce between being acked
+// to a worker and being delivered upstream. -shard-id is the shard's
+// stable identity on that hop (it must match the membership table workers
+// hash against; defaults to the -listen address).
+//
 // On SIGINT/SIGTERM the daemon writes a final checkpoint (when
 // configured), prints a final fleet report to stdout, and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -34,27 +58,73 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/collector"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:9000", "accept fluct -ship connections on this address")
-		httpAd = flag.String("http", "", "serve /metrics /healthz /fleet on this address (empty: no HTTP)")
-		topK   = flag.Int("topk", 10, "how many fleet-wide slowest items the fleet view carries")
-		ckpt   = flag.String("checkpoint", "", "checkpoint per-source state to this file (empty: acks are process-lifetime only)")
-		ckptIv = flag.Duration("checkpoint-interval", 30*time.Second, "also checkpoint on this timer (0: only on acks and shutdown)")
-		idle   = flag.Duration("idle-timeout", 2*time.Minute, "disconnect shippers idle this long (0: never)")
-		shards = flag.Int("shards", 0, "ingest shard goroutines; sources pin to shards by ID hash (0: min(GOMAXPROCS, 8))")
+		listen  = flag.String("listen", "127.0.0.1:9000", "accept fluct -ship connections on this address")
+		httpAd  = flag.String("http", "", "serve /metrics /healthz /fleet on this address (empty: no HTTP)")
+		topK    = flag.Int("topk", 10, "how many fleet-wide slowest items the fleet view carries")
+		ckpt    = flag.String("checkpoint", "", "checkpoint per-source state to this file (empty: acks are process-lifetime only)")
+		ckptIv  = flag.Duration("checkpoint-interval", 30*time.Second, "also checkpoint on this timer (0: only on acks and shutdown)")
+		idle    = flag.Duration("idle-timeout", 2*time.Minute, "disconnect shippers idle this long (0: never)")
+		shards  = flag.Int("shards", 0, "ingest shard goroutines; sources pin to shards by ID hash (0: min(GOMAXPROCS, 8))")
+		aggMode = flag.Bool("aggregate", false, "run as the global aggregator: -listen accepts shard-collector uplinks, /fleet serves the merged cross-shard view")
+		upAddr  = flag.String("upstream", "", "ship this collector's per-source fleet rows to a global aggregator at this address (two-tier shard mode)")
+		upSpool = flag.String("upstream-spool", "", "spool directory for the aggregator uplink (required with -upstream)")
+		shardID = flag.String("shard-id", "", "stable shard identity on the aggregator hop (default: the -listen address)")
 	)
 	flag.Parse()
 
-	c, err := collector.New(collector.Config{
+	if *aggMode {
+		if *upAddr != "" {
+			fatal(errors.New("-aggregate and -upstream are mutually exclusive: the aggregator is the top of the tier"))
+		}
+		runAggregator(*listen, *httpAd, *topK, *ckpt, *ckptIv, *idle)
+		return
+	}
+
+	// Two-tier shard mode: build the uplink first so the collector's
+	// OnSummary hook can feed it.
+	var uplink *agg.Uplink
+	var uplinkDone chan error
+	uplinkCancel := func() {}
+	if *upAddr != "" {
+		if *upSpool == "" {
+			fatal(errors.New("-upstream requires -upstream-spool: without a spool, a summary acked to a worker could die with the shard"))
+		}
+		id := *shardID
+		if id == "" {
+			id = *listen
+		}
+		var err error
+		uplink, err = agg.NewUplink(agg.UplinkConfig{
+			Addr:     *upAddr,
+			Shard:    id,
+			SpoolDir: *upSpool,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		var ctx context.Context
+		ctx, uplinkCancel = context.WithCancel(context.Background())
+		uplinkDone = make(chan error, 1)
+		go func() { uplinkDone <- uplink.Run(ctx) }()
+		fmt.Fprintf(os.Stderr, "fluctd: shipping fleet rows to aggregator %s as shard %q\n", *upAddr, id)
+	}
+
+	cfg := collector.Config{
 		TopK:           *topK,
 		CheckpointPath: *ckpt,
 		IdleTimeout:    *idle,
 		IngestShards:   *shards,
-	})
+	}
+	if uplink != nil {
+		cfg.OnSummary = uplink.OnSummary
+	}
+	c, err := collector.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,7 +166,70 @@ func main() {
 	if err := c.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "fluctd:", err)
 	}
+	if uplink != nil {
+		// Best-effort flush of spooled summaries; whatever does not make
+		// it upstream now replays from the spool on the next start.
+		drainCtx, dc := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := uplink.Drain(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "fluctd: uplink: %d summaries left spooled for next start\n", uplink.PendingFrames())
+		}
+		dc()
+		uplinkCancel()
+		<-uplinkDone
+	}
 	c.Fleet().Render(os.Stdout)
+}
+
+// runAggregator is the -aggregate main loop: the same daemon shape with
+// the aggregator in the collector's seat.
+func runAggregator(listen, httpAd string, topK int, ckpt string, ckptIv, idle time.Duration) {
+	a, err := agg.New(agg.Config{
+		TopK:           topK,
+		CheckpointPath: ckpt,
+		IdleTimeout:    idle,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fluctd: aggregating shard uplinks on %s\n", l.Addr())
+
+	errc := make(chan error, 2)
+	go func() { errc <- a.Serve(l) }()
+	if httpAd != "" {
+		fmt.Fprintf(os.Stderr, "fluctd: serving merged /metrics /healthz /fleet on http://%s\n", httpAd)
+		go func() { errc <- http.ListenAndServe(httpAd, a.Handler()) }()
+	}
+	if ckpt != "" && ckptIv > 0 {
+		go func() {
+			t := time.NewTicker(ckptIv)
+			defer t.Stop()
+			for range t.C {
+				if err := a.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "fluctd:", err)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "fluctd: %v — final merged fleet report:\n", s)
+	}
+	l.Close()
+	if err := a.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "fluctd:", err)
+	}
+	a.Fleet().Render(os.Stdout)
 }
 
 func fatal(err error) {

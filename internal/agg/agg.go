@@ -1,0 +1,444 @@
+package agg
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Config parameterizes an Aggregator.
+type Config struct {
+	// TopK is how many fleet-wide slowest items the merged view carries
+	// (default 10). For byte-equivalence with a single collector it must
+	// match that collector's TopK.
+	TopK int
+	// CheckpointPath, when set, makes delivery acknowledgements durable:
+	// the merged state and the per-shard ack watermarks are checkpointed
+	// (atomic tmp + rename) before every ack, and New restores from it.
+	// Empty means acks only promise process-lifetime durability.
+	CheckpointPath string
+	// IdleTimeout closes an upstream connection that delivers no frame for
+	// this long (≤ 0 disables).
+	IdleTimeout time.Duration
+	// Registry receives the aggregator's self-telemetry (nil: obs.Default()).
+	Registry *obs.Registry
+}
+
+// Aggregator is the global tier: it accepts shard-collector uplink
+// connections, deduplicates their at-least-once summary streams by
+// (shard, epoch, seq), and folds every source's latest row into one
+// merged fleet view.
+type Aggregator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	shards  map[string]*upstream
+	sources map[string]*mergedSource
+	conns   map[net.Conn]struct{}
+
+	ckptMu sync.Mutex // serializes checkpoint file writes
+
+	lastMergeNano atomic.Int64 // unix nanos of the most recent applied summary
+
+	metConns    *obs.Counter
+	metDiscon   *obs.Counter
+	metIdleDisc *obs.Counter
+	metFrames   *obs.Counter
+	metBytes    *obs.Counter
+	metMerges   *obs.Counter
+	metDups     *obs.Counter
+	metDecErrs  *obs.Counter
+	metAcks     *obs.Counter
+	metCkpts    *obs.Counter
+	metCkptErrs *obs.Counter
+	metSources  *obs.Gauge
+	metShards   *obs.Gauge
+	metMergeNs  *obs.Histogram
+}
+
+// upstream is the per-shard-collector acked-delivery state: the same
+// epoch/appliedSeq/lastAcked triple the collector keeps per source,
+// because the hop speaks the same protocol.
+type upstream struct {
+	id string
+	// epoch is the shard's uplink-spool numbering generation; appliedSeq
+	// is the dedup watermark; lastAcked trails it and only advances after
+	// the checkpoint (when configured) has made the merge durable.
+	epoch      uint64
+	appliedSeq uint64
+	lastAcked  uint64
+}
+
+// mergedSource is one source's latest row plus the shard that delivered
+// it. Within one shard's stream, seq order makes "latest" well defined;
+// across shards (a rebalance moved the source) the last writer wins and
+// the row reflects the current owner's cumulative view.
+type mergedSource struct {
+	shard string
+	row   collector.SourceRow
+}
+
+// New builds an aggregator, restoring merged state from
+// cfg.CheckpointPath when the file exists. As with the collector, a
+// checkpoint that cannot be read or parsed is an error, not a silent
+// empty start.
+func New(cfg Config) (*Aggregator, error) {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	a := &Aggregator{
+		cfg:         cfg,
+		shards:      map[string]*upstream{},
+		sources:     map[string]*mergedSource{},
+		conns:       map[net.Conn]struct{}{},
+		metConns:    reg.Counter("fluct_agg_connections_total"),
+		metDiscon:   reg.Counter("fluct_agg_disconnects_total"),
+		metIdleDisc: reg.Counter("fluct_agg_idle_disconnects_total"),
+		metFrames:   reg.Counter("fluct_agg_frames_total"),
+		metBytes:    reg.Counter("fluct_agg_bytes_total"),
+		metMerges:   reg.Counter("fluct_agg_merges_total"),
+		metDups:     reg.Counter("fluct_agg_duplicate_frames_total"),
+		metDecErrs:  reg.Counter("fluct_agg_decode_errors_total"),
+		metAcks:     reg.Counter("fluct_agg_acks_total"),
+		metCkpts:    reg.Counter("fluct_agg_checkpoints_total"),
+		metCkptErrs: reg.Counter("fluct_agg_checkpoint_errors_total"),
+		metSources:  reg.Gauge("fluct_agg_sources"),
+		metShards:   reg.Gauge("fluct_agg_shards"),
+		metMergeNs:  reg.Histogram("fluct_agg_merge_ns"),
+	}
+	// Merge lag: how stale the merged view is, in milliseconds since the
+	// last summary was folded in. Zero until the first merge.
+	reg.GaugeFunc("fluct_agg_lag_ms", func() float64 {
+		last := a.lastMergeNano.Load()
+		if last == 0 {
+			return 0
+		}
+		return float64(time.Now().UnixNano()-last) / 1e6
+	})
+	if cfg.CheckpointPath != "" {
+		if err := a.restoreCheckpoint(cfg.CheckpointPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Serve accepts shard uplink connections on l until the listener closes.
+func (a *Aggregator) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go a.HandleConn(conn)
+	}
+}
+
+// upstreamState returns (creating if needed) the state for shard id.
+func (a *Aggregator) upstream(id string) *upstream {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	up := a.shards[id]
+	if up == nil {
+		up = &upstream{id: id}
+		a.shards[id] = up
+		a.metShards.SetInt(len(a.shards))
+	}
+	return up
+}
+
+// CloseConns severs every live upstream connection (the chaos harness's
+// kill switch; the daemon's shutdown path).
+func (a *Aggregator) CloseConns() {
+	a.mu.Lock()
+	conns := make([]net.Conn, 0, len(a.conns))
+	for conn := range a.conns {
+		conns = append(conns, conn)
+	}
+	a.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}
+
+// Close severs every connection and, when checkpointing is configured,
+// writes a final checkpoint.
+func (a *Aggregator) Close() error {
+	a.CloseConns()
+	if a.cfg.CheckpointPath == "" {
+		return nil
+	}
+	return a.Checkpoint()
+}
+
+func (a *Aggregator) trackConn(conn net.Conn, add bool) {
+	a.mu.Lock()
+	if add {
+		a.conns[conn] = struct{}{}
+	} else {
+		delete(a.conns, conn)
+	}
+	a.mu.Unlock()
+}
+
+// connSeq mirrors the collector's: data frames after a TSeqStart are
+// implicitly numbered consecutively from it.
+type connSeq struct {
+	active bool
+	epoch  uint64
+	next   uint64
+}
+
+// HandleConn runs one shard uplink connection to completion: handshake,
+// then TFleetSummary frames until the connection dies. Exported so tests
+// and in-process transports can drive the aggregator without a listener.
+func (a *Aggregator) HandleConn(conn net.Conn) {
+	defer conn.Close()
+	a.trackConn(conn, true)
+	defer a.trackConn(conn, false)
+	a.metConns.Inc()
+	shardID, _, err := wire.ServerHandshake(conn)
+	if err != nil {
+		return
+	}
+	up := a.upstream(shardID)
+
+	var cs connSeq
+	sc := wire.NewFrameScanner(conn)
+	for {
+		if a.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(a.cfg.IdleTimeout))
+		}
+		f, err := sc.ReadFrame()
+		if err != nil {
+			switch {
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				a.metIdleDisc.Inc()
+			case errors.Is(err, wire.ErrChecksum):
+				// On a sequenced link a damaged frame consumed a number we
+				// cannot account for; drop the link, the spool retransmits.
+				a.metDecErrs.Inc()
+				a.metDiscon.Inc()
+			case err != io.EOF:
+				a.metDiscon.Inc()
+			}
+			return
+		}
+		a.metFrames.Inc()
+		a.metBytes.Add(uint64(len(f.Payload)) + 9)
+
+		if f.Type == wire.TSeqStart {
+			ss, derr := wire.DecodeSeqStart(f.Payload)
+			if derr != nil {
+				a.metDecErrs.Inc()
+				return
+			}
+			ackSeq := a.seqStart(up, ss)
+			cs = connSeq{active: true, epoch: ss.Epoch, next: ss.FirstSeq}
+			if writeAck(conn, cs.epoch, ackSeq) != nil {
+				return
+			}
+			a.metAcks.Inc()
+			continue
+		}
+
+		var seq uint64
+		var dup bool
+		if cs.active {
+			// Every data frame consumes the next number; passing the dedup
+			// check claims it.
+			seq = cs.next
+			cs.next++
+			a.mu.Lock()
+			if up.epoch != cs.epoch {
+				// A newer uplink generation superseded this link.
+				a.mu.Unlock()
+				a.metDiscon.Inc()
+				return
+			}
+			dup = seq <= up.appliedSeq
+			if !dup {
+				up.appliedSeq = seq
+			}
+			a.mu.Unlock()
+		}
+
+		if dup {
+			// Retransmission of an applied summary (its ack was lost or
+			// withheld by a checkpoint failure): skip the merge, fall
+			// through to re-attempt durability + ack.
+			a.metDups.Inc()
+		} else {
+			fs, derr := wire.DecodeFleetSummary(f.Payload)
+			if derr != nil || f.Type != wire.TFleetSummary {
+				// The frame arrived intact (CRC passed) but is not a usable
+				// summary; retransmitting identical bytes cannot help, so
+				// the sequence number stays consumed, the frame is dropped
+				// and counted, and no ack is sent — the next good summary's
+				// cumulative ack covers it.
+				a.metDecErrs.Inc()
+				continue
+			}
+			a.applySummary(shardID, fs)
+			if !cs.active {
+				continue // v1 link: no acks to send
+			}
+		}
+
+		// Ack-after-durability, exactly the collector's rule: persist the
+		// merge before acknowledging it, and commit the in-memory watermark
+		// only once the checkpoint file is durably renamed.
+		a.mu.Lock()
+		durable := seq <= up.lastAcked
+		a.mu.Unlock()
+		if !durable {
+			if a.cfg.CheckpointPath != "" {
+				if err := a.checkpoint(up, cs.epoch, seq); err != nil {
+					a.metCkptErrs.Inc()
+					continue
+				}
+			}
+			a.mu.Lock()
+			if up.epoch == cs.epoch && seq > up.lastAcked {
+				up.lastAcked = seq
+			}
+			a.mu.Unlock()
+		}
+		if writeAck(conn, cs.epoch, seq) != nil {
+			return
+		}
+		a.metAcks.Inc()
+	}
+}
+
+// writeAck sends a cumulative delivery acknowledgement.
+func writeAck(conn net.Conn, epoch, seq uint64) error {
+	return wire.WriteFrame(conn, wire.Frame{Type: wire.TAck,
+		Payload: wire.AppendAck(nil, wire.Ack{Epoch: epoch, Seq: seq})})
+}
+
+// seqStart applies an uplink's TSeqStart to the shard's delivery state
+// and returns the watermark to advertise back — the collector's resync
+// rules, minus set aborts (summaries have no mid-set state).
+func (a *Aggregator) seqStart(up *upstream, ss wire.SeqStart) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if up.epoch != ss.Epoch {
+		up.epoch = ss.Epoch
+		up.appliedSeq = 0
+		up.lastAcked = 0
+	}
+	if ss.FirstSeq > up.appliedSeq+1 {
+		// The shard resumes past our watermark: those summaries are gone
+		// for good; resync forward rather than wedge.
+		up.appliedSeq = ss.FirstSeq - 1
+		if up.lastAcked < up.appliedSeq {
+			up.lastAcked = up.appliedSeq
+		}
+	}
+	return up.lastAcked
+}
+
+// applySummary folds one decoded summary into the merged state:
+// last-writer-wins per source. The decoded items are freshly allocated by
+// the decoder and the row is replaced wholesale, so readers holding a
+// previous Fleet() snapshot are never mutated under.
+func (a *Aggregator) applySummary(shardID string, fs wire.FleetSummary) {
+	row := collector.SourceRow{
+		Summary: collector.SourceSummary{
+			ID:             fs.Source,
+			Sets:           fs.Sets,
+			AbortedSets:    fs.AbortedSets,
+			Items:          len(fs.Items),
+			MeanConfidence: fs.MeanConf,
+			Degraded:       fs.Degraded,
+			GapLine:        fs.GapLine,
+			LostMarkers:    fs.LostMarkers,
+			LostSamples:    fs.LostSamples,
+			CRCErrors:      fs.CRCErrors,
+			Disconnects:    fs.Disconnects,
+		},
+		FreqHz: fs.FreqHz,
+		Items:  fs.Items,
+	}
+	a.mu.Lock()
+	a.sources[fs.Source] = &mergedSource{shard: shardID, row: row}
+	a.metSources.SetInt(len(a.sources))
+	a.mu.Unlock()
+	a.lastMergeNano.Store(time.Now().UnixNano())
+	a.metMerges.Inc()
+}
+
+// Fleet assembles the merged fleet view through the same MergeFleet the
+// single-tier collector uses — which is the whole byte-equivalence
+// argument: identical rows in, identical report out.
+func (a *Aggregator) Fleet() collector.FleetView {
+	start := time.Now()
+	a.mu.Lock()
+	rows := make([]collector.SourceRow, 0, len(a.sources))
+	for _, s := range a.sources {
+		rows = append(rows, s.row)
+	}
+	topK := a.cfg.TopK
+	a.mu.Unlock()
+	v := collector.MergeFleet(topK, rows)
+	a.metMergeNs.Record(uint64(time.Since(start)))
+	return v
+}
+
+// SourceShard reports which shard last delivered source's row ("" if the
+// source is unknown) — the chaos and rebalance tests' ownership probe.
+func (a *Aggregator) SourceShard(source string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s := a.sources[source]; s != nil {
+		return s.shard
+	}
+	return ""
+}
+
+// UpstreamAcked returns shard's delivery watermark (epoch, last acked
+// seq), zero values if the shard never connected.
+func (a *Aggregator) UpstreamAcked(shard string) (epoch, seq uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if up := a.shards[shard]; up != nil {
+		return up.epoch, up.lastAcked
+	}
+	return 0, 0
+}
+
+// Health derives the /healthz verdict from the merged view via the shared
+// collector.FleetHealth.
+func (a *Aggregator) Health() obs.Health {
+	return collector.FleetHealth(a.Fleet())
+}
+
+// Handler returns the aggregator's HTTP surface: the standard
+// self-telemetry endpoints plus /fleet, the merged cross-shard view as
+// JSON — the same shape the single-tier collector serves.
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(obs.HandlerOptions{Registry: a.cfg.Registry, Health: a.Health}))
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(a.Fleet())
+	})
+	return mux
+}

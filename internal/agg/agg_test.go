@@ -1,0 +1,412 @@
+package agg
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/obs"
+	"repro/internal/pmu"
+	"repro/internal/ship"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// workloadSet builds a deterministic two-core request workload trace —
+// the same shape the collector's loopback harness ships, rebuilt here
+// because the two packages cannot share test code.
+func workloadSet(t testing.TB, requests int) *trace.Set {
+	t.Helper()
+	const cores = 2
+	m := sim.MustNew(sim.Config{Cores: cores})
+	lookup := m.Syms.MustRegister("table_lookup", 4096)
+	render := m.Syms.MustRegister("render_reply", 2048)
+	pebs := make([]*pmu.PEBS, cores)
+	log := trace.NewMarkerLog(cores, 0)
+	perCore := requests / cores
+	for ci := 0; ci < cores; ci++ {
+		first := uint64(ci*perCore) + 1
+		pebs[ci] = pmu.NewPEBS(pmu.PEBSConfig{})
+		m.Core(ci).PMU.MustProgram(pmu.UopsRetired, 4000, pebs[ci])
+		m.MustSpawn(ci, func(c *sim.Core) {
+			for r := 0; r < perCore; r++ {
+				id := first + uint64(r)
+				log.Mark(c, id, trace.ItemBegin)
+				c.Call(lookup, func() {
+					for l := 0; l < 150; l++ {
+						c.Exec(14)
+					}
+					if id%37 == 0 {
+						c.Exec(25000) // the rare slow item
+					}
+				})
+				c.Call(render, func() { c.Exec(5000) })
+				log.Mark(c, id, trace.ItemEnd)
+				c.Exec(700)
+			}
+		})
+	}
+	m.Wait()
+	var samples []pmu.Sample
+	for _, p := range pebs {
+		samples = append(samples, p.Samples()...)
+	}
+	return trace.NewSet(m, log, samples)
+}
+
+// pipeDial returns a DialFunc that, instead of touching the network,
+// creates an in-memory pipe and hands the far end to handle on its own
+// goroutine — how the scale harness runs thousands of shippers without
+// exhausting file descriptors.
+func pipeDial(handle func(net.Conn)) ship.DialFunc {
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		client, server := net.Pipe()
+		go handle(server)
+		return client, nil
+	}
+}
+
+// shardProc is one in-process shard collector: the collector itself plus
+// its uplink to the aggregator and the uplink's Run lifetime.
+type shardProc struct {
+	id       string
+	spoolDir string
+	coll     *collector.Collector
+	uplink   *Uplink
+	cancel   context.CancelFunc
+	done     chan error
+}
+
+// startShard builds a shard collector whose completed sets flow to the
+// aggregator through a spooled uplink dialed with dial.
+func startShard(t testing.TB, id, spoolDir string, collCfg collector.Config, dial ship.DialFunc) *shardProc {
+	t.Helper()
+	if collCfg.Registry == nil {
+		collCfg.Registry = obs.NewRegistry()
+	}
+	u, err := NewUplink(UplinkConfig{
+		Addr: "agg", Shard: id, SpoolDir: spoolDir, Dial: dial,
+		BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		Registry: collCfg.Registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collCfg.OnSummary = u.OnSummary
+	c, err := collector.New(collCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sp := &shardProc{id: id, spoolDir: spoolDir, coll: c, uplink: u, cancel: cancel, done: make(chan error, 1)}
+	go func() { sp.done <- u.Run(ctx) }()
+	return sp
+}
+
+// stop kills the shard "process": uplink stopped, collector connections
+// severed. The uplink spool and collector checkpoint stay on disk for a
+// restart.
+func (sp *shardProc) stop() {
+	sp.cancel()
+	<-sp.done
+	sp.coll.CloseConns()
+}
+
+// shipTo runs one worker shipper end to end: ship the sets over dial,
+// wait until the shard collector has completed them all, then shut the
+// shipper down.
+func shipTo(t testing.TB, source string, dial ship.DialFunc, coll *collector.Collector, sets ...*trace.Set) {
+	t.Helper()
+	s, err := ship.New(ship.Config{
+		Addr: "shard", Source: source, Dial: dial,
+		BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	for _, set := range sets {
+		if err := s.ShipSet(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	waitSets(t, coll, source, uint64(len(sets)), 30*time.Second)
+	cancel()
+	<-done
+}
+
+// waitSets polls until the shard collector has completed n sets from
+// source.
+func waitSets(t testing.TB, c *collector.Collector, source string, n uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if src := c.Source(source); src != nil && src.Sets() >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard never finished %d set(s) from %q", n, source)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitMerged polls until the aggregator's view holds nSources sources,
+// each with at least minSets completed sets.
+func waitMerged(t testing.TB, a *Aggregator, nSources int, minSets uint64, timeout time.Duration) collector.FleetView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := a.Fleet()
+		if len(v.Sources) >= nSources {
+			ok := true
+			for _, s := range v.Sources {
+				if s.Sets < minSets {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return v
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("aggregator never converged to %d sources × %d sets; view: %+v",
+				nSources, minSets, v.Sources)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// renderFleet renders a view to bytes for comparison.
+func renderFleet(v collector.FleetView) []byte {
+	var buf bytes.Buffer
+	v.Render(&buf)
+	return buf.Bytes()
+}
+
+// firstDiff trims two long reports to the first differing line.
+func firstDiff(a, b string) string {
+	la, lb := 0, 0
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			start := la
+			if lb < start {
+				start = lb
+			}
+			end := i + 120
+			if end > len(a) {
+				end = len(a)
+			}
+			return "...first difference near byte " + a[start:end]
+		}
+		if a[i] == '\n' {
+			la = i + 1
+		}
+		if b[i] == '\n' {
+			lb = i + 1
+		}
+	}
+	return "(one report is a prefix of the other)"
+}
+
+// TestTwoTierEquivalence is the topology's acceptance bar in miniature:
+// sources consistent-hashed across two shard collectors, summaries
+// shipped up to the aggregator, and the merged fleet report must be
+// byte-identical to a single collector that integrated every source
+// directly. (The 4-shard version at scale lives in scale_test.go.)
+func TestTwoTierEquivalence(t *testing.T) {
+	const topK = 8
+	sets := []*trace.Set{workloadSet(t, 40), workloadSet(t, 80), workloadSet(t, 60)}
+
+	// Two-tier side.
+	reg := obs.NewRegistry()
+	a, err := New(Config{TopK: topK, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggDial := pipeDial(a.HandleConn)
+
+	ring := NewRing("shard-a", "shard-b")
+	shards := map[string]*shardProc{
+		"shard-a": startShard(t, "shard-a", t.TempDir(), collector.Config{TopK: topK}, aggDial),
+		"shard-b": startShard(t, "shard-b", t.TempDir(), collector.Config{TopK: topK}, aggDial),
+	}
+	defer func() {
+		for _, sp := range shards {
+			sp.stop()
+		}
+	}()
+
+	// Reference side: one collector owning everything.
+	refReg := obs.NewRegistry()
+	ref, err := collector.New(collector.Config{TopK: topK, Registry: refReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDial := pipeDial(ref.HandleConn)
+
+	sources := []string{"worker-1", "worker-2", "worker-3", "worker-4", "worker-5", "worker-6"}
+	owned := map[string]int{}
+	for i, src := range sources {
+		set := sets[i%len(sets)]
+		owner := ring.Owner(src)
+		owned[owner]++
+		shipTo(t, src, pipeDial(shards[owner].coll.HandleConn), shards[owner].coll, set)
+		shipTo(t, src, refDial, ref, set)
+	}
+	if len(owned) < 2 {
+		t.Fatalf("ring put every source on one shard (%v); pick different IDs", owned)
+	}
+	for id, sp := range shards {
+		drainCtx, dc := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := sp.uplink.Drain(drainCtx); err != nil {
+			t.Fatalf("uplink %s never drained: %v", id, err)
+		}
+		dc()
+	}
+	merged := waitMerged(t, a, len(sources), 1, 30*time.Second)
+
+	got, want := renderFleet(merged), renderFleet(ref.Fleet())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged fleet report differs from single-collector report: %s",
+			firstDiff(string(got), string(want)))
+	}
+	// Ownership is visible: every source's row arrived from its ring owner.
+	for _, src := range sources {
+		if shard := a.SourceShard(src); shard != ring.Owner(src) {
+			t.Errorf("source %s merged from %q, ring owner is %q", src, shard, ring.Owner(src))
+		}
+	}
+}
+
+// TestAggregatorCheckpointRestart: an aggregator bounce must come back
+// with /fleet populated and the per-shard ack watermarks intact, and a
+// shard replaying its uplink spool afterwards must not double-merge.
+func TestAggregatorCheckpointRestart(t *testing.T) {
+	const topK = 8
+	set := workloadSet(t, 40)
+	ckpt := t.TempDir() + "/agg.json"
+
+	a1, err := New(Config{TopK: topK, CheckpointPath: ckpt, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := startShard(t, "shard-a", t.TempDir(), collector.Config{TopK: topK}, pipeDial(a1.HandleConn))
+	shipTo(t, "worker-1", pipeDial(sp.coll.HandleConn), sp.coll, set)
+	drainCtx, dc := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := sp.uplink.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	dc()
+	view1 := waitMerged(t, a1, 1, 1, 30*time.Second)
+	sp.stop()
+	epoch1, acked1 := a1.UpstreamAcked("shard-a")
+	if acked1 == 0 {
+		t.Fatal("aggregator acked nothing before the bounce")
+	}
+	if err := a1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a2, err := New(Config{TopK: topK, CheckpointPath: ckpt, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderFleet(a2.Fleet()), renderFleet(view1); !bytes.Equal(got, want) {
+		t.Fatalf("restarted aggregator lost the merged view: %s", firstDiff(string(got), string(want)))
+	}
+	epoch2, acked2 := a2.UpstreamAcked("shard-a")
+	if epoch2 != epoch1 || acked2 != acked1 {
+		t.Fatalf("watermark not restored: (%d,%d) → (%d,%d)", epoch1, acked1, epoch2, acked2)
+	}
+
+	// The shard restarts against the bounced aggregator with the same
+	// uplink spool: everything it replays is at or below the watermark and
+	// must dedup, not double-merge.
+	reg2 := obs.NewRegistry()
+	u2, err := NewUplink(UplinkConfig{
+		Addr: "agg", Shard: "shard-a", SpoolDir: sp.spoolDir,
+		Dial: pipeDial(a2.HandleConn), BackoffMin: time.Millisecond, Registry: reg2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- u2.Run(ctx) }()
+	u2.Close()
+	<-done
+	v := a2.Fleet()
+	if len(v.Sources) != 1 || v.Sources[0].Sets != 1 {
+		t.Fatalf("replay after restart corrupted the view: %+v", v.Sources)
+	}
+}
+
+// TestAggregatorHTTPAndMetrics: the merge/lag self-telemetry is in the
+// scrape output and /fleet serves the merged JSON — the same surface the
+// single-tier collector exposes.
+func TestAggregatorHTTPAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, err := New(Config{TopK: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := startShard(t, "shard-a", t.TempDir(), collector.Config{TopK: 4}, pipeDial(a.HandleConn))
+	defer sp.stop()
+	shipTo(t, "worker-1", pipeDial(sp.coll.HandleConn), sp.coll, workloadSet(t, 40))
+	waitMerged(t, a, 1, 1, 30*time.Second)
+
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	body := httpGet(t, srv.URL+"/metrics")
+	for _, name := range []string{
+		"fluct_agg_merges_total", "fluct_agg_frames_total", "fluct_agg_acks_total",
+		"fluct_agg_sources", "fluct_agg_shards", "fluct_agg_lag_ms", "fluct_agg_merge_ns",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("scrape output missing %s", name)
+		}
+	}
+	if reg.Counter("fluct_agg_merges_total").Value() == 0 {
+		t.Error("no merges counted")
+	}
+	fleet := httpGet(t, srv.URL+"/fleet")
+	if !strings.Contains(fleet, `"worker-1"`) || !strings.Contains(fleet, `"top_slow"`) {
+		t.Errorf("/fleet JSON missing merged state: %s", fleet)
+	}
+	health := httpGet(t, srv.URL+"/healthz")
+	if !strings.Contains(health, "healthy") {
+		t.Errorf("/healthz verdict: %s", health)
+	}
+}
+
+func httpGet(t testing.TB, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}

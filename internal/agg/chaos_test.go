@@ -1,0 +1,233 @@
+package agg
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/ship"
+)
+
+// TestShardKillRejoin is the two-tier chaos bar: kill one shard collector
+// mid-set — its worker link partitioned mid-frame, its uplink to the
+// aggregator never having delivered anything, its process replaced by a
+// new incarnation restored from checkpoint + uplink spool — and the
+// aggregator must reconverge with zero lost sets: every set any shard
+// ever acknowledged to a worker reaches the merged view exactly once, and
+// the merged top-K report is byte-identical to a single collector that
+// integrated everything over clean links.
+func TestShardKillRejoin(t *testing.T) {
+	const topK = 8
+	set1 := workloadSet(t, 40)
+	set2 := workloadSet(t, 80)
+
+	a, err := New(Config{TopK: topK, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggDial := pipeDial(a.HandleConn)
+	// The uplink hop is deliberately dead for shard A's first incarnation:
+	// its summaries must survive the kill in the uplink spool alone.
+	deadDial := func(ctx context.Context, addr string) (net.Conn, error) { return nil, net.ErrClosed }
+
+	// Pick one worker per shard off the membership table.
+	ring := NewRing("shard-a", "shard-b")
+	var workerA, workerB string
+	for _, w := range sweepSources(11, 64) {
+		switch ring.Owner(w) {
+		case "shard-a":
+			if workerA == "" {
+				workerA = w
+			}
+		case "shard-b":
+			if workerB == "" {
+				workerB = w
+			}
+		}
+	}
+	if workerA == "" || workerB == "" {
+		t.Fatal("sweep found no worker for one of the shards")
+	}
+
+	ckptA := filepath.Join(t.TempDir(), "shard-a.json")
+	spoolA := t.TempDir()   // shard A's uplink spool
+	spoolWA := t.TempDir()  // worker A's spool
+
+	// Shard B lives undisturbed for the whole run.
+	shardB := startShard(t, "shard-b", t.TempDir(), collector.Config{TopK: topK}, aggDial)
+	defer shardB.stop()
+	shipTo(t, workerB, pipeDial(shardB.coll.HandleConn), shardB.coll, set1, set2)
+
+	// Shard A, incarnation 1: checkpointed collector, spooled uplink that
+	// cannot reach the aggregator.
+	shardA1 := startShard(t, "shard-a", spoolA,
+		collector.Config{TopK: topK, CheckpointPath: ckptA}, deadDial)
+
+	// Worker A dial plumbing, the crash-harness pattern: connection #1 is
+	// clean, #2 is partitioned after 1500 bytes so it dies mid-frame with
+	// set 2 in flight, later dials reach whatever incarnation is live.
+	var liveA atomic.Value // shardAIncarnation
+	liveA.Store(shardAIncarnation{shardA1.coll})
+	var dials atomic.Int32
+	pipeToA1 := func(string) (net.Conn, error) {
+		client, server := net.Pipe()
+		go shardA1.coll.HandleConn(server)
+		return client, nil
+	}
+	cutDial := faults.WrapDial(faults.NetPlan{
+		Mode: faults.NetPartition, PartitionAfterBytes: 1500, Seed: 1,
+	}, pipeToA1)
+	dialA := func(ctx context.Context, addr string) (net.Conn, error) {
+		switch n := dials.Add(1); {
+		case n == 1:
+			return pipeToA1("")
+		case n == 2:
+			return cutDial("")
+		}
+		inc := liveA.Load().(shardAIncarnation)
+		if inc.coll == nil {
+			return nil, net.ErrClosed
+		}
+		client, server := net.Pipe()
+		go inc.coll.HandleConn(server)
+		return client, nil
+	}
+
+	sWA, err := ship.New(ship.Config{
+		Addr: "shard-a", Source: workerA, Dial: dialA, SpoolDir: spoolWA,
+		BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel1()
+	done1 := make(chan error, 1)
+	go func() { done1 <- sWA.Run(ctx1) }()
+
+	// Phase 1: set 1 ships cleanly and is acked end to end by shard A. Its
+	// summary is now durable in A's uplink spool — and nowhere else.
+	if err := sWA.ShipSet(set1); err != nil {
+		t.Fatal(err)
+	}
+	waitSets(t, shardA1.coll, workerA, 1, 30*time.Second)
+	drainCtx, dc := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := sWA.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	dc()
+	if got := shardA1.uplink.PendingFrames(); got == 0 {
+		t.Fatal("set-1 summary is not pending in the uplink spool — the dead dial leaked")
+	}
+	if shard := a.SourceShard(workerA); shard != "" {
+		t.Fatalf("aggregator already has %s (from %q) — the kill window closed early", workerA, shard)
+	}
+
+	// Phase 2: force a redial so set 2 rides the partitioned connection,
+	// which dies mid-frame; then kill shard A with the set in flight.
+	// Mark the shard down first — dial #2 pipes to A1 explicitly, so only
+	// the post-cut reconnects see the outage (were A1 still routable
+	// there, a fast dial #3 could replay set 2 before the kill).
+	liveA.Store(shardAIncarnation{nil})
+	shardA1.coll.CloseConns()
+	if err := sWA.ShipSet(set2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for dials.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned connection never died")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shardA1.stop()
+	if got := shardA1.coll.Source(workerA).Sets(); got != 1 {
+		t.Fatalf("shard A died with %d sets, want 1 (set 2 must be mid-flight)", got)
+	}
+
+	// Phase 3: shard A rejoins — new incarnation, same checkpoint, same
+	// uplink spool, and this time a working path to the aggregator. The
+	// worker replays set 2 from its spool; the uplink replays the set-1
+	// summary and ships the set-2 one.
+	shardA2 := startShard(t, "shard-a", spoolA,
+		collector.Config{TopK: topK, CheckpointPath: ckptA}, aggDial)
+	defer shardA2.stop()
+	liveA.Store(shardAIncarnation{shardA2.coll})
+
+	waitSets(t, shardA2.coll, workerA, 2, 30*time.Second)
+	drainCtx, dc = context.WithTimeout(context.Background(), 30*time.Second)
+	if err := sWA.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	dc()
+	cancel1()
+	<-done1
+	drainCtx, dc = context.WithTimeout(context.Background(), 30*time.Second)
+	if err := shardA2.uplink.Drain(drainCtx); err != nil {
+		t.Fatalf("rejoined shard's uplink never drained: %v", err)
+	}
+	dc()
+	merged := waitMerged(t, a, 2, 2, 30*time.Second)
+
+	// Zero lost sets, nothing double-merged, no damage pretending health.
+	for _, s := range merged.Sources {
+		if s.Sets != 2 || s.AbortedSets != 0 || s.LostMarkers != 0 || s.LostSamples != 0 {
+			t.Fatalf("source %s after chaos: sets=%d aborted=%d lost=%d+%d — want exactly 2 clean sets",
+				s.ID, s.Sets, s.AbortedSets, s.LostMarkers, s.LostSamples)
+		}
+	}
+	if shard := a.SourceShard(workerA); shard != "shard-a" {
+		t.Fatalf("%s merged from %q, want shard-a", workerA, shard)
+	}
+
+	// Byte-equivalence against a single collector that integrated both
+	// workers over clean links. The kill legitimately moves link-damage
+	// counters (disconnects), so the pinned comparison is the top-K item
+	// report plus every structural per-source field.
+	ref, err := collector.New(collector.Config{TopK: topK, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDial := pipeDial(ref.HandleConn)
+	shipTo(t, workerA, refDial, ref, set1, set2)
+	shipTo(t, workerB, refDial, ref, set1, set2)
+	refView := ref.Fleet()
+
+	var got, want bytes.Buffer
+	merged.RenderTopK(&got)
+	refView.RenderTopK(&want)
+	if got.Len() == 0 {
+		t.Fatal("merged top-K report is empty")
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("merged top-K after chaos differs from clean single-collector run: %s",
+			firstDiff(got.String(), want.String()))
+	}
+	refRows := map[string]collector.SourceSummary{}
+	for _, s := range refView.Sources {
+		refRows[s.ID] = s
+	}
+	for _, s := range merged.Sources {
+		r, ok := refRows[s.ID]
+		if !ok {
+			t.Fatalf("merged view has unexpected source %s", s.ID)
+		}
+		if s.Sets != r.Sets || s.AbortedSets != r.AbortedSets || s.Items != r.Items ||
+			s.MeanConfidence != r.MeanConfidence || s.Degraded != r.Degraded ||
+			s.GapLine != r.GapLine || s.LostMarkers != r.LostMarkers || s.LostSamples != r.LostSamples {
+			t.Fatalf("source %s structurally differs from clean run:\nmerged %+v\nclean  %+v", s.ID, s, r)
+		}
+	}
+}
+
+// shardAIncarnation wraps the live shard-A collector pointer for
+// atomic.Value (which requires a consistent concrete type).
+type shardAIncarnation struct{ coll *collector.Collector }

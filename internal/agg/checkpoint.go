@@ -1,0 +1,147 @@
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+)
+
+// The aggregator checkpoint mirrors the collector's restart story one
+// tier up: the per-shard ack watermarks (so dedup survives and acked
+// summaries are never re-merged) and every source's latest merged row (so
+// /fleet resumes populated). Written atomically — temp file, fsync,
+// rename — so a crash mid-write leaves the previous checkpoint intact.
+
+// checkpointVersion guards the file layout.
+const checkpointVersion = 1
+
+type checkpointFile struct {
+	Version int                `json:"version"`
+	Shards  []checkpointShard  `json:"shards"`
+	Sources []checkpointSource `json:"sources"`
+}
+
+type checkpointShard struct {
+	ID        string `json:"id"`
+	Epoch     uint64 `json:"epoch"`
+	LastAcked uint64 `json:"last_acked"`
+}
+
+type checkpointSource struct {
+	Shard   string                  `json:"shard"`
+	Summary collector.SourceSummary `json:"summary"`
+	FreqHz  uint64                  `json:"freq_hz,omitempty"`
+	Items   []core.Item             `json:"items,omitempty"`
+}
+
+// Checkpoint writes the aggregator's durable state to cfg.CheckpointPath
+// atomically.
+func (a *Aggregator) Checkpoint() error {
+	return a.checkpoint(nil, 0, 0)
+}
+
+// checkpoint is Checkpoint with an optional staged ack: when staged is
+// non-nil, the snapshot records max(staged.lastAcked, stagedSeq) as that
+// shard's watermark (provided its epoch still equals stagedEpoch) — the
+// collector's rule that an acknowledgement must be durable on disk before
+// it is committed to memory or advertised upstream.
+func (a *Aggregator) checkpoint(staged *upstream, stagedEpoch, stagedSeq uint64) error {
+	if a.cfg.CheckpointPath == "" {
+		return fmt.Errorf("agg: no checkpoint path configured")
+	}
+	// Serialize writers end to end: snapshot + rename must be one atomic
+	// unit, or an older snapshot could rename over a newer checkpoint and
+	// un-persist a watermark another connection already acked against.
+	a.ckptMu.Lock()
+	defer a.ckptMu.Unlock()
+
+	file := checkpointFile{Version: checkpointVersion}
+	a.mu.Lock()
+	for _, up := range a.shards {
+		lastAcked := up.lastAcked
+		if up == staged && up.epoch == stagedEpoch && stagedSeq > lastAcked {
+			lastAcked = stagedSeq
+		}
+		file.Shards = append(file.Shards, checkpointShard{ID: up.id, Epoch: up.epoch, LastAcked: lastAcked})
+	}
+	for _, s := range a.sources {
+		file.Sources = append(file.Sources, checkpointSource{
+			Shard:   s.shard,
+			Summary: s.row.Summary,
+			FreqHz:  s.row.FreqHz,
+			// Rows are replaced wholesale, never mutated, so sharing the
+			// items' backing array with the live state is safe.
+			Items: s.row.Items,
+		})
+	}
+	a.mu.Unlock()
+
+	data, err := json.Marshal(file)
+	if err != nil {
+		return fmt.Errorf("agg: checkpoint encode: %w", err)
+	}
+	path := a.cfg.CheckpointPath
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("agg: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("agg: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("agg: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("agg: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("agg: checkpoint rename: %w", err)
+	}
+	a.metCkpts.Inc()
+	return nil
+}
+
+// restoreCheckpoint loads path into the shard and source maps. Called
+// from New before any connection is accepted.
+func (a *Aggregator) restoreCheckpoint(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file checkpointFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("agg: checkpoint %s: %w", path, err)
+	}
+	if file.Version != checkpointVersion {
+		return fmt.Errorf("agg: checkpoint %s: unsupported version %d", path, file.Version)
+	}
+	for _, cs := range file.Shards {
+		a.shards[cs.ID] = &upstream{
+			id:    cs.ID,
+			epoch: cs.Epoch,
+			// Un-checkpointed applies are gone with the process; the shard
+			// replays everything past the acked watermark.
+			appliedSeq: cs.LastAcked,
+			lastAcked:  cs.LastAcked,
+		}
+	}
+	for _, cs := range file.Sources {
+		a.sources[cs.Summary.ID] = &mergedSource{
+			shard: cs.Shard,
+			row:   collector.SourceRow{Summary: cs.Summary, FreqHz: cs.FreqHz, Items: cs.Items},
+		}
+	}
+	a.metShards.SetInt(len(a.shards))
+	a.metSources.SetInt(len(a.sources))
+	return nil
+}

@@ -1,0 +1,18 @@
+//go:build !scale
+
+package agg
+
+// Trimmed scale-harness parameters for the tier-1 `go test ./...` run: a
+// real 4-shard tier and aggregator, small enough to finish in seconds.
+// The full sweep — thousands of shippers, tens of thousands of sources —
+// builds with `-tags scale` (see scale_params_full.go) and runs in
+// `make tier2`.
+const (
+	scaleShards      = 4
+	scaleSources     = 48
+	scaleConcurrency = 16
+	scaleTopK        = 20
+)
+
+// scaleTemplateRequests sizes the template workloads the sources share.
+var scaleTemplateRequests = []int{8, 12, 16, 24}

@@ -1,0 +1,19 @@
+//go:build scale
+
+package agg
+
+// Full scale-sweep parameters (`go test -tags scale`): thousands of
+// concurrent in-process shippers cycling through tens of thousands of
+// sources against the 4-shard tier + aggregator, every connection an
+// in-memory pipe so the sweep is bounded by CPU, not file descriptors.
+const (
+	scaleShards      = 4
+	scaleSources     = 20000
+	scaleConcurrency = 2000
+	scaleTopK        = 20
+)
+
+// scaleTemplateRequests sizes the template workloads the sources share —
+// kept small so 60k retained per-source item sets (shards + aggregator +
+// reference collector) stay within test memory.
+var scaleTemplateRequests = []int{8, 12, 16, 24}

@@ -1,0 +1,119 @@
+package agg
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/ship"
+	"repro/internal/wire"
+)
+
+// UplinkConfig parameterizes a shard collector's uplink to the global
+// aggregator.
+type UplinkConfig struct {
+	// Addr is the aggregator's address.
+	Addr string
+	// Shard is this shard collector's ID — the wire-level source of the
+	// uplink connection (1–255 bytes).
+	Shard string
+	// SpoolDir enables durable at-least-once summary delivery (see the
+	// Uplink doc comment for the guarantee this buys). Empty degrades the
+	// hop to fire-and-forget.
+	SpoolDir string
+	// SpoolSegmentBytes / SpoolEpoch pass through to the spool (tests).
+	SpoolSegmentBytes int
+	SpoolEpoch        uint64
+	// Dial opens the connection (default TCP); tests substitute pipes or
+	// fault injectors.
+	Dial ship.DialFunc
+	// BackoffMin/BackoffMax bound the reconnect backoff (shipper defaults).
+	BackoffMin, BackoffMax time.Duration
+	// Registry receives the uplink's self-telemetry (nil: obs.Default()).
+	Registry *obs.Registry
+}
+
+// Uplink is the shard collector's shipping agent for the second hop: it
+// encodes each completed set's fleet summary as a TFleetSummary frame and
+// feeds it through an ordinary ship.Shipper — spool write-through,
+// reconnect with backoff, v2 seq/ack, replay-from-watermark — to the
+// aggregator. No new transport machinery; the summary is just another
+// frame type.
+//
+// Durability chain: OnSummary is invoked by the collector on the ingest
+// shard goroutine BEFORE the triggering SetEnd's apply result is
+// returned, and EnqueueFrame writes through to the spool before
+// returning. So with a SpoolDir configured, by the time the shard
+// collector checkpoints and acks a set to its worker, that set's summary
+// is already durable in the uplink spool (or acked by the aggregator) —
+// a shard crash between worker-ack and aggregator-delivery loses nothing:
+// the spool replays on restart and the aggregator dedups by (shard,
+// epoch, seq).
+type Uplink struct {
+	sh           *ship.Shipper
+	metSummaries *obs.Counter
+	metEncErrs   *obs.Counter
+	metDropped   *obs.Counter
+}
+
+// NewUplink validates cfg and builds the uplink, opening (and
+// recovering) the spool when cfg.SpoolDir is set.
+func NewUplink(cfg UplinkConfig) (*Uplink, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	sh, err := ship.New(ship.Config{
+		Addr:              cfg.Addr,
+		Source:            cfg.Shard,
+		SpoolDir:          cfg.SpoolDir,
+		SpoolSegmentBytes: cfg.SpoolSegmentBytes,
+		SpoolEpoch:        cfg.SpoolEpoch,
+		Dial:              cfg.Dial,
+		BackoffMin:        cfg.BackoffMin,
+		BackoffMax:        cfg.BackoffMax,
+		Registry:          reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Uplink{
+		sh:           sh,
+		metSummaries: reg.Counter("fluct_agg_uplink_summaries_total"),
+		metEncErrs:   reg.Counter("fluct_agg_uplink_encode_errors_total"),
+		metDropped:   reg.Counter("fluct_agg_uplink_dropped_total"),
+	}, nil
+}
+
+// OnSummary encodes and enqueues one summary; wire it as the shard
+// collector's Config.OnSummary. It never blocks (the shipper's enqueue is
+// non-blocking by contract); a summary that cannot be encoded or enqueued
+// is counted, never silently lost.
+func (u *Uplink) OnSummary(fs wire.FleetSummary) {
+	payload, err := wire.AppendFleetSummary(nil, fs)
+	if err != nil {
+		u.metEncErrs.Inc()
+		return
+	}
+	if !u.sh.EnqueueFrame(wire.Frame{Type: wire.TFleetSummary, Payload: payload}) {
+		u.metDropped.Inc()
+		return
+	}
+	u.metSummaries.Inc()
+}
+
+// Run drives the uplink until ctx is cancelled or Close is called and
+// everything pending has shipped.
+func (u *Uplink) Run(ctx context.Context) error { return u.sh.Run(ctx) }
+
+// Drain blocks until every spooled summary is acknowledged (or ctx dies).
+func (u *Uplink) Drain(ctx context.Context) error { return u.sh.Drain(ctx) }
+
+// Close stops accepting summaries; Run returns once pending ones ship.
+func (u *Uplink) Close() { u.sh.Close() }
+
+// PendingFrames reports how many summaries are not yet acknowledged.
+func (u *Uplink) PendingFrames() uint64 { return u.sh.PendingFrames() }
+
+// Epoch returns the uplink spool's numbering epoch (0 without a spool).
+func (u *Uplink) Epoch() uint64 { return u.sh.Epoch() }

@@ -58,6 +58,17 @@ type Config struct {
 	IngestShards int
 	// Registry receives the collector's self-telemetry (nil: obs.Default()).
 	Registry *obs.Registry
+	// OnSummary, when set, receives the source's refreshed fleet row every
+	// time a set completes (including aborted sets — the cumulative
+	// counters moved). This is the shard collector's uplink tap in the
+	// two-tier topology. It is invoked on the source's ingest-shard
+	// goroutine BEFORE the set's apply result is returned — and therefore
+	// before the SetEnd is checkpointed and acknowledged — so a callback
+	// that spools the summary durably (agg.Uplink does) guarantees that
+	// every set this collector ever acked has its summary either in the
+	// uplink spool or already delivered upstream. Keep it fast: it stalls
+	// that shard's ingest.
+	OnSummary func(wire.FleetSummary)
 }
 
 // Collector accepts shipper connections and maintains the fleet state.
@@ -668,10 +679,35 @@ func (c *Collector) finishSet(src *Source, declared wire.SetEnd, aborted bool) {
 	if aborted {
 		src.abortedSets++
 	}
+	var fs wire.FleetSummary
+	if c.cfg.OnSummary != nil {
+		sum := src.summaryLocked()
+		fs = wire.FleetSummary{
+			Source:      sum.ID,
+			FreqHz:      src.freq,
+			Sets:        sum.Sets,
+			AbortedSets: sum.AbortedSets,
+			LostMarkers: sum.LostMarkers,
+			LostSamples: sum.LostSamples,
+			CRCErrors:   sum.CRCErrors,
+			Disconnects: sum.Disconnects,
+			MeanConf:    sum.MeanConfidence,
+			Degraded:    sum.Degraded,
+			GapLine:     sum.GapLine,
+			Items:       append([]core.Item(nil), src.items...),
+		}
+	}
 	src.mu.Unlock()
 
 	src.cur = &trace.Set{FreqHz: src.freq, Syms: src.syms}
 	src.curItem = src.curItem[:0]
+
+	if c.cfg.OnSummary != nil {
+		// Still on the shard goroutine: the callback completes before this
+		// frame's apply result is delivered, so the SetEnd checkpoint+ack
+		// happens-after whatever durability the callback establishes.
+		c.cfg.OnSummary(fs)
+	}
 
 	c.metSets.Inc()
 	c.metItems.Add(uint64(n))

@@ -64,44 +64,35 @@ type FleetView struct {
 	ShardFrames []uint64 `json:"shard_frames,omitempty"`
 }
 
-// Fleet assembles the current fleet view.
-func (c *Collector) Fleet() FleetView {
-	c.mu.Lock()
-	srcs := make([]*Source, 0, len(c.sources))
-	for _, s := range c.sources {
-		srcs = append(srcs, s)
-	}
-	c.mu.Unlock()
+// SourceRow is one source's contribution to a merged fleet view: the
+// summary row, the clock needed to convert the items' cycles to
+// comparable microseconds, and the last completed set's items. It is the
+// unit both tiers merge — a collector builds rows from its live Source
+// state, the global aggregator rebuilds them from shipped FleetSummary
+// frames — and feeding either set through MergeFleet is what makes the
+// two-tier report byte-equivalent to the single-collector one.
+type SourceRow struct {
+	Summary SourceSummary
+	FreqHz  uint64
+	Items   []core.Item
+}
 
+// MergeFleet merges per-source rows into one fleet view: summaries
+// ascending by ID, plus the top-K slowest items (by elapsed time on each
+// item's own clock) across every row's last completed set.
+func MergeFleet(topK int, rows []SourceRow) FleetView {
 	var v FleetView
 	var all []FleetItem
-	for _, s := range srcs {
-		s.mu.Lock()
-		sum := SourceSummary{
-			ID:             s.ID,
-			Sets:           s.sets,
-			AbortedSets:    s.abortedSets,
-			Items:          len(s.items),
-			MeanConfidence: s.lastMeanConf,
-			Degraded:       s.lastDegraded,
-			GapLine:        s.gaps.String(),
-			LostMarkers:    s.lostMarkers,
-			LostSamples:    s.lostSamples,
-			CRCErrors:      s.crcErrors,
-			Disconnects:    s.disconnects,
-		}
-		freq := s.freq
-		for i := range s.items {
-			it := s.items[i]
-			it.Funcs = append([]core.FuncSpan(nil), it.Funcs...)
+	for _, r := range rows {
+		v.Sources = append(v.Sources, r.Summary)
+		for i := range r.Items {
+			it := r.Items[i]
 			us := 0.0
-			if freq > 0 {
-				us = float64(it.ElapsedCycles()) * 1e6 / float64(freq)
+			if r.FreqHz > 0 {
+				us = float64(it.ElapsedCycles()) * 1e6 / float64(r.FreqHz)
 			}
-			all = append(all, FleetItem{Source: s.ID, ElapsedUs: us, Item: it})
+			all = append(all, FleetItem{Source: r.Summary.ID, ElapsedUs: us, Item: it})
 		}
-		s.mu.Unlock()
-		v.Sources = append(v.Sources, sum)
 	}
 	slices.SortFunc(v.Sources, func(a, b SourceSummary) int { return cmp.Compare(a.ID, b.ID) })
 
@@ -118,12 +109,54 @@ func (c *Collector) Fleet() FleetView {
 		}
 		return cmp.Compare(a.Item.Core, b.Item.Core)
 	})
-	if len(all) > c.cfg.TopK {
-		all = all[:c.cfg.TopK]
+	if len(all) > topK {
+		all = all[:topK]
 	}
 	v.TopSlow = all
+	return v
+}
+
+// Fleet assembles the current fleet view.
+func (c *Collector) Fleet() FleetView {
+	c.mu.Lock()
+	srcs := make([]*Source, 0, len(c.sources))
+	for _, s := range c.sources {
+		srcs = append(srcs, s)
+	}
+	c.mu.Unlock()
+
+	rows := make([]SourceRow, 0, len(srcs))
+	for _, s := range srcs {
+		s.mu.Lock()
+		row := SourceRow{Summary: s.summaryLocked(), FreqHz: s.freq,
+			Items: make([]core.Item, len(s.items))}
+		for i := range s.items {
+			row.Items[i] = s.items[i]
+			row.Items[i].Funcs = append([]core.FuncSpan(nil), s.items[i].Funcs...)
+		}
+		s.mu.Unlock()
+		rows = append(rows, row)
+	}
+	v := MergeFleet(c.cfg.TopK, rows)
 	v.ShardFrames = c.ShardLoad()
 	return v
+}
+
+// summaryLocked builds the source's fleet row. Caller holds s.mu.
+func (s *Source) summaryLocked() SourceSummary {
+	return SourceSummary{
+		ID:             s.ID,
+		Sets:           s.sets,
+		AbortedSets:    s.abortedSets,
+		Items:          len(s.items),
+		MeanConfidence: s.lastMeanConf,
+		Degraded:       s.lastDegraded,
+		GapLine:        s.gaps.String(),
+		LostMarkers:    s.lostMarkers,
+		LostSamples:    s.lostSamples,
+		CRCErrors:      s.crcErrors,
+		Disconnects:    s.disconnects,
+	}
 }
 
 // Render writes the fleet view as a human-readable report.
@@ -141,13 +174,22 @@ func (v FleetView) Render(w io.Writer) {
 			fmt.Fprintf(w, "  %-16s %s\n", "", s.GapLine)
 		}
 	}
-	if len(v.TopSlow) > 0 {
-		fmt.Fprintf(w, "top %d slowest items across the fleet:\n", len(v.TopSlow))
-		for i, fi := range v.TopSlow {
-			fmt.Fprintf(w, "  %2d. %-16s item=%d core=%d %.2fus samples=%d conf=%.3f\n",
-				i+1, fi.Source, fi.Item.ID, fi.Item.Core, fi.ElapsedUs,
-				fi.Item.SampleCount, fi.Item.Confidence)
-		}
+	v.RenderTopK(w)
+}
+
+// RenderTopK writes just the top-K-slowest-items section of the report.
+// The chaos harness compares this section alone between a wounded run and
+// a clean one: the items must match byte-for-byte even when link-damage
+// counters (disconnects, CRC errors) legitimately differ.
+func (v FleetView) RenderTopK(w io.Writer) {
+	if len(v.TopSlow) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "top %d slowest items across the fleet:\n", len(v.TopSlow))
+	for i, fi := range v.TopSlow {
+		fmt.Fprintf(w, "  %2d. %-16s item=%d core=%d %.2fus samples=%d conf=%.3f\n",
+			i+1, fi.Source, fi.Item.ID, fi.Item.Core, fi.ElapsedUs,
+			fi.Item.SampleCount, fi.Item.Confidence)
 	}
 }
 
@@ -155,7 +197,13 @@ func (v FleetView) Render(w io.Writer) {
 // source's last set was clean; degraded when any source shows gap-scan
 // damage or transport loss.
 func (c *Collector) Health() obs.Health {
-	v := c.Fleet()
+	return FleetHealth(c.Fleet())
+}
+
+// FleetHealth derives the /healthz verdict from a fleet view — shared by
+// both tiers so a shard collector and the global aggregator judge the same
+// view the same way.
+func FleetHealth(v FleetView) obs.Health {
 	degraded := 0
 	var sets, lost uint64
 	for _, s := range v.Sources {

@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/symtab"
+)
+
+// testSummary builds a representative fleet summary: two items sharing one
+// symbol (the dictionary must dedup it) plus one symbol-free item.
+func testSummary() FleetSummary {
+	lookup := &symtab.Fn{Name: "table_lookup", Base: 0x1000, Size: 4096, ID: 0}
+	render := &symtab.Fn{Name: "render_reply", Base: 0x2000, Size: 2048, ID: 1}
+	return FleetSummary{
+		Source:      "worker-7",
+		FreqHz:      2_400_000_000,
+		Sets:        12,
+		AbortedSets: 1,
+		LostMarkers: 3,
+		LostSamples: 40,
+		CRCErrors:   2,
+		Disconnects: 5,
+		MeanConf:    0.875,
+		Degraded:    true,
+		GapLine:     "gaps: 2 suspect bursts",
+		Items: []core.Item{
+			{ID: 1, Core: 0, BeginTSC: 100, EndTSC: 900, SampleCount: 8, UnresolvedSamples: 1, Confidence: 1,
+				Funcs: []core.FuncSpan{
+					{Fn: lookup, Samples: 5, FirstTSC: 120, LastTSC: 700},
+					{Fn: render, Samples: 2, FirstTSC: 710, LastTSC: 890},
+				}},
+			{ID: 2, Core: 1, BeginTSC: 150, EndTSC: 2000, SampleCount: 11, UnresolvedSamples: 0, Confidence: 0.5,
+				Funcs: []core.FuncSpan{
+					{Fn: lookup, Samples: 11, FirstTSC: 160, LastTSC: 1900},
+				}},
+			{ID: 3, Core: -1, BeginTSC: 0, EndTSC: 10, SampleCount: 0, UnresolvedSamples: 0, Confidence: 0.25},
+		},
+	}
+}
+
+func TestFleetSummaryRoundTrip(t *testing.T) {
+	want := testSummary()
+	p, err := AppendFleetSummary(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFleetSummary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed summary:\n got %+v\nwant %+v", got, want)
+	}
+	// Shared symbols stay shared: both items' spans must point at one Fn.
+	if got.Items[0].Funcs[0].Fn != got.Items[1].Funcs[0].Fn {
+		t.Fatal("decoder duplicated a dictionary symbol across items")
+	}
+}
+
+func TestFleetSummaryTruncationErrors(t *testing.T) {
+	p, err := AppendFleetSummary(nil, testSummary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must error — a cut frame can never decode as a
+	// shorter valid summary.
+	for cut := 0; cut < len(p); cut++ {
+		if _, err := DecodeFleetSummary(p[:cut]); err == nil {
+			t.Fatalf("truncation at byte %d/%d decoded cleanly", cut, len(p))
+		}
+	}
+	// Trailing garbage must error too.
+	if _, err := DecodeFleetSummary(append(append([]byte(nil), p...), 0xaa)); err == nil {
+		t.Fatal("trailing byte decoded cleanly")
+	}
+}
+
+func TestFleetSummaryRejectsInvalid(t *testing.T) {
+	bad := []FleetSummary{
+		{Source: "", FreqHz: 1},
+		{Source: strings.Repeat("x", 256), FreqHz: 1},
+		{Source: "w", FreqHz: 1, MeanConf: 1.5},
+		{Source: "w", FreqHz: 1, Items: []core.Item{{Confidence: -0.1}}},
+		{Source: "w", FreqHz: 1, Items: []core.Item{{Confidence: 1, Funcs: []core.FuncSpan{{Fn: nil}}}}},
+	}
+	for i, fs := range bad {
+		if _, err := AppendFleetSummary(nil, fs); err == nil {
+			t.Errorf("case %d: invalid summary encoded cleanly", i)
+		}
+	}
+	// Zero frequency is rejected on decode (an aggregator must never
+	// divide by it).
+	fs := testSummary()
+	fs.FreqHz = 1
+	p, err := AppendFleetSummary(nil, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[1+len(fs.Source)] = 0 // freq uvarint (1 encodes as one byte)
+	if _, err := DecodeFleetSummary(p); err == nil {
+		t.Fatal("zero-frequency summary decoded cleanly")
+	}
+}

@@ -118,3 +118,50 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFleetMerge throws arbitrary bytes at the fleet-summary decoder — the
+// collector→aggregator hop's payload parser, reachable by any process that
+// can dial the aggregator port. Corrupt or truncated input must error,
+// never panic; anything the decoder accepts must survive an encode →
+// decode round trip with an identical summary (differential check: the
+// re-encode is canonical, so surviving it proves the decoder built a
+// self-consistent structure, not garbage that happened not to crash). Run
+// continuously with
+//
+//	go test -run '^$' -fuzz '^FuzzFleetMerge$' ./internal/wire
+//
+// (make tier2 includes a short smoke).
+func FuzzFleetMerge(f *testing.F) {
+	seed, err := AppendFleetSummary(nil, testSummary())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])          // truncated mid-structure
+	f.Add(seed[:1+len("worker-7")+3])  // header only
+	empty, err := AppendFleetSummary(nil, FleetSummary{Source: "s", FreqHz: 1_000_000})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 'x', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // absurd counters
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs, err := DecodeFleetSummary(data)
+		if err != nil {
+			return // rejection is always acceptable; panics are not
+		}
+		re, err := AppendFleetSummary(nil, fs)
+		if err != nil {
+			t.Fatalf("accepted summary failed to re-encode: %v", err)
+		}
+		back, err := DecodeFleetSummary(re)
+		if err != nil {
+			t.Fatalf("re-encoded summary failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(fs, back) {
+			t.Fatalf("fleet summary round trip changed fields:\n got %+v\nwant %+v", back, fs)
+		}
+	})
+}

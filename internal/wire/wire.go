@@ -61,6 +61,10 @@ const (
 	TSeqStart Type = 7
 	// TAck (v2) is the collector's cumulative delivery acknowledgement.
 	TAck Type = 8
+	// TFleetSummary carries one source's merged fleet row on the shard
+	// collector → global aggregator hop of the two-tier topology (see
+	// fleet.go). To the v2 sequencing layer it is an ordinary data frame.
+	TFleetSummary Type = 9
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +86,8 @@ func (t Type) String() string {
 		return "seqstart"
 	case TAck:
 		return "ack"
+	case TFleetSummary:
+		return "fleetsummary"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
