@@ -19,12 +19,18 @@
 # harness — plus a fleet-summary decode fuzz smoke and the full scale
 # sweep (-tags scale: thousands of shippers, tens of thousands of
 # sources, merged report byte-identical to a single collector).
+# tier2 also races the online-detector property tests (verdict streams
+# must be byte-identical across ingest shard counts) and fuzz-smokes the
+# verdict wire decoder.
 # bench runs the hot-path micro/ablation benchmarks with allocation stats.
-# bench-gate enforces two budgets: BenchmarkMicroIntegrate must land
-# within 15% of the absolute baseline recorded in EXPERIMENTS.md, and
+# bench-gate enforces the budgets: BenchmarkMicroIntegrate must land
+# within 15% of the absolute baseline recorded in EXPERIMENTS.md,
 # BenchmarkInstrumentedIntegrate (full self-telemetry live) must be
-# within 3% of it — the instrumentation-overhead budget (see
-# cmd/benchgate).
+# within 3% of it — the instrumentation-overhead budget — and likewise
+# BenchmarkCollectorIngestDetect (online fluctuation detection live on
+# the ingest path) within 3% of BenchmarkCollectorIngest, with
+# BenchmarkDetectUpdate pinned allocation-free against its own absolute
+# baseline (see cmd/benchgate).
 
 GO ?= go
 
@@ -38,6 +44,7 @@ tier2:
 	$(GO) vet ./internal/obs && $(GO) test -race -count 1 ./internal/obs
 	$(GO) test -race -count 1 -run '^TestServe' ./internal/experiments
 	$(GO) test -race -count 1 -run '^TestLoopback' ./internal/collector
+	$(GO) test -race -count 1 -run '^TestDetect' ./internal/collector ./internal/experiments
 	$(GO) test -race -count 1 -run '^(TestCrashRecoveryEquivalence|TestCheckpointRestartKeepsFleetView)$$' ./internal/collector
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzIntegrate$$' -fuzztime=10s ./internal/core
@@ -45,6 +52,7 @@ tier2:
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameIter$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzFleetMerge$$' -fuzztime=10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzVerdictDecode$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzSpoolRecover$$' -fuzztime=10s ./internal/spool
 	$(GO) test -race -count 1 ./internal/agg
 	$(GO) test -tags scale -count 1 -run '^TestScaleHarness$$' -timeout 900s ./internal/agg
@@ -53,6 +61,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkInstrumentedIntegrate|BenchmarkParallelIntegrate|BenchmarkSymtabResolveCached' -benchmem -count 1 .
 	$(GO) test -run '^$$' -bench 'BenchmarkWireEncodeDecode' -benchmem -count 1 ./internal/wire
 	$(GO) test -run '^$$' -bench 'BenchmarkCollectorIngest' -benchmem -count 1 ./internal/collector
+	$(GO) test -run '^$$' -bench 'BenchmarkDetectUpdate' -benchmem -count 1 ./internal/detect
 	$(GO) test -run '^$$' -bench 'BenchmarkAggregatorMerge' -benchmem -count 1 ./internal/agg
 
 bench-gate:
@@ -61,4 +70,6 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -bench BenchmarkWireEncodeDecode -pkg ./internal/wire -threshold 0.30 -allocs 0
 	$(GO) run ./cmd/benchgate -bench BenchmarkCollectorIngest -pkg ./internal/collector -threshold 0.50 -count 3
 	$(GO) run ./cmd/benchgate -bench BenchmarkSpoolAppend -pkg ./internal/spool -threshold 0.30 -count 5
+	$(GO) run ./cmd/benchgate -bench BenchmarkDetectUpdate -pkg ./internal/detect -threshold 0.30 -allocs 0
+	$(GO) run ./cmd/benchgate -bench BenchmarkCollectorIngestDetect -against BenchmarkCollectorIngest -pkg ./internal/collector -threshold 0.03 -count 5
 	$(GO) run ./cmd/benchgate -bench BenchmarkAggregatorMerge -pkg ./internal/agg -threshold 0.50 -count 3

@@ -8,12 +8,16 @@
 //	fluct -serve 127.0.0.1:8080
 //	fluct -ship 127.0.0.1:9000 -source worker-1 -rounds 5
 //
-// Experiments: fig1, fig2, fig4, fig8, fig9, fig10, datarate, faultsweep, all.
+// Experiments: fig1, fig2, fig4, fig8, fig9, fig10, datarate, faultsweep,
+// detectsweep, all.
 //
 // With -serve, fluct instead runs the online monitor continuously and
 // exposes its self-telemetry over HTTP: /metrics (Prometheus text),
 // /debug/vars (expvar), /debug/pprof/* and /healthz (trace.GapSummary
-// verdict). Add -serve-faults to watch the health endpoint degrade.
+// verdict). Add -serve-faults to watch the health endpoint degrade, and
+// -detect to run the online fluctuation detector over the item stream —
+// /healthz then also degrades while change events are unresolved (inject
+// one with -serve-faults 'fnslow=table_lookup,fnfactor=2,fnafter=0.5').
 //
 // With -ship, fluct becomes a fleet worker: each workload round's trace set
 // is shipped over TCP to a fluctd collector instead of being integrated
@@ -50,13 +54,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|all")
+		exp      = flag.String("exp", "all", "experiment to run: fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|detectsweep|all")
 		packets  = flag.Int("packets", 10000, "packets per ACL run (figs 9/10, data rate)")
 		requests = flag.Int("requests", 20000, "requests for the NGINX workload (fig 2)")
 		resets   = flag.String("resets", "", "comma-separated reset values overriding the paper's sweep")
 		out      = flag.String("out", "", "write output to this file instead of stdout")
 		serve    = flag.String("serve", "", "serve self-telemetry on this address (e.g. 127.0.0.1:8080) instead of running experiments")
 		srvFault = flag.String("serve-faults", "", "fault spec injected into every -serve round (e.g. 'loss=0.2,burst=64')")
+		srvDet   = flag.Bool("detect", false, "with -serve: run the online fluctuation detector (/healthz degrades on unresolved change events)")
 		shipAddr = flag.String("ship", "", "ship workload rounds to a fluctd collector instead of running experiments; a comma-separated list is a shard membership table and the worker ships to the shard owning its source ID")
 		source   = flag.String("source", "", "source ID for -ship (default: hostname-pid)")
 		rounds   = flag.Int("rounds", 0, "rounds to ship with -ship (0: until interrupted)")
@@ -88,7 +93,7 @@ func main() {
 				reqs = *requests
 			}
 		})
-		if err := runServe(*serve, reqs, *srvFault); err != nil {
+		if err := runServe(*serve, reqs, *srvFault, *srvDet); err != nil {
 			fatal(err)
 		}
 		return
@@ -197,6 +202,15 @@ func main() {
 		cr.Render(w)
 		fmt.Fprintln(w)
 	}
+	if want("detectsweep") {
+		ran = true
+		r, err := experiments.DetectSweep(experiments.DetectSweepConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintln(w)
+	}
 	if want("secvc") {
 		ran = true
 		r, err := experiments.SecVC("gcc", nil)
@@ -207,7 +221,7 @@ func main() {
 		fmt.Fprintln(w)
 	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|secvc|all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|detectsweep|secvc|all)", *exp))
 	}
 }
 
@@ -252,10 +266,11 @@ func runShip(addr, source string, rounds, requests int, faultSpec, spoolDir stri
 }
 
 // runServe runs the online monitor forever and serves its telemetry.
-func runServe(addr string, requests int, faultSpec string) error {
+func runServe(addr string, requests int, faultSpec string, detect bool) error {
 	m, err := experiments.NewMonitor(experiments.MonitorConfig{
 		Requests: requests,
 		Faults:   faultSpec,
+		Detect:   detect,
 	})
 	if err != nil {
 		return err

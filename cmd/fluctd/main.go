@@ -10,9 +10,18 @@
 // Shippers connect to -listen; operators scrape -http:
 //
 //	/metrics     collector self-telemetry (Prometheus text)
-//	/healthz     fleet verdict (degraded when any source shows loss)
+//	/healthz     fleet verdict (degraded when any source shows loss,
+//	             or — with -detect — while change events are unresolved)
 //	/fleet       the merged cross-host view as JSON
+//	/verdicts    active fluctuation events + ranked root-cause verdicts
 //	/debug/...   expvar + pprof
+//
+// With -detect, every source additionally runs the online fluctuation
+// detector (internal/detect): a streaming change-point scan over per-item
+// latency whose ranked function/core verdicts surface on /verdicts, in
+// the fleet view, and in the /healthz "detect" condition. In two-tier
+// mode each shard ships its verdict snapshots upstream, so the
+// aggregator's /verdicts is fleet-wide.
 //
 // With -checkpoint set, delivery acknowledgements become durable: the
 // per-source state is checkpointed (atomic rename) before every ack, on
@@ -60,6 +69,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/collector"
+	"repro/internal/detect"
 )
 
 func main() {
@@ -75,6 +85,9 @@ func main() {
 		upAddr  = flag.String("upstream", "", "ship this collector's per-source fleet rows to a global aggregator at this address (two-tier shard mode)")
 		upSpool = flag.String("upstream-spool", "", "spool directory for the aggregator uplink (required with -upstream)")
 		shardID = flag.String("shard-id", "", "stable shard identity on the aggregator hop (default: the -listen address)")
+		det     = flag.Bool("detect", false, "run the online fluctuation detector per source: /verdicts serves ranked root-cause verdicts and /healthz degrades while change events are unresolved")
+		detSig  = flag.Float64("detect-sigma", 0, "detector firing threshold in robust sigmas (0: default 5)")
+		detWin  = flag.Int("detect-window", 0, "detector change-point window in items (0: default 128)")
 	)
 	flag.Parse()
 
@@ -121,8 +134,12 @@ func main() {
 		IdleTimeout:    *idle,
 		IngestShards:   *shards,
 	}
+	if *det {
+		cfg.Detect = &detect.Config{Sigma: *detSig, Window: *detWin}
+	}
 	if uplink != nil {
 		cfg.OnSummary = uplink.OnSummary
+		cfg.OnVerdicts = uplink.OnVerdicts
 	}
 	c, err := collector.New(cfg)
 	if err != nil {

@@ -13,14 +13,24 @@
 //	tracedump -items 20 /tmp/acl.fltrc
 //	tracedump -profile /tmp/acl.fltrc
 //	tracedump -faults 'seed=7,loss=0.1,burst=32,mdrop=0.02' -gaps /tmp/acl.fltrc
+//	tracedump -faults 'fnslow=rte_acl_classify,fnfactor=6,fnafter=0.5' -verdicts /tmp/acl.fltrc
+//
+// -verdicts replays the reconstructed items through the online
+// fluctuation detector (internal/detect) in completion order and prints
+// every root-cause verdict — the offline twin of `fluctd -detect`,
+// useful for re-diagnosing an archived trace or rehearsing the detector
+// against injected ground truth as in the last example.
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -54,6 +64,7 @@ func main() {
 		faultsSpec = flag.String("faults", "", "inject faults before analysis, e.g. 'seed=7,loss=0.1,burst=32,mdrop=0.02,mdup=0.01,skew=500,reorder=16,trunc=0.9'")
 		faultsOut  = flag.String("faults-out", "", "write the (possibly perturbed) trace to this file")
 		gaps       = flag.Bool("gaps", false, "print the per-core gap/degradation summary")
+		verdicts   = flag.Bool("verdicts", false, "replay the items through the online fluctuation detector and print every verdict (offline root-cause pass)")
 		spansOut   = flag.String("spans", "", "trace the tracer: write the analyzer's own spans as Chrome trace_event JSON to this file (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
@@ -194,6 +205,10 @@ func main() {
 		t.Render(os.Stdout)
 	}
 
+	if *verdicts {
+		dumpVerdicts(a)
+	}
+
 	if *csvOut != "" {
 		for suffix, export := range map[string]func(*os.File) error{
 			"-markers.csv": func(f *os.File) error { return set.ExportMarkersCSV(f) },
@@ -241,6 +256,52 @@ func main() {
 		}
 		t.Render(os.Stdout)
 	}
+}
+
+// dumpVerdicts replays the integrated items through the online detector
+// in (EndTSC, core) completion order — the order a live collector sees —
+// and prints the full verdict history plus the lifecycle counters. The
+// offline twin of `fluctd -detect`; what it prints for a trace is exactly
+// what the collector's /verdicts would have shown over it.
+func dumpVerdicts(a *core.Analysis) {
+	det, err := detect.New(detect.Config{
+		Source:   "tracedump",
+		FreqHz:   a.FreqHz,
+		Registry: obs.NewRegistry(), // keep the replay out of the default metrics
+	})
+	if err != nil {
+		fatal(err)
+	}
+	det.KeepHistory = true
+	items := append([]core.Item(nil), a.Items...)
+	slices.SortStableFunc(items, func(x, y core.Item) int {
+		if c := cmp.Compare(x.EndTSC, y.EndTSC); c != 0 {
+			return c
+		}
+		return cmp.Compare(x.Core, y.Core)
+	})
+	for i := range items {
+		det.Update(&items[i])
+	}
+
+	st := det.Stats()
+	fmt.Printf("\ndetector: %d items, %d change events (%d resolved, %d false resets), %d verdicts, %d still active\n",
+		st.Items, st.Changepoints, st.Resolved, st.FalseResets, st.Verdicts, st.Active)
+	hist := det.History()
+	if len(hist) == 0 {
+		fmt.Println("no fluctuation verdicts: the per-item latency series has no sustained shift")
+		return
+	}
+	t := report.Table{
+		Title:   "fluctuation verdicts (rank 0 = strongest cause per event)",
+		Headers: []string{"event", "rank", "function", "core", "delta us/item", "score", "items", "worst item"},
+	}
+	for _, v := range hist {
+		t.AddRow(report.U(v.Event), report.I(v.Rank), v.Function, report.I(int(v.Core)),
+			report.F(float64(v.DeltaNs)/1e3, 1), report.F(v.Score, 1),
+			fmt.Sprintf("%d..%d", v.Window.FirstItem, v.Window.LastItem), report.U(v.Item))
+	}
+	t.Render(os.Stdout)
 }
 
 func symCount(s *trace.Set) int {

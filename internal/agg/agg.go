@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -82,10 +83,15 @@ type upstream struct {
 // mergedSource is one source's latest row plus the shard that delivered
 // it. Within one shard's stream, seq order makes "latest" well defined;
 // across shards (a rebalance moved the source) the last writer wins and
-// the row reflects the current owner's cumulative view.
+// the row reflects the current owner's cumulative view. Verdict snapshots
+// ride a separate frame type on the same stream, so they live beside the
+// row rather than in it — a fresh summary must not wipe the verdicts and
+// vice versa.
 type mergedSource struct {
-	shard string
-	row   collector.SourceRow
+	shard    string
+	row      collector.SourceRow
+	verdicts []detect.Verdict
+	active   uint32
 }
 
 // New builds an aggregator, restoring merged state from
@@ -283,17 +289,30 @@ func (a *Aggregator) HandleConn(conn net.Conn) {
 			// through to re-attempt durability + ack.
 			a.metDups.Inc()
 		} else {
-			fs, derr := wire.DecodeFleetSummary(f.Payload)
-			if derr != nil || f.Type != wire.TFleetSummary {
-				// The frame arrived intact (CRC passed) but is not a usable
-				// summary; retransmitting identical bytes cannot help, so
-				// the sequence number stays consumed, the frame is dropped
-				// and counted, and no ack is sent — the next good summary's
-				// cumulative ack covers it.
+			// A frame that arrived intact (CRC passed) but is not a usable
+			// payload cannot be helped by retransmitting identical bytes, so
+			// its sequence number stays consumed, the frame is dropped and
+			// counted, and no ack is sent — the next good frame's cumulative
+			// ack covers it.
+			switch f.Type {
+			case wire.TFleetSummary:
+				fs, derr := wire.DecodeFleetSummary(f.Payload)
+				if derr != nil {
+					a.metDecErrs.Inc()
+					continue
+				}
+				a.applySummary(shardID, fs)
+			case wire.TVerdicts:
+				vs, derr := wire.DecodeVerdicts(f.Payload)
+				if derr != nil {
+					a.metDecErrs.Inc()
+					continue
+				}
+				a.applyVerdicts(shardID, vs)
+			default:
 				a.metDecErrs.Inc()
 				continue
 			}
-			a.applySummary(shardID, fs)
 			if !cs.active {
 				continue // v1 link: no acks to send
 			}
@@ -376,7 +395,34 @@ func (a *Aggregator) applySummary(shardID string, fs wire.FleetSummary) {
 		Items:  fs.Items,
 	}
 	a.mu.Lock()
-	a.sources[fs.Source] = &mergedSource{shard: shardID, row: row}
+	ms := a.sources[fs.Source]
+	if ms == nil {
+		ms = &mergedSource{}
+		a.sources[fs.Source] = ms
+	}
+	ms.shard = shardID
+	ms.row = row
+	a.metSources.SetInt(len(a.sources))
+	a.mu.Unlock()
+	a.lastMergeNano.Store(time.Now().UnixNano())
+	a.metMerges.Inc()
+}
+
+// applyVerdicts folds one decoded verdict snapshot into the merged state:
+// last-writer-wins per source, like summary rows. A snapshot may precede
+// the source's first summary (the event fired mid-set); the placeholder row
+// carries just the ID until the summary lands.
+func (a *Aggregator) applyVerdicts(shardID string, vs wire.VerdictSet) {
+	a.mu.Lock()
+	ms := a.sources[vs.Source]
+	if ms == nil {
+		ms = &mergedSource{row: collector.SourceRow{
+			Summary: collector.SourceSummary{ID: vs.Source}}}
+		a.sources[vs.Source] = ms
+	}
+	ms.shard = shardID
+	ms.verdicts = vs.Verdicts
+	ms.active = vs.Active
 	a.metSources.SetInt(len(a.sources))
 	a.mu.Unlock()
 	a.lastMergeNano.Store(time.Now().UnixNano())
@@ -391,7 +437,10 @@ func (a *Aggregator) Fleet() collector.FleetView {
 	a.mu.Lock()
 	rows := make([]collector.SourceRow, 0, len(a.sources))
 	for _, s := range a.sources {
-		rows = append(rows, s.row)
+		row := s.row
+		row.Verdicts = s.verdicts
+		row.Summary.ActiveVerdicts = s.active
+		rows = append(rows, row)
 	}
 	topK := a.cfg.TopK
 	a.mu.Unlock()
@@ -429,8 +478,9 @@ func (a *Aggregator) Health() obs.Health {
 }
 
 // Handler returns the aggregator's HTTP surface: the standard
-// self-telemetry endpoints plus /fleet, the merged cross-shard view as
-// JSON — the same shape the single-tier collector serves.
+// self-telemetry endpoints plus /fleet and /verdicts, the merged
+// cross-shard views as JSON — the same shapes the single-tier collector
+// serves.
 func (a *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Handler(obs.HandlerOptions{Registry: a.cfg.Registry, Health: a.Health}))
@@ -439,6 +489,12 @@ func (a *Aggregator) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		_ = enc.Encode(a.Fleet())
+	})
+	mux.HandleFunc("/verdicts", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(collector.VerdictsOf(a.Fleet()))
 	})
 	return mux
 }

@@ -52,6 +52,7 @@ type UplinkConfig struct {
 type Uplink struct {
 	sh           *ship.Shipper
 	metSummaries *obs.Counter
+	metVerdicts  *obs.Counter
 	metEncErrs   *obs.Counter
 	metDropped   *obs.Counter
 }
@@ -80,6 +81,7 @@ func NewUplink(cfg UplinkConfig) (*Uplink, error) {
 	return &Uplink{
 		sh:           sh,
 		metSummaries: reg.Counter("fluct_agg_uplink_summaries_total"),
+		metVerdicts:  reg.Counter("fluct_agg_uplink_verdicts_total"),
 		metEncErrs:   reg.Counter("fluct_agg_uplink_encode_errors_total"),
 		metDropped:   reg.Counter("fluct_agg_uplink_dropped_total"),
 	}, nil
@@ -100,6 +102,25 @@ func (u *Uplink) OnSummary(fs wire.FleetSummary) {
 		return
 	}
 	u.metSummaries.Inc()
+}
+
+// OnVerdicts encodes and enqueues one verdict snapshot; wire it as the
+// shard collector's Config.OnVerdicts. Same contract as OnSummary: it
+// never blocks, and a snapshot that cannot be encoded or enqueued is
+// counted, never silently lost. Snapshots ride the same sequenced stream
+// as summaries, so the aggregator's dedup and last-writer-wins rules apply
+// unchanged.
+func (u *Uplink) OnVerdicts(vs wire.VerdictSet) {
+	payload, err := wire.AppendVerdicts(nil, vs)
+	if err != nil {
+		u.metEncErrs.Inc()
+		return
+	}
+	if !u.sh.EnqueueFrame(wire.Frame{Type: wire.TVerdicts, Payload: payload}) {
+		u.metDropped.Inc()
+		return
+	}
+	u.metVerdicts.Inc()
 }
 
 // Run drives the uplink until ctx is cancelled or Close is called and

@@ -7,18 +7,18 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
-// BenchmarkCollectorIngest measures the live ingest path end to end: N
-// concurrent sources stream pre-encoded trace sets over real TCP loopback
-// connections into one collector, and an iteration is one complete set
-// delivered and integrated per source. This is the number the zero-copy
-// work exists to move — pooled frame reads, lock-free per-shard decode and
-// integration, and the per-source dedup bookkeeping, all under concurrent
-// load. Gated against the baseline in EXPERIMENTS.md via make bench-gate.
-func BenchmarkCollectorIngest(b *testing.B) {
+// benchIngest measures the live ingest path end to end: N concurrent
+// sources stream pre-encoded trace sets over real TCP loopback connections
+// into one collector, and an iteration is one complete set delivered and
+// integrated per source. This is the number the zero-copy work exists to
+// move — pooled frame reads, lock-free per-shard decode and integration,
+// and the per-source dedup bookkeeping, all under concurrent load.
+func benchIngest(b *testing.B, cfg Config) {
 	const nSources = 4
 	set := workloadSet(b, 120)
 	var blob []byte
@@ -26,7 +26,8 @@ func BenchmarkCollectorIngest(b *testing.B) {
 		blob = wire.AppendFrame(blob, f)
 	}
 
-	coll, addr := startCollector(b, Config{Registry: obs.NewRegistry()})
+	cfg.Registry = obs.NewRegistry()
+	coll, addr := startCollector(b, cfg)
 	defer coll.Close()
 	conns := make([]net.Conn, nSources)
 	for i := range conns {
@@ -61,4 +62,18 @@ func BenchmarkCollectorIngest(b *testing.B) {
 		waitSets(b, coll, fmt.Sprintf("bench-%d", i), uint64(b.N), 5*time.Minute)
 	}
 	b.StopTimer()
+}
+
+// BenchmarkCollectorIngest is the detection-off baseline, gated against
+// the absolute number in EXPERIMENTS.md via make bench-gate.
+func BenchmarkCollectorIngest(b *testing.B) {
+	benchIngest(b, Config{})
+}
+
+// BenchmarkCollectorIngestDetect is the same path with the online
+// fluctuation detector updating on every integrated item. The bench gate
+// holds it within 3% of BenchmarkCollectorIngest: detection must ride the
+// ingest path essentially for free.
+func BenchmarkCollectorIngestDetect(b *testing.B) {
+	benchIngest(b, Config{Detect: &detect.Config{}})
 }

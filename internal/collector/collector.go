@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/symtab"
@@ -69,6 +70,23 @@ type Config struct {
 	// uplink spool or already delivered upstream. Keep it fast: it stalls
 	// that shard's ingest.
 	OnSummary func(wire.FleetSummary)
+	// Detect, when non-nil, runs online fluctuation detection: each source
+	// gets its own detect.Detector built from this template (Source,
+	// FreqHz, Registry, and OnVerdict are filled per source) and fed every
+	// integrated item on the source's home-shard goroutine — the same
+	// single-goroutine order ingest sharding already guarantees, which is
+	// why verdict streams are deterministic at any IngestShards setting.
+	// The detector (window, baseline, active events) survives set
+	// boundaries and reconnects, like the rest of the Source state.
+	Detect *detect.Config
+	// OnVerdict receives every emitted verdict, synchronously on the
+	// source's ingest-shard goroutine.
+	OnVerdict func(detect.Verdict)
+	// OnVerdicts receives the source's refreshed verdict snapshot whenever
+	// its verdict state changes (an event fired or resolved) — the uplink
+	// tap that ships TVerdicts frames in the two-tier topology. Same
+	// goroutine and same keep-it-fast contract as OnSummary.
+	OnVerdicts func(wire.VerdictSet)
 }
 
 // Collector accepts shipper connections and maintains the fleet state.
@@ -152,6 +170,17 @@ type Source struct {
 	cur     *trace.Set // accumulates the in-flight set for the gap scan
 	curItem []core.Item
 
+	// det is the source's fluctuation detector (nil unless Config.Detect).
+	// Shard-owned like integ — Update runs only on the home-shard
+	// goroutine; the published snapshot below is what other goroutines
+	// read.
+	det *detect.Detector
+
+	// Published verdict snapshot (guarded by mu): refreshed by the shard
+	// goroutine whenever the detector's verdict state changes.
+	verdicts       []detect.Verdict
+	activeVerdicts int
+
 	// Last-completed-set results.
 	items []core.Item
 	gaps  trace.Gaps
@@ -186,6 +215,13 @@ func New(cfg Config) (*Collector, error) {
 	}
 	if cfg.IngestShards <= 0 {
 		cfg.IngestShards = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if cfg.Detect != nil {
+		// Validate the template now: a bad window/segment combination should
+		// fail daemon startup, not silently disable per-source detection.
+		if _, err := detect.New(*cfg.Detect); err != nil {
+			return nil, err
+		}
 	}
 	c := &Collector{
 		cfg:            cfg,
@@ -590,11 +626,21 @@ func (c *Collector) applyFrame(src *Source, f wire.Frame) error {
 		if err != nil {
 			return err
 		}
+		if c.cfg.Detect != nil && src.det == nil {
+			// First set from this source: build its detector from the
+			// template. Errors here are configuration errors caught by the
+			// daemon at startup (newDetector validates the template), so a
+			// per-source failure only disables detection for the source.
+			src.det, _ = c.newDetector(src.ID, freq)
+		}
 		integ.OnItem = func(it *core.Item) {
 			// Copy out: the integrator recycles, the fleet view retains.
 			cp := *it
 			cp.Funcs = append([]core.FuncSpan(nil), it.Funcs...)
 			src.curItem = append(src.curItem, cp)
+			if src.det != nil && src.det.Update(it) {
+				c.publishVerdicts(src)
+			}
 			integ.Recycle(it)
 		}
 		src.integ = integ
@@ -711,6 +757,44 @@ func (c *Collector) finishSet(src *Source, declared wire.SetEnd, aborted bool) {
 
 	c.metSets.Inc()
 	c.metItems.Add(uint64(n))
+}
+
+// newDetector clones the Detect template for one source.
+func (c *Collector) newDetector(id string, freq uint64) (*detect.Detector, error) {
+	dcfg := *c.cfg.Detect
+	dcfg.Source = id
+	dcfg.FreqHz = freq
+	if dcfg.Registry == nil {
+		dcfg.Registry = c.cfg.Registry
+	}
+	dcfg.OnVerdict = c.cfg.OnVerdict
+	return detect.New(dcfg)
+}
+
+// publishVerdicts copies the detector's verdict snapshot into the fields
+// the fleet view reads, and feeds the uplink tap. Runs on the source's
+// home-shard goroutine (the detector's single-goroutine contract).
+func (c *Collector) publishVerdicts(src *Source) {
+	st := src.det.State()
+	src.mu.Lock()
+	src.verdicts = st.Recent
+	src.activeVerdicts = st.Active
+	src.mu.Unlock()
+	if c.cfg.OnVerdicts != nil {
+		c.cfg.OnVerdicts(wire.VerdictSet{
+			Source:   src.ID,
+			Active:   uint32(st.Active),
+			Verdicts: st.Recent,
+		})
+	}
+}
+
+// Verdicts returns the source's published verdict snapshot: the unresolved
+// change-event count and the recent ranked verdicts, oldest first.
+func (s *Source) Verdicts() (active int, verdicts []detect.Verdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activeVerdicts, append([]detect.Verdict(nil), s.verdicts...)
 }
 
 // Epoch returns the source's spool numbering epoch (0 before any v2

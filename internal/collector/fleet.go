@@ -9,6 +9,8 @@ import (
 	"slices"
 
 	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/health"
 	"repro/internal/obs"
 )
 
@@ -35,6 +37,9 @@ type SourceSummary struct {
 	// CRCErrors and Disconnects count cumulative link damage.
 	CRCErrors   uint64 `json:"crc_errors,omitempty"`
 	Disconnects uint64 `json:"disconnects,omitempty"`
+	// ActiveVerdicts is the source's unresolved fluctuation-event count
+	// (zero when detection is off or the source is steady).
+	ActiveVerdicts uint32 `json:"active_verdicts,omitempty"`
 }
 
 // FleetItem tags an item with the source it came from.
@@ -62,6 +67,10 @@ type FleetView struct {
 	// shard, in shard order — a skewed distribution means a few hot
 	// sources are pinning their shards while others idle.
 	ShardFrames []uint64 `json:"shard_frames,omitempty"`
+	// Verdicts holds every source's recent fluctuation verdicts, ordered
+	// by (source, event, rank) — the fleet-wide answer to "what changed,
+	// where, and why".
+	Verdicts []detect.Verdict `json:"verdicts,omitempty"`
 }
 
 // SourceRow is one source's contribution to a merged fleet view: the
@@ -75,6 +84,9 @@ type SourceRow struct {
 	Summary SourceSummary
 	FreqHz  uint64
 	Items   []core.Item
+	// Verdicts is the source's recent fluctuation-verdict snapshot (empty
+	// when detection is off).
+	Verdicts []detect.Verdict
 }
 
 // MergeFleet merges per-source rows into one fleet view: summaries
@@ -85,6 +97,7 @@ func MergeFleet(topK int, rows []SourceRow) FleetView {
 	var all []FleetItem
 	for _, r := range rows {
 		v.Sources = append(v.Sources, r.Summary)
+		v.Verdicts = append(v.Verdicts, r.Verdicts...)
 		for i := range r.Items {
 			it := r.Items[i]
 			us := 0.0
@@ -95,6 +108,15 @@ func MergeFleet(topK int, rows []SourceRow) FleetView {
 		}
 	}
 	slices.SortFunc(v.Sources, func(a, b SourceSummary) int { return cmp.Compare(a.ID, b.ID) })
+	slices.SortFunc(v.Verdicts, func(a, b detect.Verdict) int {
+		if a.Source != b.Source {
+			return cmp.Compare(a.Source, b.Source)
+		}
+		if a.Event != b.Event {
+			return cmp.Compare(a.Event, b.Event)
+		}
+		return cmp.Compare(a.Rank, b.Rank)
+	})
 
 	// Slowest first; deterministic tie-break on (source, item, core).
 	slices.SortFunc(all, func(a, b FleetItem) int {
@@ -129,7 +151,8 @@ func (c *Collector) Fleet() FleetView {
 	for _, s := range srcs {
 		s.mu.Lock()
 		row := SourceRow{Summary: s.summaryLocked(), FreqHz: s.freq,
-			Items: make([]core.Item, len(s.items))}
+			Items:    make([]core.Item, len(s.items)),
+			Verdicts: append([]detect.Verdict(nil), s.verdicts...)}
 		for i := range s.items {
 			row.Items[i] = s.items[i]
 			row.Items[i].Funcs = append([]core.FuncSpan(nil), s.items[i].Funcs...)
@@ -156,6 +179,7 @@ func (s *Source) summaryLocked() SourceSummary {
 		LostSamples:    s.lostSamples,
 		CRCErrors:      s.crcErrors,
 		Disconnects:    s.disconnects,
+		ActiveVerdicts: uint32(s.activeVerdicts),
 	}
 }
 
@@ -194,28 +218,35 @@ func (v FleetView) RenderTopK(w io.Writer) {
 }
 
 // Health renders the fleet verdict for /healthz: OK while every connected
-// source's last set was clean; degraded when any source shows gap-scan
-// damage or transport loss.
+// source's last set was clean AND no fluctuation event is unresolved.
 func (c *Collector) Health() obs.Health {
 	return FleetHealth(c.Fleet())
 }
 
-// FleetHealth derives the /healthz verdict from a fleet view — shared by
-// both tiers so a shard collector and the global aggregator judge the same
-// view the same way.
-func FleetHealth(v FleetView) obs.Health {
+// FleetStatus derives the per-condition health status from a fleet view —
+// shared by both tiers so a shard collector and the global aggregator judge
+// the same view the same way. Two conditions (DESIGN.md §14):
+//
+//   - transport: degraded while any source's last set shows gap-scan damage
+//     or transport loss;
+//   - detect: degraded while any source has an unresolved fluctuation
+//     event.
+func FleetStatus(v FleetView) health.Status {
 	degraded := 0
 	var sets, lost uint64
+	var active uint64
 	for _, s := range v.Sources {
 		if s.Degraded {
 			degraded++
 		}
 		sets += s.Sets
 		lost += s.LostMarkers + s.LostSamples
+		active += uint64(s.ActiveVerdicts)
 	}
-	h := obs.Health{
-		OK:     degraded == 0,
-		Status: "healthy",
+
+	transport := health.Condition{
+		Name: "transport",
+		OK:   degraded == 0,
 		Fields: map[string]float64{
 			"sources":          float64(len(v.Sources)),
 			"degraded_sources": float64(degraded),
@@ -223,33 +254,84 @@ func FleetHealth(v FleetView) obs.Health {
 			"lost_records":     float64(lost),
 		},
 	}
-	if len(v.Sources) == 0 {
-		h.Detail = "no shippers connected yet"
-		return h
+	switch {
+	case len(v.Sources) == 0:
+		transport.Detail = "no shippers connected yet"
+	case degraded > 0:
+		transport.Detail = fmt.Sprintf("%d/%d sources degraded", degraded, len(v.Sources))
+	default:
+		transport.Detail = fmt.Sprintf("%d sources clean", len(v.Sources))
 	}
-	if degraded > 0 {
-		h.OK = false
-		h.Status = "degraded"
-		h.Detail = fmt.Sprintf("%d/%d sources degraded", degraded, len(v.Sources))
+
+	det := health.Condition{
+		Name: "detect",
+		OK:   active == 0,
+		Fields: map[string]float64{
+			"active_verdicts": float64(active),
+			"verdicts":        float64(len(v.Verdicts)),
+		},
+	}
+	if active == 0 {
+		det.Detail = "no active fluctuation events"
 	} else {
-		h.Detail = fmt.Sprintf("%d sources clean", len(v.Sources))
+		det.Detail = fmt.Sprintf("%d unresolved fluctuation events", active)
 	}
-	return h
+
+	var st health.Status
+	st.Add(transport)
+	st.Add(det)
+	return st
+}
+
+// FleetHealth is FleetStatus flattened to the obs.Health /healthz serves.
+func FleetHealth(v FleetView) obs.Health {
+	return FleetStatus(v).Health()
+}
+
+// VerdictsView is the /verdicts endpoint's JSON body.
+type VerdictsView struct {
+	// Active is the fleet-wide unresolved change-event count.
+	Active int `json:"active"`
+	// Verdicts lists every source's recent verdicts, (source, event, rank)
+	// order.
+	Verdicts []detect.Verdict `json:"verdicts"`
+}
+
+// VerdictsOf projects the verdict view out of a fleet view.
+func VerdictsOf(v FleetView) VerdictsView {
+	vv := VerdictsView{Verdicts: v.Verdicts}
+	for _, s := range v.Sources {
+		vv.Active += int(s.ActiveVerdicts)
+	}
+	if vv.Verdicts == nil {
+		vv.Verdicts = []detect.Verdict{}
+	}
+	return vv
 }
 
 // Handler returns the collector's HTTP surface: the standard self-telemetry
 // endpoints (/metrics, /healthz fed by the fleet verdict, /debug/...) plus
-// /fleet, the merged cross-host view as JSON.
+// /fleet, the merged cross-host view, and /verdicts, the fluctuation
+// diagnosis feed, as JSON.
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Handler(obs.HandlerOptions{Registry: c.cfg.Registry, Health: c.Health}))
 	mux.HandleFunc("/fleet", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", " ")
-		_ = enc.Encode(c.Fleet())
+		writeJSON(w, c.Fleet())
+	})
+	mux.HandleFunc("/verdicts", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, VerdictsOf(c.Fleet()))
 	})
 	return mux
+}
+
+// writeJSON writes v as indented JSON — the shared shape of the collector
+// and aggregator view endpoints.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
 }
 
 // sortItems orders items the way offline core.Integrate orders its output:

@@ -1,0 +1,98 @@
+package detect
+
+import (
+	"slices"
+
+	"repro/internal/obs"
+)
+
+// cellKey addresses one cell of the per-(function, core) breakdown.
+// Functions key by name, not *symtab.Fn: every shipped set decodes a
+// fresh symbol table, so pointer identity does not survive set boundaries
+// but the name does.
+type cellKey struct {
+	name string
+	core int32
+}
+
+// baseline is the rolling per-(function, core) store of time breakdowns:
+// one obs log-linear histogram per cell, in two generations rotated every
+// rotateEvery evicted items. Queries merge both generations, so the
+// baseline always covers between one and two horizons of history and old
+// behaviour decays by whole-generation replacement rather than per-sample
+// bookkeeping. Histograms from the retired generation are Reset and
+// recycled — steady state allocates nothing.
+//
+// The store only ever sees items the detector's window has evicted, which
+// is the contamination guard: an in-window anomaly cannot shift the
+// reference it is about to be judged against.
+type baseline struct {
+	rotateEvery int
+	sinceRotate int
+	cur, prev   map[cellKey]*obs.Histogram
+	free        []*obs.Histogram
+	merged      *obs.Histogram // scratch for two-generation quantiles
+}
+
+func newBaseline(rotateEvery int) *baseline {
+	return &baseline{
+		rotateEvery: rotateEvery,
+		cur:         map[cellKey]*obs.Histogram{},
+		prev:        map[cellKey]*obs.Histogram{},
+		merged:      obs.NewHistogram(),
+	}
+}
+
+// record adds one observation of cycles spent in (name, core).
+func (b *baseline) record(name string, core int32, cycles uint64) {
+	k := cellKey{name: name, core: core}
+	h := b.cur[k]
+	if h == nil {
+		if n := len(b.free); n > 0 {
+			h = b.free[n-1]
+			b.free = b.free[:n-1]
+			h.Reset()
+		} else {
+			h = obs.NewHistogram()
+		}
+		b.cur[k] = h
+	}
+	h.Record(cycles)
+}
+
+// advance ticks the rotation clock by one evicted item.
+func (b *baseline) advance() {
+	b.sinceRotate++
+	if b.sinceRotate < b.rotateEvery {
+		return
+	}
+	b.sinceRotate = 0
+	for k, h := range b.prev {
+		delete(b.prev, k)
+		b.free = append(b.free, h)
+	}
+	b.prev, b.cur = b.cur, b.prev
+}
+
+// stats returns the cell's baseline mean, robust sigma (IQR-based, from
+// the merged log-linear quantiles), and observation count across both
+// generations. A zero count means the cell has no history at all.
+func (b *baseline) stats(name string, core int32) (mean, sigma float64, count uint64) {
+	k := cellKey{name: name, core: core}
+	hc, hp := b.cur[k], b.prev[k]
+	count = hc.Count() + hp.Count()
+	if count == 0 {
+		return 0, 0, 0
+	}
+	mean = float64(hc.Sum()+hp.Sum()) / float64(count)
+	b.merged.Reset()
+	b.merged.Merge(hc)
+	b.merged.Merge(hp)
+	s := b.merged.Snapshot()
+	// IQR → sigma under normality: sigma = IQR / 1.349.
+	sigma = (s.Quantile(0.75) - s.Quantile(0.25)) / 1.349
+	return mean, sigma, count
+}
+
+// sortFloats is the detector's in-place sort (allocation-free).
+func sortFloats(xs []float64) { slices.Sort(xs) }

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/sim"
@@ -29,6 +31,11 @@ type MonitorConfig struct {
 	// demo server shows a degraded /healthz. The seed advances per round,
 	// so each round's damage differs — as production's would.
 	Faults string
+	// Detect runs the online fluctuation detector over the item stream:
+	// /healthz gains a "detect" condition that degrades while change
+	// events are unresolved, and fluct_detect_* metrics appear on
+	// /metrics. Pair with Faults "fnslow=..." to watch a verdict fire.
+	Detect bool
 }
 
 // Monitor runs the online integration pipeline continuously — a simulated
@@ -41,10 +48,13 @@ type MonitorConfig struct {
 type Monitor struct {
 	cfg  MonitorConfig
 	plan *faults.Plan
+	det  *detect.Detector // nil unless cfg.Detect; owned by the Run goroutine
 
-	mu     sync.Mutex
-	gaps   trace.Gaps
-	rounds uint64
+	mu        sync.Mutex
+	gaps      trace.Gaps
+	rounds    uint64
+	detStats  detect.Stats  // snapshot taken after each round
+	detRecent detect.Verdict // strongest recent verdict (zero until one fires)
 }
 
 // NewMonitor validates cfg and builds a monitor.
@@ -88,9 +98,24 @@ func WorkloadRound(requests int) *trace.Set {
 	perCore := requests / cores
 	for ci := 0; ci < cores; ci++ {
 		first := uint64(ci*perCore) + 1
-		pebs[ci] = pmu.NewPEBS(pmu.PEBSConfig{})
-		mach.Core(ci).PMU.MustProgram(pmu.UopsRetired, 4000, pebs[ci])
+		// The 1000-uop period keeps every function's per-item visit a
+		// multi-sample run, which both sharpens the per-function estimates
+		// and lets an injected fnslow dilation actually stretch something.
+		// At that rate the buffer-full drain handshake would lose samples
+		// (a genuine gap the detector would rightly flag), so the monitor
+		// runs the double-buffered PEBS variant.
+		pebs[ci] = pmu.NewPEBS(pmu.PEBSConfig{DoubleBuffer: true})
+		mach.Core(ci).PMU.MustProgram(pmu.UopsRetired, 1000, pebs[ci])
 		mach.MustSpawn(ci, func(c *sim.Core) {
+			// Warm the lookup table before the first marked item: the
+			// cold-miss chain otherwise stretches item 1 to ~5× the steady
+			// state, and its sparse retirement reads as a PEBS loss burst
+			// to the gap detector. The interleaved Exec keeps samples
+			// flowing through the warmup itself.
+			for l := 0; l < 200; l++ {
+				c.Load(0x5000_0000 + uint64(l)*64)
+				c.Exec(200)
+			}
 			for r := 0; r < perCore; r++ {
 				id := first + uint64(r)
 				log.Mark(c, id, trace.ItemBegin)
@@ -146,15 +171,45 @@ func (m *Monitor) RunOnce() error {
 	m.mu.Unlock()
 	reg.Counter("fluct_serve_rounds_total").Inc()
 
+	if m.cfg.Detect && m.det == nil {
+		// Built on the first round because the detector needs the trace
+		// clock for its ns verdicts; the workload's frequency is fixed.
+		det, err := detect.New(detect.Config{Source: "serve", FreqHz: set.FreqHz, Registry: reg})
+		if err != nil {
+			return err
+		}
+		m.det = det
+	}
+
 	integ, err := core.NewStreamIntegrator(set.Syms, core.Options{}, func(*core.Item) {})
 	if err != nil {
 		return err
 	}
-	integ.OnItem = func(it *core.Item) { integ.Recycle(it) }
+	integ.OnItem = func(it *core.Item) {
+		if m.det != nil {
+			m.det.Update(it)
+		}
+		integ.Recycle(it)
+	}
 	feedStream(integ, set)
 	integ.Close()
 	integ.Diag().Publish(reg)
 	set.Syms.Publish(reg)
+
+	if m.det != nil {
+		st := m.det.Stats()
+		state := m.det.State()
+		m.mu.Lock()
+		m.detStats = st
+		for _, v := range state.Recent {
+			// Keep the strongest (rank 0) verdict of the newest event for
+			// the health detail line.
+			if v.Rank == 0 {
+				m.detRecent = v
+			}
+		}
+		m.mu.Unlock()
+	}
 	return nil
 }
 
@@ -179,11 +234,15 @@ func (m *Monitor) Rounds() uint64 {
 	return m.rounds
 }
 
-// Health renders the latest GapSummary as the /healthz verdict. Before the
-// first round completes it reports healthy-but-starting.
+// Health renders the /healthz verdict as the merge of two named
+// conditions — "transport" (the latest GapSummary) and, with Detect on,
+// "detect" (unresolved change events) — via health.Status, the same
+// layering fluctd's fleet endpoints use. Before the first round completes
+// it reports healthy-but-starting.
 func (m *Monitor) Health() obs.Health {
 	m.mu.Lock()
 	gaps, rounds := m.gaps, m.rounds
+	ds, recent := m.detStats, m.detRecent
 	m.mu.Unlock()
 	if rounds == 0 {
 		return obs.Health{OK: true, Status: "starting", Detail: "no round completed yet"}
@@ -193,9 +252,10 @@ func (m *Monitor) Health() obs.Health {
 		bursts += c.SuspectBursts
 		imbalance += c.MarkerImbalance()
 	}
-	h := obs.Health{
+	var st health.Status
+	st.Add(health.Condition{
+		Name:   "transport",
 		OK:     !gaps.Degraded(),
-		Status: "healthy",
 		Detail: gaps.String(),
 		Fields: map[string]float64{
 			"rounds":           float64(rounds),
@@ -204,11 +264,24 @@ func (m *Monitor) Health() obs.Health {
 			"suspect_bursts":   float64(bursts),
 			"marker_imbalance": float64(imbalance),
 		},
+	})
+	if m.cfg.Detect {
+		c := health.Condition{
+			Name:   "detect",
+			OK:     ds.Active == 0,
+			Detail: "no active fluctuation events",
+			Fields: map[string]float64{
+				"active_events":  float64(ds.Active),
+				"changepoints":   float64(ds.Changepoints),
+				"verdicts_total": float64(ds.Verdicts),
+			},
+		}
+		if ds.Active > 0 {
+			c.Detail = fmt.Sprintf("%d unresolved fluctuation events; latest: %s", ds.Active, recent)
+		}
+		st.Add(c)
 	}
-	if !h.OK {
-		h.Status = "degraded"
-	}
-	return h
+	return st.Health()
 }
 
 // Handler returns the full self-telemetry HTTP surface wired to this

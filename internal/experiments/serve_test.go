@@ -157,3 +157,62 @@ func TestMonitorConfigErrors(t *testing.T) {
 		t.Fatal("NewMonitor accepted a bogus faults spec")
 	}
 }
+
+// TestServeDetect: a monitor with the detector on and an injected
+// function slowdown must fire change events whose verdicts blame the
+// slowed function, and /healthz must degrade through the "detect"
+// condition while an event is unresolved.
+func TestServeDetect(t *testing.T) {
+	reg := obs.NewRegistry()
+	old := obs.SetDefault(reg)
+	defer obs.SetDefault(old)
+
+	m, err := NewMonitor(MonitorConfig{
+		Requests: 300,
+		Detect:   true,
+		Faults:   "fnslow=table_lookup,fnfactor=3,fnafter=0.5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("fluct_detect_changepoints_total").Value(); got == 0 {
+		t.Fatal("injected 3x slowdown fired no change events")
+	}
+	m.mu.Lock()
+	recent := m.detRecent
+	active := m.detStats.Active
+	m.mu.Unlock()
+	if recent.Function != "table_lookup" {
+		t.Errorf("strongest verdict blames %q, want table_lookup", recent.Function)
+	}
+	if active == 0 {
+		t.Fatal("round ends at the slowed level, want an unresolved event")
+	}
+	h := m.Health()
+	if h.OK || h.Status != "degraded" {
+		t.Fatalf("health with active events = %+v, want degraded", h)
+	}
+	if !strings.Contains(h.Detail, "detect:") || !strings.Contains(h.Detail, "unresolved fluctuation") {
+		t.Fatalf("health detail %q missing the detect condition", h.Detail)
+	}
+	if h.Fields["active_events"] != float64(active) || h.Fields["rounds"] != 1 {
+		t.Fatalf("health fields %v", h.Fields)
+	}
+
+	// A detector-on clean monitor stays healthy: no events on the
+	// stationary workload.
+	clean, err := NewMonitor(MonitorConfig{Requests: 300, Detect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if h := clean.Health(); !h.OK || h.Fields["changepoints"] != 0 {
+		t.Fatalf("clean detect round health = %+v, want OK with 0 changepoints", h)
+	}
+}

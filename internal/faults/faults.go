@@ -81,9 +81,24 @@ type Plan struct {
 	// survive. 0 and values >= 1 disable truncation.
 	TruncateFraction float64
 
+	// FnSlowName, FnSlowFactor, and FnSlowAfter inject the phenomenon the
+	// paper diagnoses rather than a collection fault: starting at
+	// FnSlowAfter of the trace's TSC span, every contiguous run of samples
+	// inside the named function dilates by FnSlowFactor (gaps between the
+	// run's samples multiply; everything later on the same core shifts by
+	// the added time). The item containing the run slows by exactly the
+	// dilation, and the per-function breakdown pins the blame on
+	// FnSlowName — the ground truth the detectsweep experiment scores the
+	// detector against. FnSlowFactor must be positive; 0 or 1 disables
+	// (factors below 1 model a speedup). FnSlowAfter in [0, 1), 0 = from
+	// the start.
+	FnSlowName   string
+	FnSlowFactor float64
+	FnSlowAfter  float64
+
 	// Net is the network half of the plan: it perturbs wire-protocol
 	// connections (see NetPlan and WrapDial), not trace sets, and is
-	// ignored by Apply. ParsePlan populates it from the net* spec keys so
+	// ignored by Apply. ParsePlan populates it from the net* keys so
 	// one spec string can degrade both the trace and its transport.
 	Net NetPlan
 }
@@ -108,14 +123,25 @@ type Report struct {
 	SamplesTruncated int
 	// TruncateTSC is the cut timestamp (0 when truncation is disabled).
 	TruncateTSC uint64
+	// FnSlowRuns counts the dilated sample runs; FnSlowAddedCycles the
+	// total cycles the slowdown injected; FnSlowOnsetTSC the onset
+	// timestamp (all zero when the fnslow class is disabled or the named
+	// function has no samples past the onset).
+	FnSlowRuns        int
+	FnSlowAddedCycles uint64
+	FnSlowOnsetTSC    uint64
 }
 
 // String renders a one-line damage summary.
 func (r Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"faults: %d samples lost in %d bursts, %d markers dropped, %d duplicated, %d cores skewed, %d samples reordered, %d+%d events truncated",
 		r.SamplesDropped, r.LossBursts, r.MarkersDropped, r.MarkersDuplicated,
 		len(r.CoreSkew), r.SamplesReordered, r.MarkersTruncated, r.SamplesTruncated)
+	if r.FnSlowRuns > 0 {
+		s += fmt.Sprintf(", %d runs slowed by %d cycles", r.FnSlowRuns, r.FnSlowAddedCycles)
+	}
+	return s
 }
 
 // splitmix64 is a tiny, fully specified PRNG (Steele, Lea, Flood 2014).
@@ -172,6 +198,10 @@ func (p Plan) Apply(set *trace.Set) (*trace.Set, Report) {
 	skewRNG := splitmix64{state: p.Seed ^ 0x736b657763797321} // "skewcys!"
 	ordRNG := splitmix64{state: p.Seed ^ 0x72656f7264657221}  // "reorder!"
 
+	// The slowdown runs first, on the pristine streams: it models the
+	// traced program changing behaviour, which collection faults then
+	// degrade — never the other way around.
+	p.slowFunction(out, &rep)
 	p.truncate(out, &rep)
 	p.perturbMarkers(out, &markRNG, &rep)
 	p.loseSampleBursts(out, &lossRNG, &rep)
@@ -195,6 +225,8 @@ func (r Report) publish(reg *obs.Registry) {
 	reg.Counter("fluct_faults_markers_duplicated_total").Add(uint64(r.MarkersDuplicated))
 	reg.Counter("fluct_faults_samples_reordered_total").Add(uint64(r.SamplesReordered))
 	reg.Counter("fluct_faults_events_truncated_total").Add(uint64(r.MarkersTruncated + r.SamplesTruncated))
+	reg.Counter("fluct_faults_fnslow_runs_total").Add(uint64(r.FnSlowRuns))
+	reg.Counter("fluct_faults_fnslow_cycles_total").Add(r.FnSlowAddedCycles)
 }
 
 // truncate cuts both streams at TruncateFraction of the global TSC span.

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// slowFunction implements the FnSlow* plan fields: a per-core, in-place
+// dilation of the named function's sample runs past the onset timestamp.
+//
+// Per core, events (markers and samples) are walked in timestamp order. A
+// "run" is a maximal stretch of consecutive samples whose IP resolves into
+// the target function, unbroken by a marker or a foreign sample — which on
+// these traces is one item's visit to the function. Inside a run past the
+// onset, gaps between samples multiply by FnSlowFactor; every later event
+// on the core shifts by the time the run added. The transformation is
+// monotonic within a core (factor > 0), so per-core event order — and
+// therefore every downstream order-sensitive consumer — sees a plausibly
+// slowed trace, not a scrambled one.
+//
+// The result is exact ground truth for the detector: the item containing a
+// run slows by the run's added cycles, the per-function first-to-last span
+// of the target function dilates by the factor, and every other function's
+// span is untouched.
+func (p Plan) slowFunction(out *trace.Set, rep *Report) {
+	if p.FnSlowName == "" || p.FnSlowFactor <= 0 || p.FnSlowFactor == 1 {
+		return
+	}
+	if out.Syms == nil {
+		return
+	}
+	fn := out.Syms.ByName(p.FnSlowName)
+	if fn == nil {
+		return
+	}
+
+	// Onset: FnSlowAfter of the global TSC span.
+	lo, hi, any := uint64(0), uint64(0), false
+	scan := func(tsc uint64) {
+		if !any {
+			lo, hi, any = tsc, tsc, true
+			return
+		}
+		if tsc < lo {
+			lo = tsc
+		}
+		if tsc > hi {
+			hi = tsc
+		}
+	}
+	for _, m := range out.Markers {
+		scan(m.TSC)
+	}
+	for i := range out.Samples {
+		scan(out.Samples[i].TSC)
+	}
+	if !any {
+		return
+	}
+	onset := lo
+	if p.FnSlowAfter > 0 && p.FnSlowAfter < 1 && hi > lo {
+		onset = lo + uint64(float64(hi-lo)*p.FnSlowAfter)
+	}
+	rep.FnSlowOnsetTSC = onset
+
+	// Per-core chronological index over both streams. Sample indices are
+	// encoded as idx, marker indices as ^idx; ties order markers first
+	// (matching how stream consumers sequence same-TSC events) and then
+	// input position, so the walk is deterministic.
+	type ev struct {
+		tsc uint64
+		ref int // sample index, or ^marker index
+	}
+	perCore := map[int32][]ev{}
+	for i, m := range out.Markers {
+		perCore[m.Core] = append(perCore[m.Core], ev{tsc: m.TSC, ref: ^i})
+	}
+	for i := range out.Samples {
+		s := &out.Samples[i]
+		perCore[s.Core] = append(perCore[s.Core], ev{tsc: s.TSC, ref: i})
+	}
+	cores := make([]int32, 0, len(perCore))
+	for c := range perCore {
+		cores = append(cores, c)
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i] < cores[j] })
+
+	for _, c := range cores {
+		evs := perCore[c]
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].tsc != evs[j].tsc {
+				return evs[i].tsc < evs[j].tsc
+			}
+			return (evs[i].ref < 0) && (evs[j].ref >= 0) // markers first
+		})
+
+		// off is signed: factors below 1 (a speedup) pull later events
+		// earlier. Shifts saturate at zero like skewCores' — clocks do not
+		// wrap.
+		var off int64
+		shift := func(tsc uint64) uint64 {
+			if off >= 0 {
+				return tsc + uint64(off)
+			}
+			neg := uint64(-off)
+			if tsc < neg {
+				return 0
+			}
+			return tsc - neg
+		}
+		inRun := false
+		var runFirst, runLast uint64 // original TSCs of the current run
+		endRun := func() {
+			if !inRun {
+				return
+			}
+			inRun = false
+			added := int64(float64(runLast-runFirst) * (p.FnSlowFactor - 1))
+			off += added
+			rep.FnSlowRuns++
+			if added >= 0 {
+				rep.FnSlowAddedCycles += uint64(added)
+			} else {
+				rep.FnSlowAddedCycles += uint64(-added)
+			}
+		}
+		for _, e := range evs {
+			orig := e.tsc
+			target := e.ref >= 0 && fn.Contains(out.Samples[e.ref].IP) && orig >= onset
+			if !target {
+				endRun()
+				if e.ref >= 0 {
+					out.Samples[e.ref].TSC = shift(orig)
+				} else {
+					out.Markers[^e.ref].TSC = shift(orig)
+				}
+				continue
+			}
+			if !inRun {
+				inRun = true
+				runFirst = orig
+			}
+			runLast = orig
+			out.Samples[e.ref].TSC = shift(runFirst) + uint64(float64(orig-runFirst)*p.FnSlowFactor)
+		}
+		endRun()
+	}
+}

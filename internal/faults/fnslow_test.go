@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+)
+
+// twoFnSet builds a clean one-core trace where each 1000-cycle item visits
+// "fast" (samples at +100..+400) then "victim" (samples at +500..+800).
+func twoFnSet(items int) *trace.Set {
+	tab := symtab.NewTable()
+	fast := tab.MustRegister("fast", 4096)
+	victim := tab.MustRegister("victim", 4096)
+	set := &trace.Set{FreqHz: 2_000_000_000, Syms: tab}
+	tsc := uint64(1000)
+	for id := uint64(1); id <= uint64(items); id++ {
+		set.Markers = append(set.Markers, trace.Marker{Item: id, TSC: tsc, Core: 0, Kind: trace.ItemBegin})
+		for s := uint64(100); s <= 400; s += 100 {
+			set.Samples = append(set.Samples, pmu.Sample{TSC: tsc + s, IP: fast.Base, Core: 0, Event: pmu.UopsRetired})
+		}
+		for s := uint64(500); s <= 800; s += 100 {
+			set.Samples = append(set.Samples, pmu.Sample{TSC: tsc + s, IP: victim.Base, Core: 0, Event: pmu.UopsRetired})
+		}
+		tsc += 900
+		set.Markers = append(set.Markers, trace.Marker{Item: id, TSC: tsc, Core: 0, Kind: trace.ItemEnd})
+		tsc += 100
+	}
+	return set
+}
+
+func TestFnSlowDilatesOnlyTarget(t *testing.T) {
+	set := twoFnSet(10)
+	out, rep := Perturb(set, Plan{FnSlowName: "victim", FnSlowFactor: 2})
+
+	if rep.FnSlowRuns != 10 {
+		t.Fatalf("FnSlowRuns = %d, want 10 (one run per item)", rep.FnSlowRuns)
+	}
+	// Each victim run spans 300 cycles; doubling adds 300 per item.
+	if rep.FnSlowAddedCycles != 10*300 {
+		t.Fatalf("FnSlowAddedCycles = %d, want 3000", rep.FnSlowAddedCycles)
+	}
+
+	// Per item: fast span width unchanged, victim span width doubled, item
+	// elapsed grown by exactly the victim dilation.
+	victim := out.Syms.ByName("victim")
+	fast := out.Syms.ByName("fast")
+	byItem := map[uint64][2]uint64{} // item → begin, end
+	for _, m := range out.Markers {
+		be := byItem[m.Item]
+		if m.Kind == trace.ItemBegin {
+			be[0] = m.TSC
+		} else {
+			be[1] = m.TSC
+		}
+		byItem[m.Item] = be
+	}
+	for id, be := range byItem {
+		if got := be[1] - be[0]; got != 1200 {
+			t.Fatalf("item %d elapsed %d, want 1200 (900 + 300 added)", id, got)
+		}
+	}
+	spanOf := func(fn *symtab.Fn, begin, end uint64) uint64 {
+		var first, last uint64
+		seen := false
+		for i := range out.Samples {
+			s := &out.Samples[i]
+			if s.TSC < begin || s.TSC > end || !fn.Contains(s.IP) {
+				continue
+			}
+			if !seen {
+				first, seen = s.TSC, true
+			}
+			last = s.TSC
+		}
+		if !seen {
+			t.Fatalf("no %s samples in [%d, %d]", fn.Name, begin, end)
+		}
+		return last - first
+	}
+	for id, be := range byItem {
+		if w := spanOf(fast, be[0], be[1]); w != 300 {
+			t.Fatalf("item %d: fast span %d, want 300 (untouched)", id, w)
+		}
+		if w := spanOf(victim, be[0], be[1]); w != 600 {
+			t.Fatalf("item %d: victim span %d, want 600 (doubled)", id, w)
+		}
+	}
+
+	// Per-core order must survive the dilation.
+	var prev uint64
+	for i := range out.Samples {
+		if out.Samples[i].TSC < prev {
+			t.Fatalf("sample %d out of order after dilation", i)
+		}
+		prev = out.Samples[i].TSC
+	}
+}
+
+func TestFnSlowOnsetSparesPrefix(t *testing.T) {
+	set := twoFnSet(10)
+	out, rep := Perturb(set, Plan{FnSlowName: "victim", FnSlowFactor: 3, FnSlowAfter: 0.5})
+	if rep.FnSlowOnsetTSC == 0 {
+		t.Fatal("onset not reported")
+	}
+	if rep.FnSlowRuns == 0 || rep.FnSlowRuns >= 10 {
+		t.Fatalf("FnSlowRuns = %d, want a strict subset of the 10 items", rep.FnSlowRuns)
+	}
+	// Events before the onset are byte-identical to the input.
+	for i := range out.Markers {
+		if set.Markers[i].TSC >= rep.FnSlowOnsetTSC {
+			break
+		}
+		if out.Markers[i] != set.Markers[i] {
+			t.Fatalf("pre-onset marker %d changed: %+v → %+v", i, set.Markers[i], out.Markers[i])
+		}
+	}
+}
+
+func TestFnSlowSpeedupAndDeterminism(t *testing.T) {
+	set := twoFnSet(8)
+	plan := Plan{FnSlowName: "victim", FnSlowFactor: 0.5}
+	a, ra := Perturb(set, plan)
+	b, rb := Perturb(set, plan)
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(ra, rb) {
+		t.Fatal("fnslow is not deterministic")
+	}
+	// Halving a 300-cycle run removes 150 cycles per item.
+	if ra.FnSlowAddedCycles != 8*150 {
+		t.Fatalf("speedup magnitude %d, want 1200", ra.FnSlowAddedCycles)
+	}
+	var prev uint64
+	for i := range a.Samples {
+		if a.Samples[i].TSC < prev {
+			t.Fatalf("sample %d out of order after speedup", i)
+		}
+		prev = a.Samples[i].TSC
+	}
+}
+
+func TestFnSlowUnknownFunctionIsNoop(t *testing.T) {
+	set := twoFnSet(4)
+	out, rep := Perturb(set, Plan{FnSlowName: "nope", FnSlowFactor: 2})
+	if !reflect.DeepEqual(out.Samples, set.Samples) || rep.FnSlowRuns != 0 {
+		t.Fatal("unknown function name must be a no-op")
+	}
+}
+
+func TestParsePlanFnSlow(t *testing.T) {
+	p, err := ParsePlan("fnslow=victim, fnfactor=1.5, fnafter=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FnSlowName != "victim" || p.FnSlowFactor != 1.5 || p.FnSlowAfter != 0.5 {
+		t.Fatalf("parsed %+v", p)
+	}
+	// fnfactor defaults to 2 when fnslow is set alone.
+	p, err = ParsePlan("fnslow=victim")
+	if err != nil || p.FnSlowFactor != 2 {
+		t.Fatalf("default factor: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"fnslow=", "fnfactor=0", "fnfactor=-1", "fnafter=1.5"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

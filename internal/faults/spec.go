@@ -20,6 +20,12 @@ import (
 //	net=partition,netafter=65536
 //	net=latency,netdelay=5ms
 //
+// The injected slowdown (the detector's ground truth) rides under the fn*
+// keys: fnslow names the function, fnfactor the dilation (default 2 when
+// fnslow is set), fnafter the onset fraction of the trace span:
+//
+//	fnslow=table_lookup,fnfactor=1.5,fnafter=0.5
+//
 // Every key is optional; unknown keys are an error so typos fail loudly.
 // Rates are fractions in [0, 1); skew is in cycles; burst and reorder are
 // sample counts.
@@ -88,6 +94,23 @@ func ParsePlan(spec string) (Plan, error) {
 				return Plan{}, fmt.Errorf("faults: %s: %q is not a fraction", key, val)
 			}
 			p.TruncateFraction = f
+		case "fnslow":
+			if val == "" {
+				return Plan{}, fmt.Errorf("faults: fnslow: empty function name")
+			}
+			p.FnSlowName = val
+		case "fnfactor":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return Plan{}, fmt.Errorf("faults: fnfactor: %q is not a positive factor", val)
+			}
+			p.FnSlowFactor = f
+		case "fnafter":
+			f, err := parseRate(key, val)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.FnSlowAfter = f
 		case "net":
 			switch val {
 			case "partition":
@@ -120,11 +143,14 @@ func ParsePlan(spec string) (Plan, error) {
 			}
 			p.Net.CutRate = f
 		default:
-			return Plan{}, fmt.Errorf("faults: unknown key %q (want seed, loss, burst, mdrop, mdup, skew, reorder, trunc, net, netafter, netdelay, netrate)", key)
+			return Plan{}, fmt.Errorf("faults: unknown key %q (want seed, loss, burst, mdrop, mdup, skew, reorder, trunc, fnslow, fnfactor, fnafter, net, netafter, netdelay, netrate)", key)
 		}
 	}
 	if p.Net.Active() && p.Net.Seed == 0 {
 		p.Net.Seed = p.Seed
+	}
+	if p.FnSlowName != "" && p.FnSlowFactor == 0 {
+		p.FnSlowFactor = 2
 	}
 	return p, nil
 }

@@ -1,0 +1,84 @@
+// Package health composes a process's /healthz verdict from independent
+// conditions. Before it existed every server hand-built one obs.Health and
+// the verdict's meaning drifted between binaries: the collector's /healthz
+// spoke only about transport damage, the monitor's only about gap scans,
+// and the fluctuation detector had nowhere to degrade either of them. A
+// health.Status is the one place a binary's conditions meet: each subsystem
+// contributes a named Condition, and the merged obs.Health is OK exactly
+// when every condition is (DESIGN.md §14 lists the conditions each binary
+// serves and when they 503).
+package health
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Condition is one subsystem's contribution to the verdict.
+type Condition struct {
+	// Name identifies the subsystem ("transport", "detect", "gaps", ...).
+	// Names must be unique within a Status; Fields keys should be globally
+	// unique because the merge is flat.
+	Name string
+	// OK is this condition's vote. The merged verdict is OK only if every
+	// condition votes OK.
+	OK bool
+	// Detail is the one-line human explanation.
+	Detail string
+	// Fields are the condition's numeric facts, merged into the /healthz
+	// body unprefixed.
+	Fields map[string]float64
+}
+
+// Status is an ordered list of conditions. The zero value is ready to use
+// and reports OK ("no conditions registered").
+type Status struct {
+	Conditions []Condition
+}
+
+// Add appends a condition.
+func (s *Status) Add(c Condition) { s.Conditions = append(s.Conditions, c) }
+
+// OK reports the merged vote.
+func (s Status) OK() bool {
+	for _, c := range s.Conditions {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Health flattens the status into the obs.Health the /healthz endpoint
+// serves. The detail concatenates each condition as "name: detail" so a
+// curl of a 503 names the failing subsystem without a metrics dive; fields
+// merge flat (conditions own distinct keys by convention).
+func (s Status) Health() obs.Health {
+	h := obs.Health{OK: s.OK(), Status: "healthy", Fields: map[string]float64{}}
+	if !h.OK {
+		h.Status = "degraded"
+	}
+	var parts []string
+	for _, c := range s.Conditions {
+		d := c.Detail
+		if d == "" {
+			if c.OK {
+				d = "ok"
+			} else {
+				d = "degraded"
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", c.Name, d))
+		for k, v := range c.Fields {
+			h.Fields[k] = v
+		}
+	}
+	if len(parts) == 0 {
+		h.Detail = "no conditions registered"
+	} else {
+		h.Detail = strings.Join(parts, "; ")
+	}
+	return h
+}

@@ -1,0 +1,45 @@
+package health
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZeroStatusIsOK(t *testing.T) {
+	var s Status
+	h := s.Health()
+	if !h.OK || h.Status != "healthy" || h.Detail != "no conditions registered" {
+		t.Fatalf("zero status: %+v", h)
+	}
+}
+
+func TestMergeVotesAndFields(t *testing.T) {
+	var s Status
+	s.Add(Condition{Name: "transport", OK: true, Detail: "3 sources clean",
+		Fields: map[string]float64{"sources": 3}})
+	s.Add(Condition{Name: "detect", OK: false, Detail: "2 active events",
+		Fields: map[string]float64{"active_verdicts": 2}})
+	h := s.Health()
+	if h.OK {
+		t.Fatal("one failing condition must fail the verdict")
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("status %q", h.Status)
+	}
+	if h.Detail != "transport: 3 sources clean; detect: 2 active events" {
+		t.Fatalf("detail %q", h.Detail)
+	}
+	if h.Fields["sources"] != 3 || h.Fields["active_verdicts"] != 2 {
+		t.Fatalf("fields not merged: %+v", h.Fields)
+	}
+}
+
+func TestEmptyDetailDefaults(t *testing.T) {
+	var s Status
+	s.Add(Condition{Name: "a", OK: true})
+	s.Add(Condition{Name: "b", OK: false})
+	d := s.Health().Detail
+	if !strings.Contains(d, "a: ok") || !strings.Contains(d, "b: degraded") {
+		t.Fatalf("detail %q", d)
+	}
+}

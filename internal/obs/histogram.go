@@ -105,6 +105,30 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// Sum returns the integer sum of recorded values (0 on nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Reset zeroes the histogram so it can be reused without reallocating its
+// ~8KB bucket array (the detect baseline store recycles generation
+// histograms this way). It must not run concurrently with writers — a
+// Record racing a Reset can leave count and buckets inconsistent. No-op
+// on nil.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
 // Quantile returns the q-quantile (q in [0,1]) of the live histogram.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {

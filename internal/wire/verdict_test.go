@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/detect"
+)
+
+// testVerdicts builds a representative verdict snapshot: two events, ranked
+// causes, a negative delta (recovery-direction cell) and a negative core.
+func testVerdicts() VerdictSet {
+	return VerdictSet{
+		Source: "worker-7",
+		Active: 2,
+		Verdicts: []detect.Verdict{
+			{Source: "worker-7", Event: 1, Rank: 0, Item: 412, Function: "table_lookup",
+				Core: 3, DeltaNs: 4500, Score: 11.25,
+				Window: detect.Window{FirstItem: 380, LastItem: 412, Items: 33}},
+			{Source: "worker-7", Event: 1, Rank: 1, Item: 412, Function: "render_reply",
+				Core: 3, DeltaNs: -120, Score: 1.5,
+				Window: detect.Window{FirstItem: 380, LastItem: 412, Items: 33}},
+			{Source: "worker-7", Event: 2, Rank: 0, Item: 977, Function: "parse_request",
+				Core: -1, DeltaNs: 80_000, Score: 40,
+				Window: detect.Window{FirstItem: 940, LastItem: 977, Items: 38}},
+		},
+	}
+}
+
+func TestVerdictsRoundTrip(t *testing.T) {
+	want := testVerdicts()
+	p, err := AppendVerdicts(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeVerdicts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed snapshot:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestVerdictsEmptyRoundTrip(t *testing.T) {
+	// The all-resolved snapshot (Active 0, no verdicts kept) is the normal
+	// "back to healthy" publication and must survive the hop.
+	want := VerdictSet{Source: "s"}
+	p, err := AppendVerdicts(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeVerdicts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed snapshot: got %+v want %+v", got, want)
+	}
+}
+
+func TestVerdictsTruncation(t *testing.T) {
+	p, err := AppendVerdicts(nil, testVerdicts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(p); i++ {
+		if _, err := DecodeVerdicts(p[:i]); err == nil {
+			t.Fatalf("truncation at byte %d/%d accepted", i, len(p))
+		}
+	}
+}
+
+func TestVerdictsRejectsInvalid(t *testing.T) {
+	base := testVerdicts()
+
+	t.Run("encode", func(t *testing.T) {
+		for name, mut := range map[string]func(*VerdictSet){
+			"empty source":   func(vs *VerdictSet) { vs.Source = "" },
+			"long source":    func(vs *VerdictSet) { vs.Source = strings.Repeat("x", 256) },
+			"empty function": func(vs *VerdictSet) { vs.Verdicts[0].Function = "" },
+			"nan score":      func(vs *VerdictSet) { vs.Verdicts[1].Score = math.NaN() },
+			"inf score":      func(vs *VerdictSet) { vs.Verdicts[1].Score = math.Inf(1) },
+			"negative rank":  func(vs *VerdictSet) { vs.Verdicts[0].Rank = -1 },
+			"huge rank":      func(vs *VerdictSet) { vs.Verdicts[0].Rank = 256 },
+			"negative window": func(vs *VerdictSet) {
+				vs.Verdicts[2].Window.Items = -1
+			},
+			"too many verdicts": func(vs *VerdictSet) {
+				vs.Verdicts = make([]detect.Verdict, maxWireVerdicts+1)
+			},
+		} {
+			vs := base
+			vs.Verdicts = append([]detect.Verdict(nil), base.Verdicts...)
+			mut(&vs)
+			if _, err := AppendVerdicts(nil, vs); err == nil {
+				t.Errorf("%s: encode accepted", name)
+			}
+		}
+	})
+
+	t.Run("decode", func(t *testing.T) {
+		if _, err := DecodeVerdicts(nil); err == nil {
+			t.Error("empty payload accepted")
+		}
+		// Absurd declared count with nothing behind it.
+		if _, err := DecodeVerdicts([]byte{1, 's', 0, 0xff, 0x01}); err == nil {
+			t.Error("absurd verdict count accepted")
+		}
+		// Trailing bytes after a valid snapshot.
+		p, err := AppendVerdicts(nil, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeVerdicts(append(p, 0)); err == nil {
+			t.Error("trailing byte accepted")
+		}
+	})
+}
+
+// FuzzVerdictDecode throws arbitrary bytes at the verdict decoder — the
+// other payload parser on the aggregator port. Corrupt input must error,
+// never panic; anything accepted must survive the canonical re-encode →
+// decode differential round trip. Run continuously with
+//
+//	go test -run '^$' -fuzz '^FuzzVerdictDecode$' ./internal/wire
+//
+// (make tier2 includes a short smoke).
+func FuzzVerdictDecode(f *testing.F) {
+	seed, err := AppendVerdicts(nil, testVerdicts())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])         // truncated mid-verdict
+	f.Add(seed[:1+len("worker-7")+2]) // header only
+	empty, err := AppendVerdicts(nil, VerdictSet{Source: "s", Active: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 'x', 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f}) // absurd count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, err := DecodeVerdicts(data)
+		if err != nil {
+			return // rejection is always acceptable; panics are not
+		}
+		re, err := AppendVerdicts(nil, vs)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		back, err := DecodeVerdicts(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(vs, back) {
+			t.Fatalf("verdict snapshot round trip changed fields:\n got %+v\nwant %+v", back, vs)
+		}
+	})
+}

@@ -65,6 +65,11 @@ const (
 	// collector → global aggregator hop of the two-tier topology (see
 	// fleet.go). To the v2 sequencing layer it is an ordinary data frame.
 	TFleetSummary Type = 9
+	// TVerdicts carries one source's fluctuation-verdict snapshot (active
+	// change-event count plus recent ranked verdicts) on the same shard →
+	// aggregator hop (see verdict.go). Like TFleetSummary it is an
+	// ordinary data frame to the sequencing layer.
+	TVerdicts Type = 10
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +93,8 @@ func (t Type) String() string {
 		return "ack"
 	case TFleetSummary:
 		return "fleetsummary"
+	case TVerdicts:
+		return "verdicts"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
