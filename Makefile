@@ -21,7 +21,8 @@
 # sources, merged report byte-identical to a single collector).
 # tier2 also races the online-detector property tests (verdict streams
 # must be byte-identical across ingest shard counts) and fuzz-smokes the
-# verdict wire decoder.
+# verdict wire decoder, the dataplane rule compiler (differential vs the
+# naive reference matcher), and the packet key codec.
 # bench runs the hot-path micro/ablation benchmarks with allocation stats.
 # bench-gate enforces the budgets: BenchmarkMicroIntegrate must land
 # within 15% of the absolute baseline recorded in EXPERIMENTS.md,
@@ -30,7 +31,9 @@
 # BenchmarkCollectorIngestDetect (online fluctuation detection live on
 # the ingest path) within 3% of BenchmarkCollectorIngest, with
 # BenchmarkDetectUpdate pinned allocation-free against its own absolute
-# baseline (see cmd/benchgate).
+# baseline (see cmd/benchgate). The dataplane chain is gated absolutely
+# at 30%: BenchmarkDataplaneClassify (50k-rule compiled classify, also
+# pinned allocation-free) and BenchmarkDataplanePipeline (full traced run).
 
 GO ?= go
 
@@ -54,6 +57,8 @@ tier2:
 	$(GO) test -run '^$$' -fuzz '^FuzzFleetMerge$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzVerdictDecode$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzSpoolRecover$$' -fuzztime=10s ./internal/spool
+	$(GO) test -run '^$$' -fuzz '^FuzzRuleCompile$$' -fuzztime=10s ./internal/dataplane
+	$(GO) test -run '^$$' -fuzz '^FuzzPacketParse$$' -fuzztime=10s ./internal/dataplane
 	$(GO) test -race -count 1 ./internal/agg
 	$(GO) test -tags scale -count 1 -run '^TestScaleHarness$$' -timeout 900s ./internal/agg
 
@@ -63,6 +68,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCollectorIngest' -benchmem -count 1 ./internal/collector
 	$(GO) test -run '^$$' -bench 'BenchmarkDetectUpdate' -benchmem -count 1 ./internal/detect
 	$(GO) test -run '^$$' -bench 'BenchmarkAggregatorMerge' -benchmem -count 1 ./internal/agg
+	$(GO) test -run '^$$' -bench 'BenchmarkDataplane' -benchmem -count 1 ./internal/dataplane
 
 bench-gate:
 	$(GO) run ./cmd/benchgate
@@ -73,3 +79,5 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -bench BenchmarkDetectUpdate -pkg ./internal/detect -threshold 0.30 -allocs 0
 	$(GO) run ./cmd/benchgate -bench BenchmarkCollectorIngestDetect -against BenchmarkCollectorIngest -pkg ./internal/collector -threshold 0.03 -count 5
 	$(GO) run ./cmd/benchgate -bench BenchmarkAggregatorMerge -pkg ./internal/agg -threshold 0.50 -count 3
+	$(GO) run ./cmd/benchgate -bench BenchmarkDataplaneClassify -pkg ./internal/dataplane -threshold 0.30 -count 3 -allocs 0
+	$(GO) run ./cmd/benchgate -bench BenchmarkDataplanePipeline -pkg ./internal/dataplane -threshold 0.30 -count 3

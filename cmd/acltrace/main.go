@@ -6,6 +6,12 @@
 // Usage:
 //
 //	acltrace -packets 5000 -reset 16000 -trace /tmp/acl.fltrc
+//
+// With -dataplane it traces the internal/dataplane function chain (parse →
+// flow-cache → acl0 → route0 → emit over the canonical dpchain spec)
+// instead of the rte_acl pipeline, reporting per-stage estimates:
+//
+//	acltrace -dataplane -packets 2000 -reset 1000
 package main
 
 import (
@@ -15,9 +21,11 @@ import (
 
 	"repro/internal/acl"
 	"repro/internal/core"
+	"repro/internal/dataplane"
 	"repro/internal/dpdkapp"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/workloads/dpchain"
 )
 
 func main() {
@@ -27,8 +35,16 @@ func main() {
 		baseline = flag.Bool("baseline", false, "also run the instrumented golden baseline")
 		traceOut = flag.String("trace", "", "write the raw hybrid trace to this file")
 		items    = flag.Int("items", 10, "per-packet rows to print")
+		dpmode   = flag.Bool("dataplane", false, "trace the dataplane function chain (dpchain spec) instead of the rte_acl pipeline")
 	)
 	flag.Parse()
+
+	if *dpmode {
+		if err := runDataplane(*packets, *reset, *items, *traceOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := dpdkapp.Config{Reset: *reset, Markers: true, BaselineProbe: *baseline}
 	res, err := dpdkapp.Run(cfg, dpdkapp.PaperPacketSequence(*packets))
@@ -116,6 +132,97 @@ func main() {
 		fmt.Printf("\nwrote raw trace to %s (%d markers, %d samples)\n",
 			*traceOut, len(res.Set.Markers), len(res.Set.Samples))
 	}
+}
+
+// runDataplane traces the compiled ACL → LPM function chain on the
+// canonical dpchain spec and reports per-stage estimates.
+func runDataplane(packets int, reset uint64, items int, traceOut string) error {
+	const workers = 2
+	cfg := dpchain.BaseConfig(workers, packets/workers)
+	cfg.Reset = reset
+	res, err := dataplane.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.VerifyTruth(); err != nil {
+		return err
+	}
+	a, err := core.Integrate(res.Set, core.Options{})
+	if err != nil {
+		return err
+	}
+
+	cs := res.CacheStats
+	fmt.Printf("acltrace: dataplane chain, %d packets on %d cores, R=%d, %d tries / %d atoms, flow cache %d hits / %d misses\n\n",
+		packets/workers*workers, workers, reset,
+		res.Matcher.Tries(), res.Matcher.Atoms(), cs.Hits, cs.Misses)
+
+	t := report.Table{
+		Title:   "per-stage estimates across packets",
+		Headers: []string{"stage", "mean us", "std us", "estimable", "share %"},
+	}
+	perStage := map[string][]float64{}
+	var total float64
+	for i := range a.Items {
+		it := &a.Items[i]
+		for _, name := range dataplane.StageNames {
+			if fs := it.Func(name); fs.Estimable() {
+				us := a.CyclesToMicros(fs.Cycles())
+				perStage[name] = append(perStage[name], us)
+				total += us
+			}
+		}
+	}
+	for _, name := range dataplane.StageNames {
+		s := stats.Summarize(perStage[name])
+		share := 0.0
+		if total > 0 {
+			share = s.Mean * float64(s.N) / total * 100
+		}
+		t.AddRow(name, report.F(s.Mean, 2), report.F(s.Stddev, 2),
+			report.I(s.N), report.F(share, 1))
+	}
+	t.Render(os.Stdout)
+
+	if items > 0 {
+		pt := report.Table{
+			Title:   fmt.Sprintf("\nfirst %d packets, individually (the per-data-item view)", items),
+			Headers: []string{"packet", "core", "acl us", "route us", "total us", "verdict", "samples"},
+		}
+		for i := range a.Items {
+			if i >= items {
+				break
+			}
+			it := &a.Items[i]
+			v := res.Verdicts[it.ID]
+			verdict := "deny"
+			if v.Action == dataplane.Allow {
+				verdict = fmt.Sprintf("allow nh=%d", v.NextHop)
+			}
+			pt.AddRow(report.U(it.ID), report.I(int(it.Core)),
+				report.F(a.CyclesToMicros(it.Func(dataplane.FnACL).Cycles()), 2),
+				report.F(a.CyclesToMicros(it.Func(dataplane.FnRoute).Cycles()), 2),
+				report.F(a.CyclesToMicros(it.ElapsedCycles()), 2),
+				verdict, report.I(it.SampleCount))
+		}
+		pt.Render(os.Stdout)
+	}
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Set.Encode(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote raw trace to %s (%d markers, %d samples)\n",
+			traceOut, len(res.Set.Markers), len(res.Set.Samples))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -9,7 +9,13 @@
 //	fluct -ship 127.0.0.1:9000 -source worker-1 -rounds 5
 //
 // Experiments: fig1, fig2, fig4, fig8, fig9, fig10, datarate, faultsweep,
-// detectsweep, all.
+// detectsweep, dpsweep, all.
+//
+// -workload selects what -serve and -ship rounds run: "request" (the
+// canonical lookup+render loop) or "dataplane" (the compiled ACL → LPM
+// function chain), e.g.
+//
+//	fluct -serve 127.0.0.1:8080 -workload dataplane -detect
 //
 // With -serve, fluct instead runs the online monitor continuously and
 // exposes its self-telemetry over HTTP: /metrics (Prometheus text),
@@ -54,7 +60,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|detectsweep|all")
+		exp      = flag.String("exp", "all", "experiment to run: fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|detectsweep|dpsweep|all")
 		packets  = flag.Int("packets", 10000, "packets per ACL run (figs 9/10, data rate)")
 		requests = flag.Int("requests", 20000, "requests for the NGINX workload (fig 2)")
 		resets   = flag.String("resets", "", "comma-separated reset values overriding the paper's sweep")
@@ -67,6 +73,7 @@ func main() {
 		rounds   = flag.Int("rounds", 0, "rounds to ship with -ship (0: until interrupted)")
 		shpFault = flag.String("ship-faults", "", "network fault spec for the -ship link (e.g. 'net=cutframe,netrate=0.2')")
 		spool    = flag.String("spool", "", "spool -ship frames through this directory for durable at-least-once delivery (empty: in-memory queue only)")
+		workload = flag.String("workload", "request", "workload behind -serve/-ship rounds: request|dataplane")
 	)
 	flag.Parse()
 
@@ -77,7 +84,7 @@ func main() {
 				reqs = *requests
 			}
 		})
-		if err := runShip(*shipAddr, *source, *rounds, reqs, *shpFault, *spool); err != nil {
+		if err := runShip(*shipAddr, *source, *rounds, reqs, *workload, *shpFault, *spool); err != nil {
 			fatal(err)
 		}
 		return
@@ -93,7 +100,7 @@ func main() {
 				reqs = *requests
 			}
 		})
-		if err := runServe(*serve, reqs, *srvFault, *srvDet); err != nil {
+		if err := runServe(*serve, reqs, *workload, *srvFault, *srvDet); err != nil {
 			fatal(err)
 		}
 		return
@@ -211,6 +218,15 @@ func main() {
 		r.Render(w)
 		fmt.Fprintln(w)
 	}
+	if want("dpsweep") {
+		ran = true
+		r, err := experiments.DPSweep(experiments.DPSweepConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintln(w)
+	}
 	if want("secvc") {
 		ran = true
 		r, err := experiments.SecVC("gcc", nil)
@@ -221,14 +237,14 @@ func main() {
 		fmt.Fprintln(w)
 	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|detectsweep|secvc|all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig1|fig2|fig4|fig8|fig9|fig10|datarate|faultsweep|detectsweep|dpsweep|secvc|all)", *exp))
 	}
 }
 
 // runShip runs the fleet-worker loop: generate rounds, ship each round's
 // trace set to the collector, print the delivery stats. Ctrl-C ends the run
 // gracefully (queued frames drain before exit).
-func runShip(addr, source string, rounds, requests int, faultSpec, spoolDir string) error {
+func runShip(addr, source string, rounds, requests int, workload, faultSpec, spoolDir string) error {
 	if source == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -255,6 +271,7 @@ func runShip(addr, source string, rounds, requests int, faultSpec, spoolDir stri
 		Source:   source,
 		Rounds:   rounds,
 		Requests: requests,
+		Workload: workload,
 		Faults:   faultSpec,
 		SpoolDir: spoolDir,
 	})
@@ -266,9 +283,10 @@ func runShip(addr, source string, rounds, requests int, faultSpec, spoolDir stri
 }
 
 // runServe runs the online monitor forever and serves its telemetry.
-func runServe(addr string, requests int, faultSpec string, detect bool) error {
+func runServe(addr string, requests int, workload, faultSpec string, detect bool) error {
 	m, err := experiments.NewMonitor(experiments.MonitorConfig{
 		Requests: requests,
+		Workload: workload,
 		Faults:   faultSpec,
 		Detect:   detect,
 	})

@@ -133,19 +133,17 @@ func TestPortSegments(t *testing.T) {
 		lo, hi uint16
 		nsegs  int
 	}{
-		{80, 80, 1},   // exact
-		{0, 65535, 1}, // hi bytes 0..255, lo any — single span? lo=0x0000 hi=0xffff: hl=0,hh=255 -> 3 segs
-		{1, 750, 3},   // spans byte boundary
-		{256, 511, 1}, // exactly one high byte
-		{100, 200, 1}, // same high byte
-		{255, 256, 2}, // adjacent high bytes, no middle
+		{80, 80, 1},    // exact
+		{0, 65535, 1},  // full range: low byte spans 0..ff, one segment
+		{1, 750, 3},    // spans byte boundary
+		{256, 511, 1},  // exactly one high byte
+		{100, 200, 1},  // same high byte
+		{255, 256, 2},  // adjacent high bytes, no middle
+		{512, 1023, 1}, // low byte 0..ff across two high bytes
 	}
 	for _, c := range cases {
-		segs := portSegments(c.lo, c.hi)
+		segs := SplitRange16(c.lo, c.hi)
 		want := c.nsegs
-		if c.lo == 0 && c.hi == 65535 {
-			want = 3 // decomposition is correct if redundant
-		}
 		if len(segs) != want {
 			t.Errorf("portSegments(%d,%d) = %d segs, want %d", c.lo, c.hi, len(segs), want)
 		}
@@ -154,7 +152,7 @@ func TestPortSegments(t *testing.T) {
 			hb, lb := byte(v>>8), byte(v)
 			in := 0
 			for _, s := range segs {
-				if hb >= s.hiByteLo && hb <= s.hiByteHi && lb >= s.loByteLo && lb <= s.loByteHi {
+				if hb >= s.HiLo && hb <= s.HiHi && lb >= s.LoLo && lb <= s.LoHi {
 					in++
 				}
 			}

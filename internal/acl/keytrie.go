@@ -1,0 +1,143 @@
+package acl
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file generalizes the §IV-C1 trie machinery to arbitrary key widths.
+// The original classifier hard-codes the paper's 12-byte (src, dst, ports)
+// key; the dataplane subsystem needs the same walk over a 40-byte
+// family+proto+VLAN+IPv6 key. Both now share one compiled representation:
+// per key-byte position, a 256-entry table of atom bitsets, with the walk
+// being one AND per byte and early termination at the first empty set.
+
+// ByteRange is an inclusive range of byte values, the per-position
+// predicate of a byte-decomposable conjunct.
+type ByteRange struct {
+	Lo, Hi byte
+}
+
+// KeyAtom is one byte-decomposable conjunct: it admits a key iff key[i]
+// lies in Ranges[i] for every position. Ref is the caller's handle (a rule
+// index); several atoms may share a Ref when a rule needed decomposition.
+type KeyAtom struct {
+	Ref    int
+	Ranges []ByteRange
+}
+
+// KeyTrie is one compiled trie over fixed-width keys. It is immutable
+// after BuildKeyTrie and safe for concurrent walks; the walk's working set
+// is caller-provided.
+type KeyTrie struct {
+	keyLen int
+	refs   []int // refs[i] is atom i's caller handle
+	// table[pos][v] is the set of atoms whose position-pos range admits v.
+	table [][256]bitset
+	full  bitset
+}
+
+// BuildKeyTrie compiles atoms over keyLen-byte keys.
+func BuildKeyTrie(keyLen int, atoms []KeyAtom) (*KeyTrie, error) {
+	if keyLen <= 0 {
+		return nil, fmt.Errorf("acl: key length %d out of range", keyLen)
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("acl: empty atom set")
+	}
+	t := &KeyTrie{
+		keyLen: keyLen,
+		refs:   make([]int, len(atoms)),
+		table:  make([][256]bitset, keyLen),
+		full:   newBitset(len(atoms)),
+	}
+	for i, a := range atoms {
+		if len(a.Ranges) != keyLen {
+			return nil, fmt.Errorf("acl: atom %d has %d ranges, key is %d bytes", i, len(a.Ranges), keyLen)
+		}
+		for p, r := range a.Ranges {
+			if r.Lo > r.Hi {
+				return nil, fmt.Errorf("acl: atom %d position %d range [%d,%d] inverted", i, p, r.Lo, r.Hi)
+			}
+		}
+		t.refs[i] = a.Ref
+		t.full.set(i)
+	}
+	for pos := 0; pos < keyLen; pos++ {
+		for v := 0; v < 256; v++ {
+			t.table[pos][v] = newBitset(len(atoms))
+		}
+		for i, a := range atoms {
+			r := a.Ranges[pos]
+			for v := int(r.Lo); v <= int(r.Hi); v++ {
+				t.table[pos][v].set(i)
+			}
+		}
+	}
+	return t, nil
+}
+
+// KeyLen returns the key width in bytes.
+func (t *KeyTrie) KeyLen() int { return t.keyLen }
+
+// Words returns the bitset width in 64-bit words, for sizing Walk scratch.
+func (t *KeyTrie) Words() int { return len(t.full) }
+
+// Atoms returns the number of compiled atoms.
+func (t *KeyTrie) Atoms() int { return len(t.refs) }
+
+// Walk consumes key bytes until the candidate set empties, returning the
+// number of bytes examined and the surviving atom set (nil when empty).
+// key must hold at least KeyLen bytes; scratch at least Words words.
+func (t *KeyTrie) Walk(key []byte, scratch []uint64) (bytesExamined int, survivors []uint64) {
+	cur := t.full
+	s := bitset(scratch[:len(t.full)])
+	for pos := 0; pos < t.keyLen; pos++ {
+		bytesExamined++
+		if !t.table[pos][key[pos]].andInto(s, cur) {
+			return bytesExamined, nil
+		}
+		cur = s
+	}
+	return bytesExamined, cur
+}
+
+// ForEach calls visit with the Ref of every atom present in survivors, in
+// ascending atom order (so ascending insertion order, which callers use
+// for deterministic tie-breaks).
+func (t *KeyTrie) ForEach(survivors []uint64, visit func(ref int)) {
+	for w, word := range survivors {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &= word - 1
+			visit(t.refs[w*64+bit])
+		}
+	}
+}
+
+// Seg16 is a byte-decomposable segment of a 16-bit range: independent
+// inclusive ranges on the high and low byte.
+type Seg16 struct {
+	HiLo, HiHi byte
+	LoLo, LoHi byte
+}
+
+// SplitRange16 decomposes an inclusive 16-bit range [lo,hi] into at most
+// three byte-decomposable segments (low edge, middle span, high edge) —
+// the decomposition port ranges, VLAN ranges and any other 16-bit field
+// need before they can live in a byte trie.
+func SplitRange16(lo, hi uint16) []Seg16 {
+	hl, ll := byte(lo>>8), byte(lo)
+	hh, lh := byte(hi>>8), byte(hi)
+	if hl == hh || (ll == 0x00 && lh == 0xff) {
+		// One high-byte value, or a low byte that spans its whole range
+		// (e.g. 0-65535): byte-decomposable as a single segment.
+		return []Seg16{{hl, hh, ll, lh}}
+	}
+	segs := []Seg16{{hl, hl, ll, 0xff}}
+	if hh > hl+1 {
+		segs = append(segs, Seg16{hl + 1, hh - 1, 0x00, 0xff})
+	}
+	segs = append(segs, Seg16{hh, hh, 0x00, lh})
+	return segs
+}

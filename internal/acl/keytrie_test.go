@@ -1,0 +1,153 @@
+package acl
+
+import (
+	"testing"
+)
+
+// ktRNG is a self-contained splitmix64 stream so the differential test is
+// reproducible across toolchains.
+type ktRNG struct{ state uint64 }
+
+func (s *ktRNG) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// naiveAdmits is the reference semantics a KeyTrie walk must agree with.
+func naiveAdmits(a KeyAtom, key []byte) bool {
+	for p, r := range a.Ranges {
+		if key[p] < r.Lo || key[p] > r.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKeyTrieDifferential builds random atom sets over several key widths
+// and checks that the surviving refs of a walk are exactly the atoms whose
+// per-byte ranges admit the key.
+func TestKeyTrieDifferential(t *testing.T) {
+	rng := ktRNG{state: 0x6b657974726965} // "keytrie"
+	for _, keyLen := range []int{1, 3, 12, 40} {
+		for _, nAtoms := range []int{1, 7, 65, 200} {
+			atoms := make([]KeyAtom, nAtoms)
+			for i := range atoms {
+				ranges := make([]ByteRange, keyLen)
+				for p := range ranges {
+					a, b := byte(rng.next()), byte(rng.next())
+					if a > b {
+						a, b = b, a
+					}
+					// Mostly-wide ranges keep survivor sets non-trivial.
+					if rng.next()%4 == 0 {
+						a, b = 0, 0xff
+					}
+					ranges[p] = ByteRange{Lo: a, Hi: b}
+				}
+				atoms[i] = KeyAtom{Ref: i * 3, Ranges: ranges}
+			}
+			kt, err := BuildKeyTrie(keyLen, atoms)
+			if err != nil {
+				t.Fatalf("BuildKeyTrie(%d, %d atoms): %v", keyLen, nAtoms, err)
+			}
+			scratch := make([]uint64, kt.Words())
+			key := make([]byte, keyLen)
+			for trial := 0; trial < 300; trial++ {
+				for p := range key {
+					key[p] = byte(rng.next())
+				}
+				// Half the trials aim the key at a random atom so survivors
+				// are common despite narrow ranges.
+				if trial%2 == 0 {
+					a := atoms[int(rng.next()%uint64(nAtoms))]
+					for p, r := range a.Ranges {
+						span := int(r.Hi) - int(r.Lo) + 1
+						key[p] = r.Lo + byte(int(rng.next()%uint64(span)))
+					}
+				}
+				want := map[int]bool{}
+				for _, a := range atoms {
+					if naiveAdmits(a, key) {
+						want[a.Ref] = true
+					}
+				}
+				n, survivors := kt.Walk(key, scratch)
+				got := map[int]bool{}
+				kt.ForEach(survivors, func(ref int) { got[ref] = true })
+				if len(want) == 0 {
+					if survivors != nil {
+						t.Fatalf("keyLen %d atoms %d: walk survived, naive says none", keyLen, nAtoms)
+					}
+					if n < 1 || n > keyLen {
+						t.Fatalf("bytesExamined %d out of [1,%d]", n, keyLen)
+					}
+					continue
+				}
+				if n != keyLen {
+					t.Fatalf("keyLen %d: survivors exist but walk stopped at byte %d", keyLen, n)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("keyLen %d atoms %d: got %d refs, want %d", keyLen, nAtoms, len(got), len(want))
+				}
+				for ref := range want {
+					if !got[ref] {
+						t.Fatalf("ref %d missing from survivors", ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKeyTrieErrors pins the build-time validation the fuzz targets rely on.
+func TestKeyTrieErrors(t *testing.T) {
+	ok := []KeyAtom{{Ref: 0, Ranges: []ByteRange{{0, 255}, {1, 1}}}}
+	if _, err := BuildKeyTrie(0, ok); err == nil {
+		t.Error("keyLen 0 accepted")
+	}
+	if _, err := BuildKeyTrie(2, nil); err == nil {
+		t.Error("empty atom set accepted")
+	}
+	if _, err := BuildKeyTrie(3, ok); err == nil {
+		t.Error("range/keyLen mismatch accepted")
+	}
+	bad := []KeyAtom{{Ref: 0, Ranges: []ByteRange{{5, 4}, {0, 255}}}}
+	if _, err := BuildKeyTrie(2, bad); err == nil {
+		t.Error("inverted range accepted")
+	}
+	kt, err := BuildKeyTrie(2, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt.KeyLen() != 2 || kt.Atoms() != 1 || kt.Words() != 1 {
+		t.Errorf("KeyLen/Atoms/Words = %d/%d/%d", kt.KeyLen(), kt.Atoms(), kt.Words())
+	}
+}
+
+// TestClassifierMatchesKeyTrie: the 12-byte classifier is now a KeyTrie
+// client; spot-check the Table III behaviour still holds after the rebase.
+func TestClassifierMatchesKeyTrie(t *testing.T) {
+	rules := []Rule{
+		{SrcAddr: MustAddr("192.168.10.0"), SrcMaskBits: 24, DstAddr: MustAddr("192.168.11.0"), DstMaskBits: 24,
+			SrcPortLo: 1, SrcPortHi: 100, DstPortLo: 1, DstPortHi: 750, Action: Drop},
+		{SrcPortLo: 0, SrcPortHi: 65535, DstPortLo: 0, DstPortHi: 65535, Action: Permit, Priority: -1},
+	}
+	c := MustBuild(rules, BuildConfig{})
+	rng := ktRNG{state: 1}
+	for i := 0; i < 2000; i++ {
+		p := Packet{
+			SrcAddr: 0xc0a80a00 | uint32(rng.next()%512),
+			DstAddr: 0xc0a80b00 | uint32(rng.next()%512),
+			SrcPort: uint16(rng.next() % 200),
+			DstPort: uint16(rng.next() % 1000),
+		}
+		gi, gok := c.Classify(p)
+		wi, wok := LinearClassify(rules, p)
+		if gi != wi || gok != wok {
+			t.Fatalf("packet %+v: classify (%d,%v) want (%d,%v)", p, gi, gok, wi, wok)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package acl
 
 import (
-	"math/bits"
-
 	"repro/internal/sim"
 )
 
@@ -45,28 +43,22 @@ func DefaultTimingConfig() TimingConfig {
 func (c *Classifier) ClassifyTimed(core *sim.Core, p Packet, tc TimingConfig) (int, bool) {
 	key := p.Key()
 	best := -1
-	scratch := make(bitset, c.maxWords)
+	scratch := make([]uint64, c.maxWords)
 	for ti, t := range c.tries {
 		core.Exec(tc.PerTrieUops)
 		for l := 0; l < tc.LoadsPerTrie; l++ {
 			core.Load(tc.TableBase + uint64(ti)*tc.TableStride + uint64(l)*64)
 		}
-		n, survivors := t.walk(&key, scratch)
+		n, survivors := t.Walk(key[:], scratch)
 		core.Exec(uint64(n) * tc.PerByteUops)
 		if survivors == nil {
 			continue
 		}
-		for w, word := range survivors {
-			for word != 0 {
-				bit := bits.TrailingZeros64(word)
-				word &= word - 1
-				ri := t.atoms[w*64+bit].rule
-				if best == -1 || c.rules[ri].Priority > c.rules[best].Priority ||
-					(c.rules[ri].Priority == c.rules[best].Priority && ri < best) {
-					best = ri
-				}
+		t.ForEach(survivors, func(ri int) {
+			if c.better(ri, best) {
+				best = ri
 			}
-		}
+		})
 	}
 	return best, best >= 0
 }

@@ -2,7 +2,6 @@ package acl
 
 import (
 	"fmt"
-	"math/bits"
 )
 
 // The classifier compiles rules into multiple trie structures (§IV-C1):
@@ -17,12 +16,11 @@ import (
 //
 // Representation: each rule is expanded into "atoms" whose per-byte
 // predicate is a contiguous byte range (CIDR masks and port-range segments
-// both reduce to this), and each trie precomputes, per key-byte position and
-// byte value, the bitset of atoms alive after consuming that value. Walking
-// a key is then one AND per byte — constant work per byte like a real trie
-// node transition — and the walk terminates at the first empty set, which
-// reproduces DPDK's early termination and with it the packet-type latency
-// spread of Table IV.
+// both reduce to this); the compiled form is the width-generic KeyTrie of
+// keytrie.go, instantiated at the paper's 12-byte key. Walking a key is one
+// AND per byte — constant work per byte like a real trie node transition —
+// and the walk terminates at the first empty set, which reproduces DPDK's
+// early termination and with it the packet-type latency spread of Table IV.
 
 // atom is one byte-decomposable conjunct of a rule.
 type atom struct {
@@ -42,16 +40,16 @@ func expandRule(ruleIdx int, r Rule) []atom {
 	addrBytes(&base, 0, r.SrcAddr, r.SrcMaskBits)
 	addrBytes(&base, 4, r.DstAddr, r.DstMaskBits)
 
-	srcSegs := portSegments(r.SrcPortLo, r.SrcPortHi)
-	dstSegs := portSegments(r.DstPortLo, r.DstPortHi)
+	srcSegs := SplitRange16(r.SrcPortLo, r.SrcPortHi)
+	dstSegs := SplitRange16(r.DstPortLo, r.DstPortHi)
 	atoms := make([]atom, 0, len(srcSegs)*len(dstSegs))
 	for _, ss := range srcSegs {
 		for _, ds := range dstSegs {
 			a := base
-			a.lo[8], a.hi[8] = ss.hiByteLo, ss.hiByteHi
-			a.lo[9], a.hi[9] = ss.loByteLo, ss.loByteHi
-			a.lo[10], a.hi[10] = ds.hiByteLo, ds.hiByteHi
-			a.lo[11], a.hi[11] = ds.loByteLo, ds.loByteHi
+			a.lo[8], a.hi[8] = ss.HiLo, ss.HiHi
+			a.lo[9], a.hi[9] = ss.LoLo, ss.LoHi
+			a.lo[10], a.hi[10] = ds.HiLo, ds.HiHi
+			a.lo[11], a.hi[11] = ds.LoLo, ds.LoHi
 			atoms = append(atoms, a)
 		}
 	}
@@ -73,27 +71,6 @@ func addrBytes(a *atom, off int, addr uint32, maskBits int) {
 			a.hi[off+i] = b&keep | ^keep
 		}
 	}
-}
-
-// seg is a byte-decomposable segment of a 16-bit range: independent ranges
-// on the high and low byte.
-type seg struct {
-	hiByteLo, hiByteHi byte
-	loByteLo, loByteHi byte
-}
-
-func portSegments(lo, hi uint16) []seg {
-	hl, ll := byte(lo>>8), byte(lo)
-	hh, lh := byte(hi>>8), byte(hi)
-	if hl == hh {
-		return []seg{{hl, hh, ll, lh}}
-	}
-	segs := []seg{{hl, hl, ll, 0xff}}
-	if hh > hl+1 {
-		segs = append(segs, seg{hl + 1, hh - 1, 0x00, 0xff})
-	}
-	segs = append(segs, seg{hh, hh, 0x00, lh})
-	return segs
 }
 
 // bitset is a fixed-width atom set.
@@ -123,48 +100,20 @@ func (b bitset) andInto(dst, other bitset) bool {
 	return nonzero
 }
 
-// trie is one compiled structure: the transition table plus its atoms.
-// Tries are immutable after Build, so one Classifier may serve many worker
-// cores concurrently; the walk's working set is caller-provided.
-type trie struct {
-	atoms []atom
-	// table[pos][v] is the set of atoms whose byte-pos predicate admits v.
-	table [KeyBytes][256]bitset
-	full  bitset
-}
-
-func buildTrie(atoms []atom) *trie {
-	t := &trie{atoms: atoms, full: newBitset(len(atoms))}
-	for i := range atoms {
-		t.full.set(i)
+func buildTrie(atoms []atom) *KeyTrie {
+	kas := make([]KeyAtom, len(atoms))
+	for i, a := range atoms {
+		ranges := make([]ByteRange, KeyBytes)
+		for p := 0; p < KeyBytes; p++ {
+			ranges[p] = ByteRange{Lo: a.lo[p], Hi: a.hi[p]}
+		}
+		kas[i] = KeyAtom{Ref: a.rule, Ranges: ranges}
 	}
-	for pos := 0; pos < KeyBytes; pos++ {
-		for v := 0; v < 256; v++ {
-			t.table[pos][v] = newBitset(len(atoms))
-		}
-		for i, a := range atoms {
-			for v := int(a.lo[pos]); v <= int(a.hi[pos]); v++ {
-				t.table[pos][v].set(i)
-			}
-		}
+	t, err := BuildKeyTrie(KeyBytes, kas)
+	if err != nil {
+		panic(fmt.Sprintf("acl: internal atom expansion produced invalid atoms: %v", err))
 	}
 	return t
-}
-
-// walk consumes key bytes until the candidate set empties, returning the
-// number of bytes examined and the surviving atom set (nil when empty).
-// scratch is the caller's working buffer, at least len(t.full) words.
-func (t *trie) walk(key *[KeyBytes]byte, scratch bitset) (bytesExamined int, survivors bitset) {
-	cur := t.full
-	scratch = scratch[:len(t.full)]
-	for pos := 0; pos < KeyBytes; pos++ {
-		bytesExamined++
-		if !t.table[pos][key[pos]].andInto(scratch, cur) {
-			return bytesExamined, nil
-		}
-		cur = scratch
-	}
-	return bytesExamined, cur
 }
 
 // BuildConfig controls how rules are divided across tries.
@@ -189,7 +138,7 @@ func DefaultBuildConfig() BuildConfig {
 // for concurrent classification from multiple cores.
 type Classifier struct {
 	rules    []Rule
-	tries    []*trie
+	tries    []*KeyTrie
 	cfg      BuildConfig
 	maxWords int // largest per-trie bitset, sizing per-call scratch
 }
@@ -232,8 +181,8 @@ func Build(rules []Rule, cfg BuildConfig) (*Classifier, error) {
 			end = len(atoms)
 		}
 		t := buildTrie(atoms[off:end])
-		if len(t.full) > c.maxWords {
-			c.maxWords = len(t.full)
+		if t.Words() > c.maxWords {
+			c.maxWords = t.Words()
 		}
 		c.tries = append(c.tries, t)
 	}
@@ -279,6 +228,13 @@ func (c *Classifier) ClassifyDetailed(p Packet) (int, bool, WalkStats) {
 	return c.classify(p, true)
 }
 
+// better reports whether rule ri beats the current best under DPDK's
+// resolution order: higher priority wins, ties keep the lowest rule index.
+func (c *Classifier) better(ri, best int) bool {
+	return best == -1 || c.rules[ri].Priority > c.rules[best].Priority ||
+		(c.rules[ri].Priority == c.rules[best].Priority && ri < best)
+}
+
 func (c *Classifier) classify(p Packet, detailed bool) (int, bool, WalkStats) {
 	key := p.Key()
 	best := -1
@@ -286,9 +242,9 @@ func (c *Classifier) classify(p Packet, detailed bool) (int, bool, WalkStats) {
 	if detailed {
 		st.BytesPerTrie = make([]int, 0, len(c.tries))
 	}
-	scratch := make(bitset, c.maxWords)
+	scratch := make([]uint64, c.maxWords)
 	for _, t := range c.tries {
-		n, survivors := t.walk(&key, scratch)
+		n, survivors := t.Walk(key[:], scratch)
 		st.TotalBytes += n
 		if detailed {
 			st.BytesPerTrie = append(st.BytesPerTrie, n)
@@ -296,17 +252,11 @@ func (c *Classifier) classify(p Packet, detailed bool) (int, bool, WalkStats) {
 		if survivors == nil {
 			continue
 		}
-		for w, word := range survivors {
-			for word != 0 {
-				bit := bits.TrailingZeros64(word)
-				word &= word - 1
-				ri := t.atoms[w*64+bit].rule
-				if best == -1 || c.rules[ri].Priority > c.rules[best].Priority ||
-					(c.rules[ri].Priority == c.rules[best].Priority && ri < best) {
-					best = ri
-				}
+		t.ForEach(survivors, func(ri int) {
+			if c.better(ri, best) {
+				best = ri
 			}
-		}
+		})
 	}
 	return best, best >= 0, st
 }

@@ -1,0 +1,243 @@
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// The rule-spec language: one rule per line, yanet2-flavoured.
+//
+//	allow tcp 10.0.0.0/8 -> any4 dport 53 prio 10
+//	deny udp 2001:db8::/32 -> 2001:db8:9::/48 sport 1000-2000 vlan 100-200
+//	allow any any4 -> 192.168.0.0/16
+//
+// Fields: action, proto (any|tcp|udp|icmp|N|N-M), src prefix, "->", dst
+// prefix, then optional "sport lo[-hi]", "dport lo[-hi]", "vlan lo[-hi]",
+// "prio n" clauses in any order. "any4"/"any6" are the full-space
+// prefixes of each family; the rule's family comes from its addresses,
+// which must agree. String renders the canonical form ParseRule accepts
+// (round-trip property: ParseRule(r.String()) == r).
+
+// ParseRule parses one rule-spec line.
+func ParseRule(s string) (Rule, error) {
+	var r Rule
+	fields := strings.Fields(s)
+	if len(fields) < 5 {
+		return r, fmt.Errorf("dataplane: rule %q: want 'action proto src -> dst ...'", s)
+	}
+	switch fields[0] {
+	case "allow":
+		r.Action = Allow
+	case "deny":
+		r.Action = Deny
+	default:
+		return r, fmt.Errorf("dataplane: bad action %q", fields[0])
+	}
+	var err error
+	if r.ProtoLo, r.ProtoHi, err = parseProto(fields[1]); err != nil {
+		return r, err
+	}
+	srcAddr, srcBits, srcV6, err := parsePrefix(fields[2])
+	if err != nil {
+		return r, err
+	}
+	if fields[3] != "->" {
+		return r, fmt.Errorf("dataplane: rule %q: want '->' between prefixes", s)
+	}
+	dstAddr, dstBits, dstV6, err := parsePrefix(fields[4])
+	if err != nil {
+		return r, err
+	}
+	if srcV6 != dstV6 {
+		return r, fmt.Errorf("dataplane: rule %q mixes address families", s)
+	}
+	r.V6 = srcV6
+	r.SrcAddr, r.SrcBits = srcAddr, srcBits
+	r.DstAddr, r.DstBits = dstAddr, dstBits
+	r.VLANHi = MaxVLAN
+	r.SrcPortHi, r.DstPortHi = 0xffff, 0xffff
+
+	rest := fields[5:]
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return r, fmt.Errorf("dataplane: clause %q needs a value", rest[0])
+		}
+		key, val := rest[0], rest[1]
+		rest = rest[2:]
+		switch key {
+		case "sport":
+			if r.SrcPortLo, r.SrcPortHi, err = parseRange16(val, 0xffff); err != nil {
+				return r, fmt.Errorf("dataplane: sport: %w", err)
+			}
+		case "dport":
+			if r.DstPortLo, r.DstPortHi, err = parseRange16(val, 0xffff); err != nil {
+				return r, fmt.Errorf("dataplane: dport: %w", err)
+			}
+		case "vlan":
+			if r.VLANLo, r.VLANHi, err = parseRange16(val, MaxVLAN); err != nil {
+				return r, fmt.Errorf("dataplane: vlan: %w", err)
+			}
+		case "prio":
+			n, err := strconv.ParseInt(val, 10, 32)
+			if err != nil {
+				return r, fmt.Errorf("dataplane: prio %q: %w", val, err)
+			}
+			r.Priority = int32(n)
+		default:
+			return r, fmt.Errorf("dataplane: unknown clause %q", key)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ParseRules parses a multi-line spec, skipping blank lines and #
+// comments.
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// MustParseRules is ParseRules but panics on error (literal rule tables).
+func MustParseRules(text string) []Rule {
+	rules, err := ParseRules(text)
+	if err != nil {
+		panic(err)
+	}
+	return rules
+}
+
+func parseProto(s string) (lo, hi uint8, err error) {
+	switch s {
+	case "any":
+		return 0, 255, nil
+	case "tcp":
+		return ProtoTCP, ProtoTCP, nil
+	case "udp":
+		return ProtoUDP, ProtoUDP, nil
+	case "icmp":
+		return ProtoICMP, ProtoICMP, nil
+	}
+	l, h, err := parseRange16(s, 255)
+	if err != nil {
+		return 0, 0, fmt.Errorf("dataplane: proto %q: %w", s, err)
+	}
+	return uint8(l), uint8(h), nil
+}
+
+func parsePrefix(s string) (addr [16]byte, bits int, v6 bool, err error) {
+	switch s {
+	case "any4":
+		return addr4Mapped([4]byte{}), 0, false, nil
+	case "any6":
+		return [16]byte{}, 0, true, nil
+	}
+	p, perr := netip.ParsePrefix(s)
+	if perr != nil {
+		return addr, 0, false, fmt.Errorf("dataplane: prefix %q: %w", s, perr)
+	}
+	a := p.Addr()
+	if a.Is4() {
+		return addr4Mapped(a.As4()), p.Bits(), false, nil
+	}
+	if a.Is4In6() {
+		return addr, 0, false, fmt.Errorf("dataplane: prefix %q: write v4 prefixes in dotted form", s)
+	}
+	return a.As16(), p.Bits(), true, nil
+}
+
+func addr4Mapped(a [4]byte) [16]byte {
+	var out [16]byte
+	out[10], out[11] = 0xff, 0xff
+	copy(out[12:], a[:])
+	return out
+}
+
+func parseRange16(s string, max uint16) (lo, hi uint16, err error) {
+	loS, hiS, dashed := strings.Cut(s, "-")
+	l, err := strconv.ParseUint(loS, 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad value %q", loS)
+	}
+	h := l
+	if dashed {
+		if h, err = strconv.ParseUint(hiS, 10, 16); err != nil {
+			return 0, 0, fmt.Errorf("bad value %q", hiS)
+		}
+	}
+	if l > h {
+		return 0, 0, fmt.Errorf("range [%d,%d] inverted", l, h)
+	}
+	if h > uint64(max) {
+		return 0, 0, fmt.Errorf("value %d beyond %d", h, max)
+	}
+	return uint16(l), uint16(h), nil
+}
+
+// String renders the canonical spec form; ParseRule(r.String()) == r for
+// every valid rule (the round-trip property the fuzz target pins).
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Action.String())
+	b.WriteByte(' ')
+	switch {
+	case r.ProtoLo == 0 && r.ProtoHi == 255:
+		b.WriteString("any")
+	case r.ProtoLo == ProtoTCP && r.ProtoHi == ProtoTCP:
+		b.WriteString("tcp")
+	case r.ProtoLo == ProtoUDP && r.ProtoHi == ProtoUDP:
+		b.WriteString("udp")
+	case r.ProtoLo == ProtoICMP && r.ProtoHi == ProtoICMP:
+		b.WriteString("icmp")
+	case r.ProtoLo == r.ProtoHi:
+		fmt.Fprintf(&b, "%d", r.ProtoLo)
+	default:
+		fmt.Fprintf(&b, "%d-%d", r.ProtoLo, r.ProtoHi)
+	}
+	fmt.Fprintf(&b, " %s -> %s", prefixString(r.SrcAddr, r.SrcBits, r.V6), prefixString(r.DstAddr, r.DstBits, r.V6))
+	if !(r.SrcPortLo == 0 && r.SrcPortHi == 0xffff) {
+		fmt.Fprintf(&b, " sport %s", rangeString(r.SrcPortLo, r.SrcPortHi))
+	}
+	if !(r.DstPortLo == 0 && r.DstPortHi == 0xffff) {
+		fmt.Fprintf(&b, " dport %s", rangeString(r.DstPortLo, r.DstPortHi))
+	}
+	if !(r.VLANLo == 0 && r.VLANHi == MaxVLAN) {
+		fmt.Fprintf(&b, " vlan %s", rangeString(r.VLANLo, r.VLANHi))
+	}
+	if r.Priority != 0 {
+		fmt.Fprintf(&b, " prio %d", r.Priority)
+	}
+	return b.String()
+}
+
+func prefixString(addr [16]byte, bits int, v6 bool) string {
+	if !v6 && bits == 0 && addr == addr4Mapped([4]byte{}) {
+		return "any4"
+	}
+	if v6 && bits == 0 && addr == ([16]byte{}) {
+		return "any6"
+	}
+	return fmt.Sprintf("%s/%d", addrString(addr, v6), bits)
+}
+
+func rangeString(lo, hi uint16) string {
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}

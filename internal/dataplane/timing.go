@@ -1,0 +1,143 @@
+package dataplane
+
+import (
+	"repro/internal/lpm"
+	"repro/internal/sim"
+)
+
+// TimingConfig charges the simulated cost of each chain stage. The stage
+// budgets are sized so a full-walk packet retires ~12-15k uops — a
+// handful of PEBS samples per packet at the default reset of 1000 — and
+// so every organic mechanism (walk width, cache warmth, route depth)
+// moves its stage by well over the detector's minimum relative shift.
+type TimingConfig struct {
+	// Parse: fixed header-walk setup plus per-wire-byte cost.
+	ParseBaseUops    uint64
+	ParsePerByteUops uint64
+
+	// Flow cache: probe arithmetic plus one load per way touched, at the
+	// set's synthetic line; insert cost on the install path.
+	FlowProbeUops  uint64
+	FlowInsertUops uint64
+	FlowBase       uint64
+
+	// ACL: per-trie setup, per-key-byte arithmetic with one load per
+	// byte (deeper walks touch more lines), and per-surviving-atom scan.
+	ACLPerTrieUops     uint64
+	ACLPerByteUops     uint64
+	ACLPerSurvivorUops uint64
+	TrieBase           uint64
+	TrieStride         uint64
+
+	// Route: the per-family LPM stage costs.
+	RouteV4 lpm.TimingConfig
+	RouteV6 lpm.TimingConfig6
+
+	// Emit: fixed cost plus a store into the TX ring.
+	EmitUops uint64
+	EmitBase uint64
+}
+
+// DefaultTimingConfig returns the calibrated stage budgets.
+func DefaultTimingConfig() TimingConfig {
+	return TimingConfig{
+		ParseBaseUops:    200,
+		ParsePerByteUops: 40,
+
+		FlowProbeUops:  1600,
+		FlowInsertUops: 400,
+		FlowBase:       0xd000_0000,
+
+		ACLPerTrieUops:     300,
+		ACLPerByteUops:     160,
+		ACLPerSurvivorUops: 40,
+		TrieBase:           0xe000_0000,
+		TrieStride:         1 << 16,
+
+		RouteV4: lpm.TimingConfig{
+			BaseUops:  1800,
+			ExtUops:   900,
+			TableBase: 0xa000_0000,
+			PageBase:  0xb000_0000,
+		},
+		RouteV6: lpm.TimingConfig6{
+			BaseUops:   1200,
+			LevelUops:  650,
+			NodeBase:   0xc000_0000,
+			NodeStride: 4096,
+		},
+
+		EmitUops: 2200,
+		EmitBase: 0xf000_0000,
+	}
+}
+
+// zero reports an unset config (so Run can substitute the default).
+func (tc TimingConfig) zero() bool { return tc.ParsePerByteUops == 0 && tc.EmitUops == 0 }
+
+// ClassifyTimed is Classify charging the walk's cost to core: per trie a
+// setup charge, then per examined key byte arithmetic plus a load into
+// that trie's table line for the byte position, then a per-survivor scan
+// charge. The cost therefore tracks the walk shape — wider rule sets
+// mean more tries and more surviving atoms, early termination means
+// fewer bytes — which is the organic acl0 fluctuation.
+func (m *Matcher) ClassifyTimed(core *sim.Core, p *Packet, scratch []uint64, tc TimingConfig) (int, bool, WalkStats) {
+	key := p.Key()
+	best := -1
+	var st WalkStats
+	for ti, t := range m.tries {
+		st.Tries++
+		core.Exec(tc.ACLPerTrieUops)
+		n, survivors := t.Walk(key[:], scratch)
+		st.Bytes += n
+		base := tc.TrieBase + uint64(ti)*tc.TrieStride
+		for pos := 0; pos < n; pos++ {
+			core.Exec(tc.ACLPerByteUops)
+			core.Load(base + uint64(pos)*64)
+		}
+		if survivors == nil {
+			continue
+		}
+		t.ForEach(survivors, func(ref int) {
+			st.Survivors++
+			core.Exec(tc.ACLPerSurvivorUops)
+			if m.better(ref, best) {
+				best = ref
+			}
+		})
+	}
+	return best, best >= 0, st
+}
+
+// LookupTimed routes p while charging the family table's cost to core.
+func (rt *Router) LookupTimed(core *sim.Core, p *Packet, tc TimingConfig) (nextHop, probes int) {
+	if p.V6 {
+		return rt.v6.LookupTimed(core, p.Dst, tc.RouteV6)
+	}
+	hop, extended := rt.v4.LookupTimed(core, v4addr(p.Dst), tc.RouteV4)
+	if extended {
+		return hop, 2
+	}
+	return hop, 1
+}
+
+// probeLine is the synthetic cache line of a key's flow-cache set.
+func (fc *FlowCache) probeLine(key *[KeyLen]byte, base uint64) uint64 {
+	return base + (hashKey(key)&fc.mask)*64
+}
+
+// LookupTimed probes the cache charging the probe arithmetic and one
+// load into the set's line.
+func (fc *FlowCache) LookupTimed(core *sim.Core, key *[KeyLen]byte, tc TimingConfig) (Verdict, bool) {
+	core.Exec(tc.FlowProbeUops)
+	core.Load(fc.probeLine(key, tc.FlowBase))
+	return fc.Lookup(key)
+}
+
+// InsertTimed installs a verdict charging the install cost and the
+// line's store.
+func (fc *FlowCache) InsertTimed(core *sim.Core, key *[KeyLen]byte, v Verdict, tc TimingConfig) {
+	core.Exec(tc.FlowInsertUops)
+	core.Store(fc.probeLine(key, tc.FlowBase))
+	fc.Insert(key, v)
+}

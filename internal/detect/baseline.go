@@ -30,8 +30,13 @@ type baseline struct {
 	rotateEvery int
 	sinceRotate int
 	cur, prev   map[cellKey]*obs.Histogram
-	free        []*obs.Histogram
-	merged      *obs.Histogram // scratch for two-generation quantiles
+	// curItems/prevItems count evicted items per core in each generation,
+	// so stats can report a cell's per-item denominator: a function that
+	// ran in 6% of items must not be judged by its per-appearance mean
+	// alone, or a mix shift (it suddenly runs every item) diffs to zero.
+	curItems, prevItems map[int32]uint64
+	free                []*obs.Histogram
+	merged              *obs.Histogram // scratch for two-generation quantiles
 }
 
 func newBaseline(rotateEvery int) *baseline {
@@ -39,6 +44,8 @@ func newBaseline(rotateEvery int) *baseline {
 		rotateEvery: rotateEvery,
 		cur:         map[cellKey]*obs.Histogram{},
 		prev:        map[cellKey]*obs.Histogram{},
+		curItems:    map[int32]uint64{},
+		prevItems:   map[int32]uint64{},
 		merged:      obs.NewHistogram(),
 	}
 }
@@ -60,8 +67,9 @@ func (b *baseline) record(name string, core int32, cycles uint64) {
 	h.Record(cycles)
 }
 
-// advance ticks the rotation clock by one evicted item.
-func (b *baseline) advance() {
+// advance ticks the rotation clock by one evicted item on core.
+func (b *baseline) advance(core int32) {
+	b.curItems[core]++
 	b.sinceRotate++
 	if b.sinceRotate < b.rotateEvery {
 		return
@@ -72,17 +80,24 @@ func (b *baseline) advance() {
 		b.free = append(b.free, h)
 	}
 	b.prev, b.cur = b.cur, b.prev
+	for co := range b.prevItems {
+		delete(b.prevItems, co)
+	}
+	b.prevItems, b.curItems = b.curItems, b.prevItems
 }
 
 // stats returns the cell's baseline mean, robust sigma (IQR-based, from
-// the merged log-linear quantiles), and observation count across both
-// generations. A zero count means the cell has no history at all.
-func (b *baseline) stats(name string, core int32) (mean, sigma float64, count uint64) {
+// the merged log-linear quantiles), observation count across both
+// generations, and the number of items the core evicted over the same
+// horizon (≥ count; the per-item denominator for mix-aware diffs). A zero
+// count means the cell has no history at all.
+func (b *baseline) stats(name string, core int32) (mean, sigma float64, count, items uint64) {
 	k := cellKey{name: name, core: core}
 	hc, hp := b.cur[k], b.prev[k]
 	count = hc.Count() + hp.Count()
+	items = b.curItems[core] + b.prevItems[core]
 	if count == 0 {
-		return 0, 0, 0
+		return 0, 0, 0, items
 	}
 	mean = float64(hc.Sum()+hp.Sum()) / float64(count)
 	b.merged.Reset()
@@ -91,7 +106,7 @@ func (b *baseline) stats(name string, core int32) (mean, sigma float64, count ui
 	s := b.merged.Snapshot()
 	// IQR → sigma under normality: sigma = IQR / 1.349.
 	sigma = (s.Quantile(0.75) - s.Quantile(0.25)) / 1.349
-	return mean, sigma, count
+	return mean, sigma, count, items
 }
 
 // sortFloats is the detector's in-place sort (allocation-free).

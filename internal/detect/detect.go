@@ -322,7 +322,7 @@ func (d *Detector) evict(slot int) {
 	for _, f := range d.funcs[slot] {
 		d.base.record(f.name, co, f.cycles)
 	}
-	d.base.advance()
+	d.base.advance(co)
 }
 
 // slotAt returns the ring index of the i-th oldest item (0 ≤ i < fill).

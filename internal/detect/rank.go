@@ -26,18 +26,27 @@ type cellAgg struct {
 // verdicts for the event. slowdown selects the blame direction: a latency
 // regression blames cells that gained time, a recovery-shaped shift cells
 // that lost it. Runs only when an event fires, so allocation is fine here.
+//
+// Cell means are per ITEM, not per appearance: an absent function counts
+// as zero. For a function that runs in every item the two are identical,
+// but a mix shift — a flow-cache going cold re-exposing the classify path
+// in every item instead of 6% of them — changes per-item contribution
+// while leaving the per-appearance mean untouched, and blame must follow
+// where the items' time actually went.
 func (d *Detector) rank(eventID uint64, t int, slowdown bool) []Verdict {
 	// Window metadata of the offending tail: bounds, size, worst item.
 	post := d.fill - t
 	win := Window{Items: post}
 	var worstID uint64
 	worstLat := math.Inf(-1)
+	postItems := map[int32]int{}
 	for i := t; i < d.fill; i++ {
 		slot := d.slotAt(i)
 		if i == t {
 			win.FirstItem = d.ids[slot]
 		}
 		win.LastItem = d.ids[slot]
+		postItems[d.cores[slot]]++
 		if d.lat[slot] > worstLat {
 			worstLat, worstID = d.lat[slot], d.ids[slot]
 		}
@@ -68,9 +77,11 @@ func (d *Detector) rank(eventID uint64, t int, slowdown bool) []Verdict {
 
 	// Pre-split per-cell series, for the cold-start fallback reference.
 	pre := map[cellKey][]float64{}
+	preItems := map[int32]int{}
 	for i := 0; i < t; i++ {
 		slot := d.slotAt(i)
 		co := d.cores[slot]
+		preItems[co]++
 		for _, f := range d.funcs[slot] {
 			k := cellKey{name: f.name, core: co}
 			pre[k] = append(pre[k], float64(f.cycles))
@@ -79,13 +90,13 @@ func (d *Detector) rank(eventID uint64, t int, slowdown bool) []Verdict {
 
 	type scored struct {
 		key   cellKey
-		delta float64 // post mean − baseline mean, cycles
+		delta float64 // post per-item mean − baseline per-item mean, cycles
 		score float64 // directional robust z-score (ranking key)
 	}
 	var ranked []scored
 	for _, c := range cells {
-		postMean := float64(c.sum) / float64(c.items)
-		baseMean, baseSigma, baseCount := d.base.stats(c.key.name, c.key.core)
+		postMean := float64(c.sum) / float64(postItems[c.key.core])
+		baseMean, baseSigma, baseCount, baseItems := d.base.stats(c.key.name, c.key.core)
 		if baseCount < minBaselineCount {
 			xs := pre[c.key]
 			if len(xs) == 0 {
@@ -93,9 +104,12 @@ func (d *Detector) rank(eventID uint64, t int, slowdown bool) []Verdict {
 				// zero with a sigma floored below.
 				baseMean, baseSigma = 0, 0
 			} else {
-				baseMean = stats.Mean(xs)
+				baseMean = stats.Mean(xs) * float64(len(xs)) / float64(preItems[c.key.core])
 				baseSigma = stats.MADSigmaFactor * stats.MAD(xs)
 			}
+		} else if baseItems > 0 {
+			// Per-appearance mean × appearance rate = per-item mean.
+			baseMean *= float64(baseCount) / float64(baseItems)
 		}
 		// Sigma floor: the log-linear buckets quantize at ~6% and a
 		// constant-cost function has zero spread — judge shifts against at

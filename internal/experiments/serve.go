@@ -17,10 +17,15 @@ import (
 	"repro/internal/pmu"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workloads/dpchain"
 )
 
 // MonitorConfig configures the engine behind `fluct -serve`.
 type MonitorConfig struct {
+	// Workload selects the traced workload behind each round: "request"
+	// (default, the canonical two-core lookup+render loop) or "dataplane"
+	// (the compiled ACL → LPM function chain from internal/dataplane).
+	Workload string
 	// Requests per simulated round (default 300, split across two cores).
 	Requests int
 	// Interval between rounds (default 250ms). Run sleeps this long after
@@ -64,6 +69,9 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 250 * time.Millisecond
+	}
+	if err := validWorkload(cfg.Workload); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	m := &Monitor{cfg: cfg}
 	if cfg.Faults != "" {
@@ -148,6 +156,25 @@ func WorkloadRound(requests int) *trace.Set {
 	return trace.NewSet(mach, log, samples)
 }
 
+// validWorkload checks a MonitorConfig/ShipConfig workload selector.
+func validWorkload(workload string) error {
+	switch workload {
+	case "", "request", "dataplane":
+		return nil
+	}
+	return fmt.Errorf("unknown workload %q (want request|dataplane)", workload)
+}
+
+// roundSet generates one round of the selected workload — the single
+// dispatch point shared by -serve and -ship, so both observe identical
+// workload shapes.
+func roundSet(workload string, requests int) (*trace.Set, error) {
+	if workload == "dataplane" {
+		return dpchain.Round(requests)
+	}
+	return WorkloadRound(requests), nil
+}
+
 // RunOnce executes one round: generate a fresh trace from the simulated
 // workload, degrade it if configured, health-check it, and stream-integrate
 // it with full self-telemetry. Safe to call concurrently with scrapes (the
@@ -157,7 +184,10 @@ func (m *Monitor) RunOnce() error {
 	sp := obs.StartSpan("serve.round")
 	defer sp.End()
 
-	set := WorkloadRound(m.cfg.Requests)
+	set, err := roundSet(m.cfg.Workload, m.cfg.Requests)
+	if err != nil {
+		return err
+	}
 	if m.plan != nil {
 		plan := *m.plan
 		plan.Seed += m.Rounds() // fresh damage every round, still deterministic

@@ -156,6 +156,33 @@ func TestMonitorConfigErrors(t *testing.T) {
 	if _, err := NewMonitor(MonitorConfig{Faults: "nonsense=1"}); err == nil {
 		t.Fatal("NewMonitor accepted a bogus faults spec")
 	}
+	if _, err := NewMonitor(MonitorConfig{Workload: "bogus"}); err == nil {
+		t.Fatal("NewMonitor accepted an unknown workload")
+	}
+}
+
+// TestServeDataplaneWorkload: -workload dataplane rounds run the function
+// chain end to end (verdicts verified inside dpchain.Round) and keep the
+// monitor healthy — the dataplane trace must be as clean to the gap
+// detector as the request workload's.
+func TestServeDataplaneWorkload(t *testing.T) {
+	reg := obs.NewRegistry()
+	old := obs.SetDefault(reg)
+	defer obs.SetDefault(old)
+
+	m, err := NewMonitor(MonitorConfig{Workload: "dataplane", Requests: 200, Detect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if h := m.Health(); !h.OK || h.Status != "healthy" {
+		t.Fatalf("dataplane round health = %+v, want OK healthy", h)
+	}
+	if got := reg.Counter("fluct_detect_changepoints_total").Value(); got != 0 {
+		t.Fatalf("clean dataplane round fired %d change events", got)
+	}
 }
 
 // TestServeDetect: a monitor with the detector on and an injected

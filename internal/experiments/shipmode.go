@@ -18,6 +18,9 @@ import (
 type ShipConfig struct {
 	// Addr is the collector's shipper port (fluctd -listen).
 	Addr string
+	// Workload selects what each round runs: "request" (default) or
+	// "dataplane" — same selector as MonitorConfig.Workload.
+	Workload string
 	// Source tags this worker in the collector's fleet view.
 	Source string
 	// Rounds is how many rounds to generate and ship; 0 means run until the
@@ -75,6 +78,9 @@ func ShipRounds(ctx context.Context, cfg ShipConfig) (ShipStats, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 250 * time.Millisecond
 	}
+	if err := validWorkload(cfg.Workload); err != nil {
+		return ShipStats{}, fmt.Errorf("ship: %w", err)
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.Default()
@@ -118,7 +124,12 @@ func ShipRounds(ctx context.Context, cfg ShipConfig) (ShipStats, error) {
 
 	var st ShipStats
 	for round := 0; cfg.Rounds == 0 || round < cfg.Rounds; round++ {
-		set := WorkloadRound(cfg.Requests)
+		set, err := roundSet(cfg.Workload, cfg.Requests)
+		if err != nil {
+			cancel()
+			<-done
+			return st, err
+		}
 		if err := s.ShipSet(set); err != nil {
 			cancel()
 			<-done

@@ -1,0 +1,51 @@
+package lpm
+
+import (
+	"repro/internal/sim"
+)
+
+// TimingConfig6 charges the simulated cost of one v6 lookup to a core.
+type TimingConfig6 struct {
+	// BaseUops is the arithmetic around the walk setup.
+	BaseUops uint64
+	// LevelUops is the per-level transition arithmetic.
+	LevelUops uint64
+	// NodeBase is the synthetic address of the node array; nodes are laid
+	// out at NodeStride intervals, so deep walks touch more distinct lines
+	// and the hot-route working set emerges from the cache hierarchy.
+	NodeBase   uint64
+	NodeStride uint64
+}
+
+// DefaultTimingConfig6 returns costs shaped like rte_lpm6: a small fixed
+// setup plus one dependent load per consumed stride.
+func DefaultTimingConfig6() TimingConfig6 {
+	return TimingConfig6{
+		BaseUops:   20,
+		LevelUops:  14,
+		NodeBase:   0xc000_0000,
+		NodeStride: 4096,
+	}
+}
+
+// LookupTimed performs Lookup while charging its cost to core: one load
+// per trie level walked, each into that node's line for the consumed byte.
+// The per-destination level count is the fluctuation this structure
+// exhibits — a /128-covered destination walks 16 dependent loads where a
+// /32-covered one walks 4.
+func (t *Table6) LookupTimed(core *sim.Core, addr [16]byte, tc TimingConfig6) (nextHop int, levels int) {
+	core.Exec(tc.BaseUops)
+	best := NoRoute
+	n := t.root
+	for i := 0; i < 16 && n != nil; i++ {
+		levels++
+		b := addr[i]
+		core.Exec(tc.LevelUops)
+		core.Load(tc.NodeBase + uint64(n.idx)*tc.NodeStride + uint64(b)*8)
+		if n.depth[b] >= 0 {
+			best = int(n.hop[b])
+		}
+		n = n.child[b]
+	}
+	return best, levels
+}
