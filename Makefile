@@ -23,6 +23,10 @@
 # must be byte-identical across ingest shard counts) and fuzz-smokes the
 # verdict wire decoder, the dataplane rule compiler (differential vs the
 # naive reference matcher), and the packet key codec.
+# The planned-drain layer gets its own raced lines: the drain-chaos
+# harness (shard drained mid-set, killed mid-drain, merged report and
+# verdict streams still byte-identical to the undisturbed run) and a
+# fuzz smoke of the four handoff frame decoders.
 # bench runs the hot-path micro/ablation benchmarks with allocation stats.
 # bench-gate enforces the budgets: BenchmarkMicroIntegrate must land
 # within 15% of the absolute baseline recorded in EXPERIMENTS.md,
@@ -34,6 +38,9 @@
 # baseline (see cmd/benchgate). The dataplane chain is gated absolutely
 # at 30%: BenchmarkDataplaneClassify (50k-rule compiled classify, also
 # pinned allocation-free) and BenchmarkDataplanePipeline (full traced run).
+# BenchmarkHandoffTransfer (one full source export→encode→decode→import
+# cycle, the per-source cost a planned drain pays) is gated absolutely
+# at 50%.
 
 GO ?= go
 
@@ -60,6 +67,8 @@ tier2:
 	$(GO) test -run '^$$' -fuzz '^FuzzRuleCompile$$' -fuzztime=10s ./internal/dataplane
 	$(GO) test -run '^$$' -fuzz '^FuzzPacketParse$$' -fuzztime=10s ./internal/dataplane
 	$(GO) test -race -count 1 ./internal/agg
+	$(GO) test -race -count 1 -run '^TestDrain' ./internal/agg
+	$(GO) test -run '^$$' -fuzz '^FuzzHandoffDecode$$' -fuzztime=10s ./internal/wire
 	$(GO) test -tags scale -count 1 -run '^TestScaleHarness$$' -timeout 900s ./internal/agg
 
 bench:
@@ -67,6 +76,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkWireEncodeDecode' -benchmem -count 1 ./internal/wire
 	$(GO) test -run '^$$' -bench 'BenchmarkCollectorIngest' -benchmem -count 1 ./internal/collector
 	$(GO) test -run '^$$' -bench 'BenchmarkDetectUpdate' -benchmem -count 1 ./internal/detect
+	$(GO) test -run '^$$' -bench 'BenchmarkHandoffTransfer' -benchmem -count 1 ./internal/collector
 	$(GO) test -run '^$$' -bench 'BenchmarkAggregatorMerge' -benchmem -count 1 ./internal/agg
 	$(GO) test -run '^$$' -bench 'BenchmarkDataplane' -benchmem -count 1 ./internal/dataplane
 
@@ -79,5 +89,6 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -bench BenchmarkDetectUpdate -pkg ./internal/detect -threshold 0.30 -allocs 0
 	$(GO) run ./cmd/benchgate -bench BenchmarkCollectorIngestDetect -against BenchmarkCollectorIngest -pkg ./internal/collector -threshold 0.03 -count 5
 	$(GO) run ./cmd/benchgate -bench BenchmarkAggregatorMerge -pkg ./internal/agg -threshold 0.50 -count 3
+	$(GO) run ./cmd/benchgate -bench BenchmarkHandoffTransfer -pkg ./internal/collector -threshold 0.50 -count 3
 	$(GO) run ./cmd/benchgate -bench BenchmarkDataplaneClassify -pkg ./internal/dataplane -threshold 0.30 -count 3 -allocs 0
 	$(GO) run ./cmd/benchgate -bench BenchmarkDataplanePipeline -pkg ./internal/dataplane -threshold 0.30 -count 3

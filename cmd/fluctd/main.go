@@ -51,12 +51,38 @@
 // stable identity on that hop (it must match the membership table workers
 // hash against; defaults to the -listen address).
 //
+// # Planned drain
+//
+// A shard collector leaves the fleet gracefully with -drain: the daemon
+// starts normally, then hands every source's state — checkpoint row,
+// detector baseline, verdicts, and (epoch, seq) dedup watermark — to its
+// new owner under the post-departure membership, redirects the source's
+// shippers there, and exits once everything is acknowledged:
+//
+//	fluctd -listen 127.0.0.1:9000 -shard-id 127.0.0.1:9000 \
+//	       -upstream 127.0.0.1:9100 -upstream-spool /var/lib/fluctd/uplink \
+//	       -checkpoint /var/lib/fluctd/shard-a.json \
+//	       -drain -members 127.0.0.1:9000,127.0.0.1:9010,127.0.0.1:9020 \
+//	       -drain-spool /var/lib/fluctd/drain
+//
+// -members is the full membership table of dialable shard addresses,
+// including this shard's own -shard-id; destinations are computed over
+// the post-departure ring, so workers hashing the same table agree on
+// every source's new owner. The handoff is staged durably in -drain-spool
+// before shipping: if a destination is unreachable (the drain exits
+// non-zero) or the daemon crashes mid-drain (sources restart frozen from
+// the checkpoint), re-running the same -drain command replays the staged
+// state, and the receiver recognizes replays as duplicates. The drain's
+// progress is visible on /healthz ("draining", then "departed")
+// throughout, and the final DrainReport is printed as JSON on stdout.
+//
 // On SIGINT/SIGTERM the daemon writes a final checkpoint (when
 // configured), prints a final fleet report to stdout, and exits.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -64,6 +90,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,20 +101,24 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:9000", "accept fluct -ship connections on this address")
-		httpAd  = flag.String("http", "", "serve /metrics /healthz /fleet on this address (empty: no HTTP)")
-		topK    = flag.Int("topk", 10, "how many fleet-wide slowest items the fleet view carries")
-		ckpt    = flag.String("checkpoint", "", "checkpoint per-source state to this file (empty: acks are process-lifetime only)")
-		ckptIv  = flag.Duration("checkpoint-interval", 30*time.Second, "also checkpoint on this timer (0: only on acks and shutdown)")
-		idle    = flag.Duration("idle-timeout", 2*time.Minute, "disconnect shippers idle this long (0: never)")
-		shards  = flag.Int("shards", 0, "ingest shard goroutines; sources pin to shards by ID hash (0: min(GOMAXPROCS, 8))")
-		aggMode = flag.Bool("aggregate", false, "run as the global aggregator: -listen accepts shard-collector uplinks, /fleet serves the merged cross-shard view")
-		upAddr  = flag.String("upstream", "", "ship this collector's per-source fleet rows to a global aggregator at this address (two-tier shard mode)")
-		upSpool = flag.String("upstream-spool", "", "spool directory for the aggregator uplink (required with -upstream)")
-		shardID = flag.String("shard-id", "", "stable shard identity on the aggregator hop (default: the -listen address)")
-		det     = flag.Bool("detect", false, "run the online fluctuation detector per source: /verdicts serves ranked root-cause verdicts and /healthz degrades while change events are unresolved")
-		detSig  = flag.Float64("detect-sigma", 0, "detector firing threshold in robust sigmas (0: default 5)")
-		detWin  = flag.Int("detect-window", 0, "detector change-point window in items (0: default 128)")
+		listen       = flag.String("listen", "127.0.0.1:9000", "accept fluct -ship connections on this address")
+		httpAd       = flag.String("http", "", "serve /metrics /healthz /fleet on this address (empty: no HTTP)")
+		topK         = flag.Int("topk", 10, "how many fleet-wide slowest items the fleet view carries")
+		ckpt         = flag.String("checkpoint", "", "checkpoint per-source state to this file (empty: acks are process-lifetime only)")
+		ckptIv       = flag.Duration("checkpoint-interval", 30*time.Second, "also checkpoint on this timer (0: only on acks and shutdown)")
+		idle         = flag.Duration("idle-timeout", 2*time.Minute, "disconnect shippers idle this long (0: never)")
+		shards       = flag.Int("shards", 0, "ingest shard goroutines; sources pin to shards by ID hash (0: min(GOMAXPROCS, 8))")
+		aggMode      = flag.Bool("aggregate", false, "run as the global aggregator: -listen accepts shard-collector uplinks, /fleet serves the merged cross-shard view")
+		upAddr       = flag.String("upstream", "", "ship this collector's per-source fleet rows to a global aggregator at this address (two-tier shard mode)")
+		upSpool      = flag.String("upstream-spool", "", "spool directory for the aggregator uplink (required with -upstream)")
+		shardID      = flag.String("shard-id", "", "stable shard identity on the aggregator hop (default: the -listen address)")
+		det          = flag.Bool("detect", false, "run the online fluctuation detector per source: /verdicts serves ranked root-cause verdicts and /healthz degrades while change events are unresolved")
+		detSig       = flag.Float64("detect-sigma", 0, "detector firing threshold in robust sigmas (0: default 5)")
+		detWin       = flag.Int("detect-window", 0, "detector change-point window in items (0: default 128)")
+		drain        = flag.Bool("drain", false, "planned departure: hand every source's state to its post-departure ring owner, redirect shippers, print the DrainReport, and exit (non-zero if any handoff is left staged)")
+		drainMembers = flag.String("members", "", "comma-separated membership table of dialable shard addresses, including this shard's -shard-id (required with -drain)")
+		drainSpool   = flag.String("drain-spool", "", "spool directory staging the handoff durably before shipping (required with -drain; keep stable across drain retries)")
+		drainWait    = flag.Duration("drain-wait", 30*time.Second, "per-destination delivery wait before the drain gives up and leaves the handoff staged")
 	)
 	flag.Parse()
 
@@ -95,8 +126,14 @@ func main() {
 		if *upAddr != "" {
 			fatal(errors.New("-aggregate and -upstream are mutually exclusive: the aggregator is the top of the tier"))
 		}
+		if *drain {
+			fatal(errors.New("-drain applies to shard collectors, not the aggregator"))
+		}
 		runAggregator(*listen, *httpAd, *topK, *ckpt, *ckptIv, *idle)
 		return
+	}
+	if *drain && (*drainMembers == "" || *drainSpool == "") {
+		fatal(errors.New("-drain requires -members (the full shard membership table) and -drain-spool"))
 	}
 
 	// Two-tier shard mode: build the uplink first so the collector's
@@ -167,6 +204,46 @@ func main() {
 				}
 			}
 		}()
+	}
+
+	if *drain {
+		// Planned departure. The listener stays up throughout: sources being
+		// moved answer their shippers with TRedirect, and after the handoff
+		// completes the whole collector redirects every handshake, so
+		// stragglers that slept through the drain still find the signpost.
+		id := *shardID
+		if id == "" {
+			id = *listen
+		}
+		fmt.Fprintf(os.Stderr, "fluctd: draining shard %q out of membership %s\n", id, *drainMembers)
+		report, err := agg.Drain(context.Background(), agg.DrainConfig{
+			Collector: c,
+			Self:      id,
+			Members:   strings.Split(*drainMembers, ","),
+			SpoolDir:  *drainSpool,
+			ShipWait:  *drainWait,
+			Uplink:    uplink,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		enc, jerr := json.MarshalIndent(report, "", "  ")
+		if jerr == nil {
+			os.Stdout.Write(append(enc, '\n'))
+		}
+		l.Close()
+		if err := c.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fluctd:", err)
+		}
+		uplinkCancel()
+		if uplinkDone != nil {
+			<-uplinkDone
+		}
+		if !report.Complete() {
+			fmt.Fprintf(os.Stderr, "fluctd: drain incomplete — handoffs remain staged in %s; re-run -drain to retry\n", *drainSpool)
+			os.Exit(1)
+		}
+		return
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -65,6 +65,7 @@ type Aggregator struct {
 	metSources  *obs.Gauge
 	metShards   *obs.Gauge
 	metMergeNs  *obs.Histogram
+	metStale    *obs.Counter
 }
 
 // upstream is the per-shard-collector acked-delivery state: the same
@@ -92,6 +93,39 @@ type mergedSource struct {
 	row      collector.SourceRow
 	verdicts []detect.Verdict
 	active   uint32
+	// verdictShard/verdictKey track which shard delivered the verdict
+	// snapshot and how far it reached, for the cross-shard staleness rule
+	// (see applyVerdicts).
+	verdictShard string
+	verdictKey   verdictKey
+}
+
+// verdictKey orders verdict snapshots of one source across a rebalance:
+// the change-event ordinal is per-source monotone and survives a handoff
+// (the detector snapshot carries its counters), and within an event the
+// window's newest item breaks the tie. Lexicographic comparison.
+type verdictKey struct {
+	event uint64
+	item  uint64
+}
+
+func (k verdictKey) less(o verdictKey) bool {
+	if k.event != o.event {
+		return k.event < o.event
+	}
+	return k.item < o.item
+}
+
+// verdictKeyOf reduces a snapshot to its key.
+func verdictKeyOf(vs wire.VerdictSet) verdictKey {
+	var k verdictKey
+	for _, v := range vs.Verdicts {
+		vk := verdictKey{event: v.Event, item: v.Window.LastItem}
+		if k.less(vk) {
+			k = vk
+		}
+	}
+	return k
 }
 
 // New builds an aggregator, restoring merged state from
@@ -125,6 +159,7 @@ func New(cfg Config) (*Aggregator, error) {
 		metSources:  reg.Gauge("fluct_agg_sources"),
 		metShards:   reg.Gauge("fluct_agg_shards"),
 		metMergeNs:  reg.Histogram("fluct_agg_merge_ns"),
+		metStale:    reg.Counter("fluct_agg_stale_rows_total"),
 	}
 	// Merge lag: how stale the merged view is, in milliseconds since the
 	// last summary was folded in. Zero until the first merge.
@@ -400,6 +435,24 @@ func (a *Aggregator) applySummary(shardID string, fs wire.FleetSummary) {
 		ms = &mergedSource{}
 		a.sources[fs.Source] = ms
 	}
+	// Staleness guard for rebalances: after a planned drain the departing
+	// shard's uplink spool may still replay rows for a source whose new
+	// owner has already delivered fresher ones. The cumulative set count
+	// (completed + aborted) is per-source monotone and travels with the
+	// handoff, so a row that would move it backwards is a stale replay —
+	// and at an equal count, a row from a different shard is the older
+	// writer (the new owner only speaks after its first completed set
+	// advances the count). Same-shard equal rows still apply (verdict-only
+	// refreshes ride a separate frame, summaries at the same count carry
+	// the same state).
+	newSum := fs.Sets + fs.AbortedSets
+	curSum := ms.row.Summary.Sets + ms.row.Summary.AbortedSets
+	if (ms.shard != "" || curSum > 0) &&
+		(newSum < curSum || (newSum == curSum && shardID != ms.shard)) {
+		a.mu.Unlock()
+		a.metStale.Inc()
+		return
+	}
 	ms.shard = shardID
 	ms.row = row
 	a.metSources.SetInt(len(a.sources))
@@ -420,9 +473,24 @@ func (a *Aggregator) applyVerdicts(shardID string, vs wire.VerdictSet) {
 			Summary: collector.SourceSummary{ID: vs.Source}}}
 		a.sources[vs.Source] = ms
 	}
+	// Staleness guard, the verdict-stream twin of applySummary's: within
+	// one shard's stream seq order makes last-writer-wins correct, but
+	// across shards (a drain moved the source) the departing shard's spool
+	// may replay snapshots the new owner has already superseded. The
+	// change-event ordinal survives the handoff (the detector snapshot
+	// carries its counters), so a cross-shard snapshot may only apply when
+	// it reaches at least as far as the stored one.
+	key := verdictKeyOf(vs)
+	if ms.verdictShard != "" && shardID != ms.verdictShard && key.less(ms.verdictKey) {
+		a.mu.Unlock()
+		a.metStale.Inc()
+		return
+	}
 	ms.shard = shardID
 	ms.verdicts = vs.Verdicts
 	ms.active = vs.Active
+	ms.verdictShard = shardID
+	ms.verdictKey = key
 	a.metSources.SetInt(len(a.sources))
 	a.mu.Unlock()
 	a.lastMergeNano.Store(time.Now().UnixNano())

@@ -100,6 +100,7 @@ func startShard(t testing.TB, id, spoolDir string, collCfg collector.Config, dia
 		t.Fatal(err)
 	}
 	collCfg.OnSummary = u.OnSummary
+	collCfg.OnVerdicts = u.OnVerdicts
 	c, err := collector.New(collCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -271,11 +272,7 @@ func TestTwoTierEquivalence(t *testing.T) {
 		t.Fatalf("ring put every source on one shard (%v); pick different IDs", owned)
 	}
 	for id, sp := range shards {
-		drainCtx, dc := context.WithTimeout(context.Background(), 30*time.Second)
-		if err := sp.uplink.Drain(drainCtx); err != nil {
-			t.Fatalf("uplink %s never drained: %v", id, err)
-		}
-		dc()
+		mustDrain(t, "uplink "+id, sp.uplink, 30*time.Second)
 	}
 	merged := waitMerged(t, a, len(sources), 1, 30*time.Second)
 
@@ -306,11 +303,7 @@ func TestAggregatorCheckpointRestart(t *testing.T) {
 	}
 	sp := startShard(t, "shard-a", t.TempDir(), collector.Config{TopK: topK}, pipeDial(a1.HandleConn))
 	shipTo(t, "worker-1", pipeDial(sp.coll.HandleConn), sp.coll, set)
-	drainCtx, dc := context.WithTimeout(context.Background(), 30*time.Second)
-	if err := sp.uplink.Drain(drainCtx); err != nil {
-		t.Fatal(err)
-	}
-	dc()
+	mustDrain(t, "uplink shard-a", sp.uplink, 30*time.Second)
 	view1 := waitMerged(t, a1, 1, 1, 30*time.Second)
 	sp.stop()
 	epoch1, acked1 := a1.UpstreamAcked("shard-a")

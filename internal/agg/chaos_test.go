@@ -57,8 +57,8 @@ func TestShardKillRejoin(t *testing.T) {
 	}
 
 	ckptA := filepath.Join(t.TempDir(), "shard-a.json")
-	spoolA := t.TempDir()   // shard A's uplink spool
-	spoolWA := t.TempDir()  // worker A's spool
+	spoolA := t.TempDir()  // shard A's uplink spool
+	spoolWA := t.TempDir() // worker A's spool
 
 	// Shard B lives undisturbed for the whole run.
 	shardB := startShard(t, "shard-b", t.TempDir(), collector.Config{TopK: topK}, aggDial)
@@ -119,11 +119,7 @@ func TestShardKillRejoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitSets(t, shardA1.coll, workerA, 1, 30*time.Second)
-	drainCtx, dc := context.WithTimeout(context.Background(), 30*time.Second)
-	if err := sWA.Drain(drainCtx); err != nil {
-		t.Fatal(err)
-	}
-	dc()
+	mustDrain(t, "worker shipper", sWA, 30*time.Second)
 	if got := shardA1.uplink.PendingFrames(); got == 0 {
 		t.Fatal("set-1 summary is not pending in the uplink spool — the dead dial leaked")
 	}
@@ -163,18 +159,10 @@ func TestShardKillRejoin(t *testing.T) {
 	liveA.Store(shardAIncarnation{shardA2.coll})
 
 	waitSets(t, shardA2.coll, workerA, 2, 30*time.Second)
-	drainCtx, dc = context.WithTimeout(context.Background(), 30*time.Second)
-	if err := sWA.Drain(drainCtx); err != nil {
-		t.Fatal(err)
-	}
-	dc()
+	mustDrain(t, "worker shipper", sWA, 30*time.Second)
 	cancel1()
 	<-done1
-	drainCtx, dc = context.WithTimeout(context.Background(), 30*time.Second)
-	if err := shardA2.uplink.Drain(drainCtx); err != nil {
-		t.Fatalf("rejoined shard's uplink never drained: %v", err)
-	}
-	dc()
+	mustDrain(t, "rejoined shard's uplink", shardA2.uplink, 30*time.Second)
 	merged := waitMerged(t, a, 2, 2, 30*time.Second)
 
 	// Zero lost sets, nothing double-merged, no damage pretending health.

@@ -106,6 +106,32 @@ func (r *Ring) Shards() []string {
 	return slices.Clone(r.shards)
 }
 
+// HandoffSet computes a planned drain's transfer plan: given the current
+// membership, the departing shard, and the sources the departing shard
+// owns, it returns destination → sources under the post-departure ring.
+// Because removal moves exactly the removed shard's sources (the leave
+// minimality the ring property tests pin), this set IS the rebalance
+// delta — nothing else in the fleet moves, and the property test in
+// ring_test.go holds the two computations equal at seeded sweeps. Source
+// order within each destination follows the input order (the drainer
+// passes them sorted), so the plan is deterministic end to end.
+func HandoffSet(members []string, departing string, sources []string) map[string][]string {
+	post := NewRing(members...)
+	post.Remove(departing)
+	plan := map[string][]string{}
+	for _, src := range sources {
+		dest := post.Owner(src)
+		if dest == "" {
+			// Last shard leaving: no successor exists. The caller decides
+			// what graceful means (keep serving or drop); an empty plan
+			// reports it.
+			continue
+		}
+		plan[dest] = append(plan[dest], src)
+	}
+	return plan
+}
+
 // vnodeHash places one of a shard's virtual nodes on the circle. The
 // shard's FNV-1a hash is perturbed per vnode and finalized with a
 // splitmix64 mix so consecutive vnode indices land far apart.

@@ -173,3 +173,64 @@ func TestRingEdgeCases(t *testing.T) {
 		t.Errorf("emptied ring owned %q", got)
 	}
 }
+
+// TestHandoffSetMatchesLeaveDelta: the transfer plan a draining shard
+// computes (HandoffSet over the sources it owns) is exactly the
+// rebalance delta the leave-minimality test pins — every owned source
+// appears once, routed to its post-departure owner, and nothing else
+// moves. If these ever diverged, a drain would strand or duplicate
+// source state.
+func TestHandoffSetMatchesLeaveDelta(t *testing.T) {
+	const S = 4000
+	for _, nShards := range []int{2, 4, 8} {
+		members := shardNames(nShards)
+		departing := members[nShards/2]
+		for seed := uint64(1); seed <= 5; seed++ {
+			sources := sweepSources(seed, S)
+			before := NewRing(members...)
+			after := NewRing(members...)
+			after.Remove(departing)
+
+			var owned []string
+			for _, src := range sources {
+				if before.Owner(src) == departing {
+					owned = append(owned, src)
+				}
+			}
+			plan := HandoffSet(members, departing, owned)
+
+			planned := 0
+			for dest, srcs := range plan {
+				if dest == departing {
+					t.Fatalf("n=%d seed=%d: plan routes sources back to the departing shard", nShards, seed)
+				}
+				planned += len(srcs)
+				for _, src := range srcs {
+					if want := after.Owner(src); dest != want {
+						t.Fatalf("n=%d seed=%d: %q planned to %q, post-departure owner is %q",
+							nShards, seed, src, dest, want)
+					}
+					if before.Owner(src) != departing {
+						t.Fatalf("n=%d seed=%d: %q moved but %q owned it", nShards, seed, src, before.Owner(src))
+					}
+				}
+			}
+			if planned != len(owned) {
+				t.Fatalf("n=%d seed=%d: plan covers %d of %d owned sources", nShards, seed, planned, len(owned))
+			}
+			// Minimality cross-check: sources the departing shard did NOT own
+			// keep their owner, so the plan IS the full rebalance delta.
+			for _, src := range sources {
+				if b := before.Owner(src); b != departing {
+					if a := after.Owner(src); a != b {
+						t.Fatalf("n=%d seed=%d: unowned %q moved %q→%q during the leave", nShards, seed, src, b, a)
+					}
+				}
+			}
+		}
+	}
+	// Last shard leaving: no successor, empty plan.
+	if plan := HandoffSet([]string{"solo"}, "solo", []string{"w1", "w2"}); len(plan) != 0 {
+		t.Fatalf("sole-shard departure produced a plan: %v", plan)
+	}
+}

@@ -100,12 +100,7 @@ func TestScaleHarness(t *testing.T) {
 	t.Logf("shipped %d sources (2× each) in %v", scaleSources, time.Since(start))
 
 	for id, sp := range shards {
-		drainCtx, dc := context.WithTimeout(context.Background(), 120*time.Second)
-		err := sp.uplink.Drain(drainCtx)
-		dc()
-		if err != nil {
-			t.Fatalf("uplink %s never drained: %v", id, err)
-		}
+		mustDrain(t, "uplink "+id, sp.uplink, 120*time.Second)
 		t.Logf("shard %s: ingest shard load %v", id, sp.coll.ShardLoad())
 	}
 	merged := waitMerged(t, a, scaleSources, 1, 120*time.Second)

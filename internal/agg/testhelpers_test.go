@@ -1,0 +1,27 @@
+package agg
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// drainer is anything with a context-bounded flush — ship.Shipper and
+// Uplink both qualify. The tests drain through this one helper so the
+// timeout/cleanup boilerplate (and the failure message, which carries the
+// shipper's pending-frame count from Drain's deadline error) lives in one
+// place.
+type drainer interface {
+	Drain(context.Context) error
+}
+
+// mustDrain flushes d within timeout or fails the test, naming who never
+// drained.
+func mustDrain(t testing.TB, name string, d drainer, timeout time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := d.Drain(ctx); err != nil {
+		t.Fatalf("%s never drained: %v", name, err)
+	}
+}

@@ -63,6 +63,20 @@ type checkpointSource struct {
 	LastMeanConf  float64 `json:"last_mean_conf"`
 	LastDegraded  bool    `json:"last_degraded"`
 	EverConnected bool    `json:"ever_connected"`
+
+	// Drain/handoff lifecycle (see handoff.go). HandedOff restores as
+	// frozen: once a source's state has been staged for a new owner, a
+	// restarted collector must keep refusing its frames — the staged
+	// handoff replays from the drain shipper's spool, and accepting frames
+	// here again would fork the stream. Internal marks handoff peer rows;
+	// their watermark is what makes a replayed handoff a duplicate. The
+	// Imported trio is the receiving side's handoff dedup marker.
+	Internal      bool     `json:"internal,omitempty"`
+	HandedOff     bool     `json:"handed_off,omitempty"`
+	Redirect      []string `json:"redirect,omitempty"`
+	Imported      bool     `json:"imported,omitempty"`
+	ImportedEpoch uint64   `json:"imported_epoch,omitempty"`
+	ImportedSeq   uint64   `json:"imported_seq,omitempty"`
 }
 
 // Checkpoint writes the collector's durable state to cfg.CheckpointPath
@@ -70,6 +84,14 @@ type checkpointSource struct {
 // shutdown, and on the daemon's periodic timer.
 func (c *Collector) Checkpoint() error {
 	return c.checkpoint(nil, 0, 0)
+}
+
+// CheckpointConfigured reports whether the collector persists checkpoints
+// at all. Callers with optional durability (the drainer) use it to tell a
+// real checkpoint failure from the expected error on an ephemeral
+// collector.
+func (c *Collector) CheckpointConfigured() bool {
+	return c.cfg.CheckpointPath != ""
 }
 
 // checkpoint is Checkpoint with an optional staged ack: when staged is
@@ -122,6 +144,12 @@ func (c *Collector) checkpoint(staged *Source, stagedEpoch, stagedSeq uint64) er
 			LastMeanConf:  s.lastMeanConf,
 			LastDegraded:  s.lastDegraded,
 			EverConnected: s.everConnected,
+			Internal:      s.internal,
+			HandedOff:     s.handedOff,
+			Redirect:      append([]string(nil), s.redirect...),
+			Imported:      s.imported,
+			ImportedEpoch: s.importedEpoch,
+			ImportedSeq:   s.importedSeq,
 		}
 		for i := range cs.Items {
 			cs.Items[i].Funcs = append([]core.FuncSpan(nil), cs.Items[i].Funcs...)
@@ -205,6 +233,13 @@ func (c *Collector) restoreCheckpoint(path string) error {
 			lastMeanConf:  cs.LastMeanConf,
 			lastDegraded:  cs.LastDegraded,
 			everConnected: cs.EverConnected,
+			internal:      cs.Internal,
+			handedOff:     cs.HandedOff,
+			frozen:        cs.HandedOff,
+			redirect:      cs.Redirect,
+			imported:      cs.Imported,
+			importedEpoch: cs.ImportedEpoch,
+			importedSeq:   cs.ImportedSeq,
 		}
 		if len(cs.Symbols) > 0 {
 			tab := symtab.NewTable()

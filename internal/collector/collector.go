@@ -103,6 +103,22 @@ type Collector struct {
 
 	ckptMu sync.Mutex // serializes checkpoint file writes
 
+	// Drain/import lifecycle (guarded by mu; see handoff.go). draining
+	// tracks this collector's own planned departure; imports tracks
+	// in-progress handoffs arriving from draining peers, keyed by the
+	// peer stream's source ID.
+	draining   bool
+	drainTotal int
+	drainDone  int
+	// departed flips once the drain has fully handed off: every handshake
+	// from then on — including for sources this collector never met, e.g.
+	// a shipper that slept through the drain and redials its old owner —
+	// is answered with TRedirect(departMembers) instead of a fresh row
+	// that would fork the moved stream.
+	departed      bool
+	departMembers []string
+	imports       map[string]*importProgress
+
 	metConns       *obs.Counter
 	metFrames      *obs.Counter
 	metBytes       *obs.Counter
@@ -120,6 +136,10 @@ type Collector struct {
 	metShardFrames *obs.Counter
 	metShardDepth  *obs.Gauge
 	metShardImbal  *obs.Gauge
+	metImports     *obs.Counter
+	metImportDups  *obs.Counter
+	metImportErrs  *obs.Counter
+	metRedirects   *obs.Counter
 }
 
 // Source is the per-shipper state. It survives reconnects: a shipper that
@@ -199,6 +219,31 @@ type Source struct {
 	lastMeanConf  float64
 	lastDegraded  bool
 	everConnected bool
+
+	// Drain/handoff state (guarded by mu; see handoff.go).
+	//
+	// internal marks a shard-to-shard handoff peer stream
+	// (wire.HandoffPeerPrefix): kept out of the fleet view and the uplink
+	// taps, kept IN the checkpoint — the peer stream's dedup watermark is
+	// what recognizes a replayed handoff. frozen refuses new frames and
+	// answers connections with TRedirect(redirect); handedOff additionally
+	// records that the state has been staged durably for its new owner, so
+	// both survive a restart via the checkpoint. conns tracks the live
+	// connections currently carrying this source so a drain can push the
+	// redirect instead of waiting for shippers to notice. The imported*
+	// trio is the handoff dedup marker on the receiving side; pendingAck
+	// carries one import disposition from the shard goroutine back to the
+	// peer connection goroutine (one in flight by construction — the
+	// connection blocks on the apply result).
+	internal      bool
+	frozen        bool
+	handedOff     bool
+	redirect      []string
+	conns         map[net.Conn]struct{}
+	imported      bool
+	importedEpoch uint64
+	importedSeq   uint64
+	pendingAck    wire.HandoffAck
 }
 
 // New builds a collector, restoring per-source state from
@@ -245,6 +290,11 @@ func New(cfg Config) (*Collector, error) {
 		metShardFrames: reg.Counter("fluct_collector_shard_frames_total"),
 		metShardDepth:  reg.Gauge("fluct_collector_shard_queue_depth"),
 		metShardImbal:  reg.Gauge("fluct_collector_shard_imbalance_x1000"),
+		metImports:     reg.Counter("fluct_collector_handoff_imports_total"),
+		metImportDups:  reg.Counter("fluct_collector_handoff_duplicates_total"),
+		metImportErrs:  reg.Counter("fluct_collector_handoff_errors_total"),
+		metRedirects:   reg.Counter("fluct_collector_redirects_sent_total"),
+		imports:        map[string]*importProgress{},
 	}
 	c.startShards(cfg.IngestShards)
 	if cfg.CheckpointPath != "" {
@@ -274,7 +324,7 @@ func (c *Collector) source(id string) *Source {
 	defer c.mu.Unlock()
 	s := c.sources[id]
 	if s == nil {
-		s = &Source{ID: id}
+		s = &Source{ID: id, internal: isHandoffPeer(id)}
 		c.initSource(s)
 		c.sources[id] = s
 		c.metSources.SetInt(len(c.sources))
@@ -362,10 +412,40 @@ func (c *Collector) HandleConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	c.mu.Lock()
+	if c.departed && !isHandoffPeer(srcID) {
+		// Fully drained: this collector owns nothing anymore. Redirect every
+		// handshake — even for sources it never met, like a shipper that
+		// slept through the drain and redialed its old owner — rather than
+		// create a fresh row that would fork the moved stream.
+		members := append([]string(nil), c.departMembers...)
+		c.mu.Unlock()
+		c.writeRedirect(conn, members)
+		return
+	}
+	c.mu.Unlock()
 	src := c.source(srcID)
 	src.mu.Lock()
+	if src.frozen {
+		// This source's state has moved (or is moving): do not accept a
+		// single frame for it. Tell the shipper where the fleet lives now
+		// and hang up — a deliberate refusal, not a disconnect.
+		members := append([]string(nil), src.redirect...)
+		src.mu.Unlock()
+		c.writeRedirect(conn, members)
+		return
+	}
 	src.everConnected = true
+	if src.conns == nil {
+		src.conns = map[net.Conn]struct{}{}
+	}
+	src.conns[conn] = struct{}{}
 	src.mu.Unlock()
+	defer func() {
+		src.mu.Lock()
+		delete(src.conns, conn)
+		src.mu.Unlock()
+	}()
 
 	var cs connSeq
 	rd := c.pool.NewReader(conn)
@@ -406,11 +486,15 @@ func (c *Collector) HandleConn(conn net.Conn) {
 				continue
 			}
 			// Cut mid-frame or closed: the shipper will reconnect and the
-			// per-source state picks up where it left off.
+			// per-source state picks up where it left off. A frozen source's
+			// connections are severed by the drain itself (RedirectSource) —
+			// deliberate, not link damage, so not a disconnect.
 			if err != io.EOF {
-				c.metDiscon.Inc()
 				src.mu.Lock()
-				src.disconnects++
+				if !src.frozen {
+					src.disconnects++
+					c.metDiscon.Inc()
+				}
 				src.mu.Unlock()
 			}
 			return
@@ -427,7 +511,11 @@ func (c *Collector) HandleConn(conn net.Conn) {
 				c.metCRCErrs.Inc()
 				return
 			}
-			ackSeq := c.seqStart(src, ss)
+			ackSeq, frozen := c.seqStart(src, ss)
+			if frozen {
+				c.redirectAndClose(src, conn)
+				return
+			}
 			cs = connSeq{active: true, epoch: ss.Epoch, next: ss.FirstSeq}
 			if writeAck(conn, cs.epoch, ackSeq) != nil {
 				return
@@ -439,6 +527,12 @@ func (c *Collector) HandleConn(conn net.Conn) {
 			// v1 path: no numbering, every frame goes straight to the shard
 			// (which counts any decode failure).
 			src.mu.Lock()
+			if src.frozen {
+				src.mu.Unlock()
+				f.Release()
+				c.redirectAndClose(src, conn)
+				return
+			}
 			c.enqueueFrameLocked(src, f, false, nil)
 			src.mu.Unlock()
 			continue
@@ -453,7 +547,21 @@ func (c *Collector) HandleConn(conn net.Conn) {
 		// then applies the admitted frames in admission order.
 		seq := cs.next
 		cs.next++
+		// Ack-worthy frames run the durability+ack path below. SetEnd is
+		// the classic one; the two handoff data frames join it so a
+		// draining peer's spool trims as each import lands durably.
+		ackWorthy := f.Type == wire.TSetEnd ||
+			f.Type == wire.THandoffBegin || f.Type == wire.THandoffSource
 		src.mu.Lock()
+		if src.frozen {
+			// Frozen mid-connection: the drain quiesced this source after
+			// our handshake. Refuse the frame and point the shipper at the
+			// new owner (deliberate, not a disconnect).
+			src.mu.Unlock()
+			f.Release()
+			c.redirectAndClose(src, conn)
+			return
+		}
 		if src.epoch != cs.epoch {
 			// Another connection opened a newer spool generation for this
 			// source; this link's numbering is obsolete and applying its
@@ -470,7 +578,7 @@ func (c *Collector) HandleConn(conn net.Conn) {
 			if seq > src.appliedSeq {
 				src.appliedSeq = seq
 			}
-			if f.Type == wire.TSetEnd {
+			if ackWorthy {
 				// The ack path below must know the apply outcome.
 				res = make(chan error, 1)
 			}
@@ -482,24 +590,33 @@ func (c *Collector) HandleConn(conn net.Conn) {
 			tick = src.enqTick
 		}
 		src.mu.Unlock()
+		var dupHandoff string
 		if dup {
+			if f.Type == wire.THandoffSource {
+				// A replayed handoff import still owes its peer a
+				// disposition; remember which source it named before the
+				// frame bytes go back to the pool.
+				if hs, derr := wire.DecodeHandoffSource(f.Payload); derr == nil {
+					dupHandoff = hs.Source
+				}
+			}
 			f.Release()
 			// Retransmission of a frame already applied (the ack for it
 			// was lost, or a checkpoint failure withheld it): skip the
-			// integrator, but a SetEnd still falls through to the
-			// durability+ack path below — the shipper is replaying the
-			// set precisely because it never saw that ack.
+			// integrator, but an ack-worthy frame still falls through to
+			// the durability+ack path below — the shipper is replaying
+			// precisely because it never saw that ack.
 			c.metDups.Inc()
-			if f.Type != wire.TSetEnd {
+			if !ackWorthy {
 				continue
 			}
 			waitApplied(src, tick)
 		} else {
-			if f.Type != wire.TSetEnd {
+			if !ackWorthy {
 				continue
 			}
 			if ferr := <-res; ferr != nil {
-				// The SetEnd arrived intact (CRC passed) but its payload is
+				// The frame arrived intact (CRC passed) but its payload is
 				// undecodable; retransmitting identical bytes cannot help,
 				// so the sequence number is consumed, the frame dropped
 				// (and counted by the shard), and no ack sent.
@@ -535,6 +652,27 @@ func (c *Collector) HandleConn(conn net.Conn) {
 				}
 				src.mu.Unlock()
 			}
+			if f.Type == wire.THandoffSource {
+				// Alongside the transport ack, report what the import
+				// actually did (installed/merged/duplicate) so the drainer
+				// can account per source. Written BEFORE the transport ack:
+				// the shipper's ack-reader dispatches frames in order, so
+				// the drainer is guaranteed to have every disposition by
+				// the time the final ack releases its Drain.
+				ack := wire.HandoffAck{Source: dupHandoff, Disposition: wire.HandoffDuplicate}
+				if !dup {
+					src.mu.Lock()
+					ack = src.pendingAck
+					src.mu.Unlock()
+				}
+				if ack.Source != "" {
+					if payload, aerr := wire.AppendHandoffAck(nil, ack); aerr == nil {
+						if wire.WriteFrame(conn, wire.Frame{Type: wire.THandoffAck, Payload: payload}) != nil {
+							return
+						}
+					}
+				}
+			}
 			if writeAck(conn, cs.epoch, seq) != nil {
 				return
 			}
@@ -555,9 +693,12 @@ func writeAck(conn net.Conn, epoch, seq uint64) error {
 // frames already queued; the setOpen flag is the connection-side mirror of
 // "a set is in flight" that makes the decision possible without touching
 // shard-owned state.
-func (c *Collector) seqStart(src *Source, ss wire.SeqStart) uint64 {
+func (c *Collector) seqStart(src *Source, ss wire.SeqStart) (ackSeq uint64, frozen bool) {
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	if src.frozen {
+		return 0, true
+	}
 	if src.epoch != ss.Epoch {
 		// A new spool generation (wiped spool directory, or first contact
 		// from this source): old sequence numbers mean nothing anymore,
@@ -584,7 +725,7 @@ func (c *Collector) seqStart(src *Source, ss wire.SeqStart) uint64 {
 			c.enqueueFrameLocked(src, wire.FrameView{}, true, nil)
 		}
 	}
-	return src.lastAcked
+	return src.lastAcked, false
 }
 
 // frame applies one verified frame to the source's state, synchronously:
@@ -677,6 +818,10 @@ func (c *Collector) applyFrame(src *Source, f wire.Frame) error {
 		}
 		c.finishSet(src, end, false)
 		return nil
+	case wire.THandoffBegin:
+		return c.applyHandoffBegin(src, f.Payload)
+	case wire.THandoffSource:
+		return c.applyHandoffSource(src, f.Payload)
 	default:
 		return fmt.Errorf("collector: unexpected %s frame", f.Type)
 	}
@@ -817,6 +962,16 @@ func (s *Source) Sets() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sets
+}
+
+// SetOpen reports whether a trace set is currently in flight from the
+// source. The drain-chaos harness uses it to start a drain provably
+// mid-set, so the quiesce path (wait for the set boundary before
+// freezing) is what gets exercised rather than an idle freeze.
+func (s *Source) SetOpen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setOpen
 }
 
 // Items returns a copy of the source's last completed set's items, in the

@@ -190,7 +190,7 @@ func TestSeqStartResync(t *testing.T) {
 	src := coll.source("s")
 
 	// First contact at epoch 9, resuming from seq 41.
-	if got := coll.seqStart(src, wire.SeqStart{Epoch: 9, FirstSeq: 41}); got != 40 {
+	if got, _ := coll.seqStart(src, wire.SeqStart{Epoch: 9, FirstSeq: 41}); got != 40 {
 		t.Fatalf("advertised watermark %d, want 40 (resynced to FirstSeq-1)", got)
 	}
 	if src.Epoch() != 9 || src.LastAcked() != 40 {
@@ -198,12 +198,12 @@ func TestSeqStartResync(t *testing.T) {
 	}
 
 	// Same epoch, overlap replay: watermark must not move backward.
-	if got := coll.seqStart(src, wire.SeqStart{Epoch: 9, FirstSeq: 30}); got != 40 {
+	if got, _ := coll.seqStart(src, wire.SeqStart{Epoch: 9, FirstSeq: 30}); got != 40 {
 		t.Fatalf("advertised watermark %d after overlap replay, want 40", got)
 	}
 
 	// New epoch: the numbering resets.
-	if got := coll.seqStart(src, wire.SeqStart{Epoch: 10, FirstSeq: 1}); got != 0 {
+	if got, _ := coll.seqStart(src, wire.SeqStart{Epoch: 10, FirstSeq: 1}); got != 0 {
 		t.Fatalf("advertised watermark %d after epoch change, want 0", got)
 	}
 }

@@ -143,6 +143,11 @@ func (c *Collector) Fleet() FleetView {
 	c.mu.Lock()
 	srcs := make([]*Source, 0, len(c.sources))
 	for _, s := range c.sources {
+		if s.internal {
+			// Handoff peer streams are transport plumbing, not fleet
+			// members (internal is immutable after creation).
+			continue
+		}
 		srcs = append(srcs, s)
 	}
 	c.mu.Unlock()
@@ -218,9 +223,11 @@ func (v FleetView) RenderTopK(w io.Writer) {
 }
 
 // Health renders the fleet verdict for /healthz: OK while every connected
-// source's last set was clean AND no fluctuation event is unresolved.
+// source's last set was clean AND no fluctuation event is unresolved —
+// plus the drain/import lifecycle conditions (a draining collector votes
+// not-OK so it falls out of the load balancer while it hands off).
 func (c *Collector) Health() obs.Health {
-	return FleetHealth(c.Fleet())
+	return c.Status().Health()
 }
 
 // FleetStatus derives the per-condition health status from a fleet view —

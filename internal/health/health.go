@@ -41,6 +41,25 @@ type Status struct {
 // Add appends a condition.
 func (s *Status) Add(c Condition) { s.Conditions = append(s.Conditions, c) }
 
+// Cond builds a condition in one expression — the common case for
+// lifecycle conditions (draining, importing) that are assembled inline
+// rather than by a dedicated subsystem struct. Chain WithField for the
+// numeric facts.
+func Cond(name string, ok bool, format string, args ...any) Condition {
+	return Condition{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)}
+}
+
+// WithField returns a copy of the condition with one numeric fact added.
+func (c Condition) WithField(key string, v float64) Condition {
+	fields := make(map[string]float64, len(c.Fields)+1)
+	for k, x := range c.Fields {
+		fields[k] = x
+	}
+	fields[key] = v
+	c.Fields = fields
+	return c
+}
+
 // OK reports the merged vote.
 func (s Status) OK() bool {
 	for _, c := range s.Conditions {

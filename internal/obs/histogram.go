@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -127,6 +128,74 @@ func (h *Histogram) Reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
 	}
+}
+
+// HistBucket is one occupied bucket of a dumped histogram.
+type HistBucket struct {
+	// Index is the bucket's position in the log-linear layout (see
+	// bucketIndex); Count its occupancy.
+	Index int    `json:"i"`
+	Count uint64 `json:"n"`
+}
+
+// HistDump is an exact, sparse export of a histogram's state: only
+// occupied buckets, in index order. Load on a fresh histogram reproduces
+// the original bucket-for-bucket — the property the detect baseline
+// handoff depends on (quantiles, counts, and sums all survive a
+// dump/load round trip bit-exactly). JSON-friendly by design: handoff
+// frames carry it inside the detector snapshot.
+type HistDump struct {
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Dump exports the histogram's occupied buckets in index order. Like
+// Snapshot, the count is recomputed from bucket occupancy so the dump is
+// internally consistent even under concurrent Records. Nil dumps empty.
+func (h *Histogram) Dump() HistDump {
+	var d HistDump
+	if h == nil {
+		return d
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			d.Buckets = append(d.Buckets, HistBucket{Index: i, Count: n})
+		}
+	}
+	d.Sum = h.sum.Load()
+	return d
+}
+
+// Load resets h and installs a dump, validating it first: bucket indices
+// must be strictly increasing and in range, occupancies non-zero, and the
+// total count must not overflow — the dump may have crossed a network.
+// Must not run concurrently with writers (same contract as Reset).
+func (h *Histogram) Load(d HistDump) error {
+	if h == nil {
+		return fmt.Errorf("obs: Load on nil histogram")
+	}
+	var total uint64
+	last := -1
+	for _, b := range d.Buckets {
+		if b.Index <= last || b.Index >= histBuckets {
+			return fmt.Errorf("obs: histogram dump bucket index %d invalid (previous %d, max %d)", b.Index, last, histBuckets-1)
+		}
+		if b.Count == 0 {
+			return fmt.Errorf("obs: histogram dump bucket %d has zero count", b.Index)
+		}
+		if total+b.Count < total {
+			return fmt.Errorf("obs: histogram dump count overflows")
+		}
+		total += b.Count
+		last = b.Index
+	}
+	h.Reset()
+	for _, b := range d.Buckets {
+		h.buckets[b.Index].Store(b.Count)
+	}
+	h.count.Store(total)
+	h.sum.Store(d.Sum)
+	return nil
 }
 
 // Quantile returns the q-quantile (q in [0,1]) of the live histogram.

@@ -79,6 +79,21 @@ type Config struct {
 	// JitterSeed seeds the backoff jitter (default: derived from Source),
 	// keeping reconnect schedules deterministic per shipper.
 	JitterSeed uint64
+	// OnRedirect, when set, is consulted whenever the collector sends a
+	// TRedirect frame (its shard is draining and this source has a new
+	// owner). It receives the post-departure membership table and returns
+	// the address to dial next — typically by re-hashing Source over the
+	// table — or "" to keep the current address. Either way the shipper
+	// drops the connection and reconnects instead of waiting out a dial
+	// timeout against a leaving shard; spooled frames replay to the new
+	// owner, which deduplicates by (source, epoch, seq).
+	OnRedirect func(members []string) string
+	// OnControlFrame, when set, receives every collector-to-shipper frame
+	// that is neither a TAck nor a TRedirect (e.g. THandoffAck import
+	// dispositions on a drain connection). The frame's payload is an
+	// owned copy; the callback runs on the ack-reader goroutine and must
+	// not block.
+	OnControlFrame func(f wire.Frame)
 	// Registry receives the shipper's self-telemetry (nil: obs.Default()).
 	Registry *obs.Registry
 }
@@ -98,14 +113,19 @@ type Shipper struct {
 	nextSend  uint64 // spool mode: seq of the next frame to transmit
 	lastAcked uint64 // spool mode: highest acked seq (v2: by collector, v1: by write)
 	highSent  uint64 // spool mode: highest seq ever written to a socket
+	addr      string // current collector address; rewritten by TRedirect
+	queueHW   int    // deepest the queue has ever been
 
 	spl *spool.Spool
 	rec spool.Recovery
 
 	metQueue      *obs.Gauge
+	metQueueHW    *obs.Gauge
 	metDropped    *obs.Counter
+	metDropInSet  *obs.Counter
 	metEvicted    *obs.Counter
 	metReconnects *obs.Counter
+	metRedirects  *obs.Counter
 	metFrames     *obs.Counter
 	metBytes      *obs.Counter
 	metSets       *obs.Counter
@@ -165,11 +185,15 @@ func New(cfg Config) (*Shipper, error) {
 	}
 	s := &Shipper{
 		cfg:           cfg,
+		addr:          cfg.Addr,
 		pool:          wire.NewFramePool(reg),
 		metQueue:      reg.Gauge("fluct_ship_queue_depth"),
+		metQueueHW:    reg.Gauge("fluct_ship_queue_high_watermark"),
 		metDropped:    reg.Counter("fluct_ship_dropped_frames_total"),
+		metDropInSet:  reg.Counter("fluct_ship_dropped_set_frames_total"),
 		metEvicted:    reg.Counter("fluct_ship_cache_evictions_total"),
 		metReconnects: reg.Counter("fluct_ship_reconnects_total"),
+		metRedirects:  reg.Counter("fluct_ship_redirects_total"),
 		metFrames:     reg.Counter("fluct_ship_frames_sent_total"),
 		metBytes:      reg.Counter("fluct_ship_bytes_sent_total"),
 		metSets:       reg.Counter("fluct_ship_sets_total"),
@@ -269,11 +293,15 @@ func (s *Shipper) enqueue(enc []byte, buf *wire.Buf) bool {
 			// so an unspooled frame cannot ride along.
 			s.metSpoolErrs.Inc()
 			s.metDropped.Inc()
+			s.noteSetFrameLoss(enc)
 			buf.Release()
 			return true
 		}
 		s.queue = append(s.queue, queued{seq: seq, bytes: enc, buf: buf})
+		s.noteDepthLocked()
 		if over := len(s.queue) - s.cfg.QueueFrames; over > 0 {
+			// Evictions shed only the cache copy — the frames replay from
+			// disk — so they do not count as set-frame loss.
 			for i := 0; i < over; i++ {
 				s.queue[i].buf.Release()
 			}
@@ -287,6 +315,7 @@ func (s *Shipper) enqueue(enc []byte, buf *wire.Buf) bool {
 	if len(s.queue) >= s.cfg.QueueFrames {
 		n := len(s.queue) - s.cfg.QueueFrames + 1
 		for i := 0; i < n; i++ {
+			s.noteSetFrameLoss(s.queue[i].bytes)
 			s.queue[i].buf.Release()
 		}
 		s.queue = s.queue[n:]
@@ -294,9 +323,38 @@ func (s *Shipper) enqueue(enc []byte, buf *wire.Buf) bool {
 	}
 	s.memSeq++
 	s.queue = append(s.queue, queued{seq: s.memSeq, bytes: enc, buf: buf})
+	s.noteDepthLocked()
 	s.metQueue.SetInt(len(s.queue))
 	s.cond.Signal()
 	return true
+}
+
+// noteDepthLocked tracks the deepest the queue has ever been
+// (fluct_ship_queue_high_watermark): a queue that brushes QueueFrames is
+// one interleaved large set away from shedding set frames — the PR 8
+// footgun DESIGN.md documents — and the high watermark makes that margin
+// visible before the first drop.
+func (s *Shipper) noteDepthLocked() {
+	if d := len(s.queue); d > s.queueHW {
+		s.queueHW = d
+		s.metQueueHW.SetInt(d)
+	}
+}
+
+// noteSetFrameLoss counts a shed frame that was part of a trace set
+// (symtab/markers/samples/set-end). Losing one of these without a spool
+// truncates or wedges the set at the collector, unlike losing a
+// standalone telemetry frame — fluct_ship_dropped_set_frames_total is the
+// "data actually went missing mid-set" alarm. enc is a complete frame
+// encoding; the type byte sits right after the length prefix.
+func (s *Shipper) noteSetFrameLoss(enc []byte) {
+	if len(enc) < wire.FrameOverhead {
+		return
+	}
+	switch wire.Type(enc[4]) {
+	case wire.TSymtab, wire.TMarkers, wire.TSamples, wire.TSetEnd:
+		s.metDropInSet.Inc()
+	}
 }
 
 // QueueDepth returns the number of frames currently held in memory.
@@ -329,7 +387,9 @@ func (s *Shipper) Close() {
 }
 
 // Drain blocks until nothing is pending — with a spool, until every
-// spooled frame is acknowledged — or ctx is cancelled.
+// spooled frame is acknowledged — or ctx is cancelled. The deadline error
+// reports how many frames were still pending when it hit, so "drain
+// timed out" logs say how far delivery got, not just that it stopped.
 func (s *Shipper) Drain(ctx context.Context) error {
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
@@ -339,10 +399,18 @@ func (s *Shipper) Drain(ctx context.Context) error {
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return fmt.Errorf("ship: drain deadline with %d frames pending: %w", s.PendingFrames(), ctx.Err())
 		case <-tick.C:
 		}
 	}
+}
+
+// Addr returns the collector address the shipper currently dials —
+// Config.Addr until a TRedirect rewrites it.
+func (s *Shipper) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
 }
 
 // nextMem blocks until frames are queued (no-spool mode), the shipper is
@@ -475,7 +543,7 @@ func (s *Shipper) Run(ctx context.Context) error {
 		if !s.waitWork(ctx) {
 			return ctx.Err()
 		}
-		conn, err := s.cfg.Dial(ctx, s.cfg.Addr)
+		conn, err := s.cfg.Dial(ctx, s.Addr())
 		if err != nil {
 			if !s.sleep(ctx, backoff) {
 				return ctx.Err()
@@ -516,6 +584,31 @@ func (s *Shipper) pump(ctx context.Context, conn net.Conn, version uint16, onFir
 	if s.spl != nil {
 		return s.pumpSpool(ctx, conn, version, onFirstWrite)
 	}
+	// Even a fire-and-forget connection can carry control frames back —
+	// a draining collector redirects v1 shippers too. The reader closes
+	// the conn on redirect so the writer fails over to the new address.
+	ctrlDone := make(chan struct{})
+	go func() {
+		defer close(ctrlDone)
+		sc := wire.NewFrameScanner(conn)
+		for {
+			f, err := sc.ReadFrame()
+			if err != nil {
+				return
+			}
+			if f.Type == wire.TAck {
+				continue // nothing to ack against without a spool
+			}
+			if s.control(f) {
+				conn.Close()
+				return
+			}
+		}
+	}()
+	defer func() {
+		conn.Close()
+		<-ctrlDone
+	}()
 	wrote := false
 	for {
 		frames, seqs, bufs, ok := s.nextMem(ctx)
@@ -747,6 +840,9 @@ func (s *Shipper) readAcks(conn net.Conn, cs *connState) {
 			break
 		}
 		if f.Type != wire.TAck {
+			if s.control(f) {
+				break // redirected: drop the conn and redial at the new address
+			}
 			continue
 		}
 		a, err := wire.DecodeAck(f.Payload)
@@ -762,6 +858,38 @@ func (s *Shipper) readAcks(conn net.Conn, cs *connState) {
 	cs.dead = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// control handles a non-ack collector frame: TRedirect rewrites the dial
+// address via Config.OnRedirect, everything else is handed to
+// Config.OnControlFrame. Returns true when the current connection should
+// be abandoned — a collector that redirects is leaving, so reconnecting
+// (wherever the shipper now points) beats waiting for it to die.
+func (s *Shipper) control(f wire.Frame) (stop bool) {
+	if f.Type != wire.TRedirect {
+		if s.cfg.OnControlFrame != nil {
+			// Own the payload: the scanner's buffer is reused per frame.
+			p := append([]byte(nil), f.Payload...)
+			s.cfg.OnControlFrame(wire.Frame{Type: f.Type, Payload: p})
+		}
+		return false
+	}
+	r, err := wire.DecodeRedirect(f.Payload)
+	if err != nil {
+		return false
+	}
+	if s.cfg.OnRedirect != nil {
+		if next := s.cfg.OnRedirect(r.Members); next != "" {
+			s.mu.Lock()
+			changed := next != s.addr
+			s.addr = next
+			s.mu.Unlock()
+			if changed {
+				s.metRedirects.Inc()
+			}
+		}
+	}
+	return true
 }
 
 // applyAck advances the in-memory acked watermark and trims the cache,

@@ -70,6 +70,25 @@ const (
 	// aggregator hop (see verdict.go). Like TFleetSummary it is an
 	// ordinary data frame to the sequencing layer.
 	TVerdicts Type = 10
+	// THandoffBegin opens a planned-drain handoff on a shard → shard
+	// connection: the draining shard's identity, the post-departure
+	// membership table, and how many sources follow (see handoff.go). To
+	// the sequencing layer it is an ordinary data frame, so the whole
+	// handoff rides the v2 seq/ack + spool machinery verbatim.
+	THandoffBegin Type = 11
+	// THandoffSource carries one moved source's complete transferable
+	// state: checkpoint row, symtab bases, detector snapshot, and the
+	// (epoch, seq) dedup watermark. The receiver acknowledges it like a
+	// TSetEnd — checkpoint first, ack after.
+	THandoffSource Type = 12
+	// THandoffAck is the receiver's per-source import disposition
+	// (installed, merged, or duplicate), written alongside the transport
+	// TAck so the drainer can report what actually happened to each move.
+	THandoffAck Type = 13
+	// TRedirect tells a shipper its source no longer lives here: re-hash
+	// over the carried membership table and reconnect, instead of waiting
+	// out a dial timeout against a draining shard.
+	TRedirect Type = 14
 )
 
 // String implements fmt.Stringer.
@@ -95,6 +114,14 @@ func (t Type) String() string {
 		return "fleetsummary"
 	case TVerdicts:
 		return "verdicts"
+	case THandoffBegin:
+		return "handoffbegin"
+	case THandoffSource:
+		return "handoffsource"
+	case THandoffAck:
+		return "handoffack"
+	case TRedirect:
+		return "redirect"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
